@@ -1,0 +1,108 @@
+// Ablation: costs of the cryptographic building blocks on the hot path —
+// explains where the per-request and per-signature time in Figures 7/8
+// goes (GCM per session record and channel message; SHA-256 per Merkle
+// leaf; Schnorr sign per signature transaction).
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sign.h"
+#include "merkle/merkle.h"
+
+namespace {
+
+using namespace ccf;
+
+void BM_Sha256(benchmark::State& state) {
+  crypto::Drbg drbg("bench", 0);
+  Bytes data = drbg.Generate(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  crypto::Drbg drbg("bench", 1);
+  crypto::AesGcm gcm(drbg.Generate(32));
+  Bytes iv = drbg.Generate(12);
+  Bytes data = drbg.Generate(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.Seal(iv, data, {}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  crypto::KeyPair kp = crypto::KeyPair::FromSeed(ToBytes("bench"));
+  Bytes msg = ToBytes("merkle root signature payload, 48 bytes or so...");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.Sign(msg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  crypto::KeyPair kp = crypto::KeyPair::FromSeed(ToBytes("bench"));
+  Bytes msg = ToBytes("merkle root signature payload, 48 bytes or so...");
+  auto sig = kp.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Verify(kp.public_key(), msg, sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_EcdhSharedSecret(benchmark::State& state) {
+  crypto::KeyPair a = crypto::KeyPair::FromSeed(ToBytes("a"));
+  crypto::KeyPair b = crypto::KeyPair::FromSeed(ToBytes("b"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DeriveSharedSecret(b.public_key()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcdhSharedSecret);
+
+void BM_MerkleAppend(benchmark::State& state) {
+  merkle::MerkleTree tree;
+  Bytes leaf = ToBytes("transaction leaf content 0123456789");
+  for (auto _ : state) {
+    tree.Append(leaf);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MerkleAppend);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  merkle::MerkleTree tree;
+  for (int i = 0; i < state.range(0); ++i) {
+    tree.Append(ToBytes("leaf " + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Root());
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(1000)->Arg(100000);
+
+void BM_MerkleProof(benchmark::State& state) {
+  merkle::MerkleTree tree;
+  const uint64_t n = state.range(0);
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Append(ToBytes("leaf " + std::to_string(i)));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.GetProof(i++ % n, n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MerkleProof)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Figure 7 (left & center): impact of the number of CCF nodes on write and
+// read throughput; (right): impact of the read/write ratio on single-node
+// throughput.
+//
+// Reproduces the *shape* of the paper's result on the simulated substrate:
+//   - write throughput is roughly flat / slightly decreasing with more
+//     nodes (writes all execute on the primary; replication adds work),
+//   - read throughput scales with the node count (reads are served locally
+//     by every node, paper §4.3),
+//   - increasing the read ratio increases single-node throughput.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ccf::bench {
+namespace {
+
+constexpr uint64_t kRequests = 4000;
+constexpr int kPipeline = 64;
+
+// Builds an n-node service and returns it ready for load.
+std::unique_ptr<ServiceHarness> BuildService(int n) {
+  auto h = std::make_unique<ServiceHarness>();
+  h->SetConfigTweak([](node::NodeConfig* cfg) {
+    cfg->tee_mode = tee::TeeMode::kVirtual;
+    cfg->signature_interval_txs = 100;
+    cfg->signature_interval_ms = 50;
+    cfg->snapshot_interval_txs = 1u << 30;
+  });
+  for (int u = 0; u < 8; ++u) h->AddUser("user" + std::to_string(u));
+  h->StartGenesis();
+  for (int i = 1; i < n; ++i) {
+    if (h->JoinAndTrust("n" + std::to_string(i), 20000) == nullptr) {
+      std::fprintf(stderr, "failed to grow service to %d nodes\n", n);
+      return nullptr;
+    }
+  }
+  Preload(&h->env(), h->UserClient("user0", "n0"));
+  return h;
+}
+
+double MeasureWrites(ServiceHarness* h, int n) {
+  (void)n;
+  ClosedLoopDriver driver(&h->env());
+  // Paper §7: "the user directly writes to the primary".
+  std::string primary = h->Primary()->id();
+  for (int u = 0; u < 4; ++u) {
+    driver.AddStream(h->UserClient("user" + std::to_string(u), primary),
+                     [](uint64_t s) { return MakeWriteRequest(s); },
+                     kPipeline);
+  }
+  double tput = driver.Run(kRequests).throughput();
+  // Drain replication before the next phase measures.
+  h->WaitForCommitEverywhere(h->Primary()->last_seqno(), 30000);
+  return tput;
+}
+
+double MeasureReads(ServiceHarness* h, int n) {
+  ClosedLoopDriver driver(&h->env());
+  // Reads are spread across every node: each node serves them locally.
+  for (int i = 0; i < n; ++i) {
+    std::string node_id = "n" + std::to_string(i);
+    for (int u = 0; u < 2; ++u) {
+      driver.AddStream(
+          h->UserClient("user" + std::to_string(u + 2 * i % 8), node_id),
+          [](uint64_t s) { return MakeReadRequest(s); }, kPipeline);
+    }
+  }
+  return driver.Run(kRequests).throughput();
+}
+
+void RunNodeSweep() {
+  std::printf("Figure 7 (left & center): throughput vs number of nodes\n");
+  std::printf(
+      "(raw = all nodes share one core in the simulation; x n = normalized\n"
+      " to one core per node, as in the paper's one-VM-per-node testbed)\n");
+  std::printf("%-8s %14s %14s %14s %14s\n", "nodes", "writes raw", "writes x n",
+              "reads raw", "reads x n");
+  for (int n : {1, 3, 5}) {
+    auto h = BuildService(n);
+    if (h == nullptr) continue;
+    double writes = MeasureWrites(h.get(), n);
+    double reads = MeasureReads(h.get(), n);
+    std::printf("%-8d %14.0f %14.0f %14.0f %14.0f\n", n, writes, writes * n,
+                reads, reads * n);
+    std::fflush(stdout);
+  }
+}
+
+void RunRatioSweep() {
+  std::printf("\nFigure 7 (right): single-node throughput vs read ratio\n");
+  std::printf("%-12s %16s\n", "read-ratio", "total (tx/s)");
+  for (int read_pct : {0, 25, 50, 75, 100}) {
+    auto h = BuildService(1);
+    if (h == nullptr) continue;
+    ClosedLoopDriver driver(&h->env());
+    for (int u = 0; u < 4; ++u) {
+      driver.AddStream(h->UserClient("user" + std::to_string(u), "n0"),
+                       [read_pct](uint64_t s) {
+                         bool is_read =
+                             static_cast<int>(s * 7919 % 100) < read_pct;
+                         return is_read ? MakeReadRequest(s)
+                                        : MakeWriteRequest(s);
+                       },
+                       kPipeline);
+    }
+    double tput = driver.Run(kRequests).throughput();
+    std::printf("%3d%%         %16.0f\n", read_pct, tput);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace ccf::bench
+
+int main() {
+  ccf::bench::RunNodeSweep();
+  ccf::bench::RunRatioSweep();
+  return 0;
+}

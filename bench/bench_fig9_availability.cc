@@ -1,0 +1,261 @@
+// Figure 9 + Listing 2: impact of primary failure (A) and subsequent
+// governance-driven node replacement (B-E) on the availability of reads
+// and writes.
+//
+// Setup mirrors the paper: three initial nodes {n0,n1,n2}, three consortium
+// members {m0,m1,m2} with the default constitution; one user sends writes
+// to the primary n0, another sends reads to the backup n1.
+//   A: n0 is killed. Writes stop; reads continue.
+//      A new primary is elected and the writer retries; writes resume.
+//   B: operator prepares n3, which joins the service (attestation).
+//   C: m0 proposes: transition n3 to trusted + remove n0.
+//   D: m1's ballot accepts the proposal; reconfiguration begins.
+//   E: reconfiguration commits; fault tolerance is restored.
+// Afterwards, the governance transactions are dumped from the ledger in
+// the style of the paper's Listing 2.
+
+#include <cstdio>
+#include <deque>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "kv/tables.h"
+
+namespace ccf::bench {
+namespace {
+
+constexpr uint64_t kBucketMs = 100;
+
+struct Timeline {
+  std::map<uint64_t, uint64_t> writes;  // bucket -> completed
+  std::map<uint64_t, uint64_t> reads;
+  std::vector<std::pair<uint64_t, std::string>> events;
+
+  void Print(uint64_t t0, uint64_t duration_ms) const {
+    std::printf("%-10s %12s %12s\n", "t (ms)", "writes/s", "reads/s");
+    for (uint64_t t = 0; t < duration_ms; t += kBucketMs) {
+      uint64_t bucket = (t0 + t) / kBucketMs;
+      auto wit = writes.find(bucket);
+      auto rit = reads.find(bucket);
+      double scale = 1000.0 / kBucketMs;
+      std::printf("%-10llu %12.0f %12.0f",
+                  static_cast<unsigned long long>(t),
+                  (wit != writes.end() ? wit->second : 0) * scale,
+                  (rit != reads.end() ? rit->second : 0) * scale);
+      for (const auto& [ts, label] : events) {
+        if (ts >= t && ts < t + kBucketMs) std::printf("   <-- %s", label.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+};
+
+// A self-healing request stream: reissues on completion and reconnects to
+// the current primary (writes) when stalled, as users do in the paper
+// ("users connected to it will retry with other nodes").
+class Stream {
+ public:
+  Stream(ServiceHarness* h, node::Client* client, bool is_write,
+         Timeline* timeline, std::map<uint64_t, uint64_t>* counts)
+      : h_(h),
+        client_(client),
+        is_write_(is_write),
+        counts_(counts) {
+    (void)timeline;
+  }
+
+  void Prime(int pipeline) {
+    pipeline_ = pipeline;
+    for (int i = 0; i < pipeline; ++i) Issue();
+  }
+
+  void OnStep(uint64_t now_ms) {
+    for (uint64_t i = 0; i < pending_reissues_; ++i) Issue();
+    pending_reissues_ = 0;
+    if (is_write_ && now_ms > last_response_ms_ + 300) {
+      // Stalled: retry against the current primary.
+      node::Node* primary = h_->Primary();
+      if (primary != nullptr && h_->env().IsUp(primary->id()) &&
+          primary->id() != connected_to_) {
+        connected_to_ = primary->id();
+        client_->Connect(connected_to_);
+        last_response_ms_ = now_ms;
+        for (int i = 0; i < pipeline_; ++i) Issue();
+      }
+    }
+  }
+
+ private:
+  void Issue() {
+    ++seq_;
+    http::Request req =
+        is_write_ ? MakeWriteRequest(seq_) : MakeReadRequest(seq_);
+    client_->SendRequest(std::move(req), [this](Result<http::Response> r) {
+      last_response_ms_ = h_->env().now_ms();
+      if (r.ok() && r->status < 400) {
+        (*counts_)[h_->env().now_ms() / kBucketMs] += 1;
+      }
+      ++pending_reissues_;
+    });
+  }
+
+  ServiceHarness* h_;
+  node::Client* client_;
+  bool is_write_;
+  std::map<uint64_t, uint64_t>* counts_;
+  uint64_t seq_ = 0;
+  uint64_t last_response_ms_ = 0;
+  uint64_t pending_reissues_ = 0;
+  int pipeline_ = 0;
+  std::string connected_to_;
+};
+
+void DumpGovernanceLedger(const ledger::Ledger& ledger) {
+  std::printf(
+      "\nListing 2 analogue: governance key updates from the ledger\n");
+  for (const ledger::Entry& e : ledger.entries()) {
+    auto ws = kv::WriteSet::Parse(e.public_ws, {});
+    if (!ws.ok()) continue;
+    bool printed_header = false;
+    for (const auto& [map_name, writes] : ws->maps) {
+      if (map_name.find("ccf.gov.nodes.info") == std::string::npos &&
+          map_name.find("ccf.gov.proposals") == std::string::npos) {
+        continue;
+      }
+      for (const auto& [key, value] : writes) {
+        if (!printed_header) {
+          std::printf("txid %llu.%llu:\n",
+                      static_cast<unsigned long long>(e.view),
+                      static_cast<unsigned long long>(e.seqno));
+          printed_header = true;
+        }
+        std::string v = value.has_value() ? ToString(*value) : "<removed>";
+        if (v.size() > 120) v = v.substr(0, 117) + "...";
+        std::printf("  map %s:\n    %s: %s\n", map_name.c_str(),
+                    ToString(key).c_str(), v.c_str());
+      }
+    }
+  }
+}
+
+int Run() {
+  ServiceHarness h;
+  h.SetConfigTweak([](node::NodeConfig* cfg) {
+    cfg->tee_mode = tee::TeeMode::kVirtual;
+    cfg->signature_interval_txs = 20;
+    cfg->signature_interval_ms = 20;
+    cfg->snapshot_interval_txs = 1u << 30;
+  });
+  h.AddUser("user0");
+  h.AddUser("user1");
+  h.StartGenesis();
+  if (h.JoinAndTrust("n1", 20000) == nullptr ||
+      h.JoinAndTrust("n2", 20000) == nullptr) {
+    std::fprintf(stderr, "failed to build 3-node service\n");
+    return 1;
+  }
+
+  Timeline timeline;
+  Stream writer(&h, h.UserClient("user0", "n0"), /*is_write=*/true,
+                &timeline, &timeline.writes);
+  Stream reader(&h, h.UserClient("user1", "n1"), /*is_write=*/false,
+                &timeline, &timeline.reads);
+  writer.Prime(8);
+  reader.Prime(8);
+
+  auto run_for = [&](uint64_t ms) {
+    uint64_t until = h.env().now_ms() + ms;
+    while (h.env().now_ms() < until) {
+      h.env().Step(1);
+      writer.OnStep(h.env().now_ms());
+      reader.OnStep(h.env().now_ms());
+    }
+  };
+  uint64_t t0 = h.env().now_ms();
+  auto mark = [&](const std::string& label) {
+    timeline.events.emplace_back(h.env().now_ms() - t0, label);
+    std::fprintf(stderr, "[%6llu ms] %s\n",
+                 static_cast<unsigned long long>(h.env().now_ms() - t0),
+                 label.c_str());
+  };
+
+  run_for(1000);  // steady state
+
+  mark("A: primary n0 killed");
+  h.env().SetUp("n0", false);
+  run_for(800);
+
+  mark("B: n3 joins the service");
+  node::Node* primary = h.Primary();
+  auto n3 = node::Node::CreateJoiner(
+      BenchNodeConfig("n3", tee::TeeMode::kVirtual, 20),
+      h.node("n0")->service_identity(),
+      primary != nullptr ? primary->id() : "n1", nullptr, &h.env());
+  run_for(400);
+
+  mark("C: m0 proposes {trust n3, remove n0}");
+  // One proposal with both actions, exactly like the paper's p3.
+  json::Object trust_act;
+  trust_act["name"] = "transition_node_to_trusted";
+  trust_act["args"] = json::Object{{"node_id", json::Value("n3")}};
+  json::Object remove_act;
+  remove_act["name"] = "remove_node";
+  remove_act["args"] = json::Object{{"node_id", json::Value("n0")}};
+  json::Object proposal;
+  proposal["actions"] = json::Array{json::Value(std::move(trust_act)),
+                                    json::Value(std::move(remove_act))};
+  json::Object body;
+  body["proposal"] = std::move(proposal);
+  node::Client* m0 =
+      h.MemberClient(0, primary != nullptr ? primary->id() : "n1");
+  std::string pid;
+  {
+    auto resp = m0->PostJsonSigned("/gov/propose", json::Value(body), 10000);
+    if (!resp.ok() || resp->status != 200) {
+      std::fprintf(stderr, "proposal failed\n");
+      return 1;
+    }
+    pid = json::Parse(ToString(resp->body))->GetString("proposal_id");
+  }
+  run_for(200);
+
+  // Ballots from m0 and m1 (paper: "m0 and m1 then submit ballots").
+  const char* kBal = "function vote(proposal, proposer_id) { return true; }";
+  for (int i = 0; i < 2; ++i) {
+    json::Object ballot;
+    ballot["proposal_id"] = pid;
+    ballot["ballot"] = kBal;
+    auto resp = h.MemberClient(i, primary != nullptr ? primary->id() : "n1")
+                    ->PostJsonSigned("/gov/vote",
+                                     json::Value(std::move(ballot)), 10000);
+    if (!resp.ok() || resp->status != 200) {
+      std::fprintf(stderr, "ballot %d failed\n", i);
+      return 1;
+    }
+    if (i == 1) mark("D: proposal accepted, reconfiguration begins");
+  }
+
+  // E: wait for n3 to be an active participant.
+  if (!h.env().RunUntil(
+          [&] { return n3->has_joined() && n3->raft().InActiveConfig(); },
+          10000)) {
+    std::fprintf(stderr, "n3 never activated\n");
+  }
+  mark("E: reconfiguration complete, fault tolerance restored");
+  run_for(800);
+
+  uint64_t total = h.env().now_ms() - t0;
+  std::printf("Figure 9: availability of reads and writes (virtual time)\n");
+  timeline.Print(t0, total);
+
+  node::Node* final_primary = h.Primary();
+  if (final_primary != nullptr) {
+    DumpGovernanceLedger(final_primary->host_ledger());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccf::bench
+
+int main() { return ccf::bench::Run(); }

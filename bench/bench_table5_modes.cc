@@ -1,0 +1,128 @@
+// Table 5: throughput (tx/s) for writes/reads on a five-node service,
+// comparing the C++ application with the scripted (CCL, the paper's "JS")
+// application, in SGX-sim and virtual TEE modes.
+//
+// Expected shape (paper Table 5): C++ >> scripted, virtual > sgx-sim.
+// |      |   SGX-sim        |   Virtual        |
+// | C++  |  W/s  /  R/s     |  W/s  /  R/s     |
+// | CCL  |  W/s  /  R/s     |  W/s  /  R/s     |
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ccf::bench {
+namespace {
+
+constexpr uint64_t kRequests = 2500;
+constexpr int kPipeline = 64;
+constexpr int kNodes = 5;
+
+struct Cell {
+  double writes = 0;
+  double reads = 0;
+};
+
+std::unique_ptr<ServiceHarness> BuildService(tee::TeeMode mode) {
+  auto h = std::make_unique<ServiceHarness>();
+  h->SetConfigTweak([mode](node::NodeConfig* cfg) {
+    cfg->tee_mode = mode;
+    cfg->signature_interval_txs = 100;
+    cfg->signature_interval_ms = 50;
+    cfg->snapshot_interval_txs = 1u << 30;
+  });
+  for (int u = 0; u < 4; ++u) h->AddUser("user" + std::to_string(u));
+  h->StartGenesis();
+  for (int i = 1; i < kNodes; ++i) {
+    if (h->JoinAndTrust("n" + std::to_string(i), 20000) == nullptr) {
+      return nullptr;
+    }
+  }
+  // Install the scripted app alongside the native one.
+  json::Object args;
+  args["module"] = node::LoggingAppModule();
+  auto endpoints = json::Parse(node::LoggingAppEndpointsJson());
+  args["endpoints"] = *endpoints;
+  if (!h->RunProposal("set_js_app", json::Value(std::move(args)), 20000)) {
+    return nullptr;
+  }
+  return h;
+}
+
+// The scripted read endpoint takes the id in a POST body (CCL app).
+http::Request MakeScriptedRead(uint64_t seq) {
+  http::Request req;
+  req.method = "POST";
+  req.path = "/app/jslog_read";
+  req.body = ToBytes("{\"id\": " + std::to_string(seq % 1000) + "}");
+  return req;
+}
+
+Cell Measure(ServiceHarness* h, bool scripted) {
+  std::string primary = h->Primary()->id();
+  Cell cell;
+  {
+    ClosedLoopDriver driver(&h->env());
+    for (int u = 0; u < 4; ++u) {
+      driver.AddStream(
+          h->UserClient("user" + std::to_string(u), primary),
+          [scripted](uint64_t s) {
+            return MakeWriteRequest(s,
+                                    scripted ? "/app/jslog" : "/app/log");
+          },
+          kPipeline);
+    }
+    auto stats = driver.Run(kRequests);
+    cell.writes = stats.throughput();
+    if (stats.errors > 0) {
+      std::fprintf(stderr, "write errors: %llu\n",
+                   static_cast<unsigned long long>(stats.errors));
+    }
+    h->WaitForCommitEverywhere(h->Primary()->last_seqno(), 30000);
+  }
+  {
+    ClosedLoopDriver driver(&h->env());
+    for (int i = 0; i < kNodes; ++i) {
+      driver.AddStream(
+          h->UserClient("user" + std::to_string(i % 4),
+                        "n" + std::to_string(i)),
+          [scripted](uint64_t s) {
+            return scripted ? MakeScriptedRead(s) : MakeReadRequest(s);
+          },
+          kPipeline);
+    }
+    cell.reads = driver.Run(kRequests).throughput();
+  }
+  return cell;
+}
+
+}  // namespace
+}  // namespace ccf::bench
+
+int main() {
+  using namespace ccf::bench;
+  using ccf::tee::TeeMode;
+
+  std::printf("Table 5: throughput (tx/s) writes/reads, five-node service\n");
+  std::printf("%-6s %24s %24s\n", "", "SGX-sim", "Virtual");
+
+  for (bool scripted : {false, true}) {
+    Cell cells[2];
+    int col = 0;
+    for (TeeMode mode : {TeeMode::kSgxSim, TeeMode::kVirtual}) {
+      auto h = BuildService(mode);
+      if (h == nullptr) {
+        std::fprintf(stderr, "service build failed\n");
+        return 1;
+      }
+      // Preload via the native endpoint (same map as the scripted app).
+      Preload(&h->env(), h->UserClient("user0", "n0"));
+      cells[col++] = Measure(h.get(), scripted);
+    }
+    std::printf("%-6s %11.0f / %-11.0f %11.0f / %-11.0f\n",
+                scripted ? "CCL" : "C++", cells[0].writes, cells[0].reads,
+                cells[1].writes, cells[1].reads);
+    std::fflush(stdout);
+  }
+  return 0;
+}

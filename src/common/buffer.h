@@ -1,0 +1,129 @@
+// Binary serialization helpers.
+//
+// All wire formats in the project (ledger entries, KV write sets, consensus
+// RPCs, ring-buffer messages, snapshots) are built from these primitives:
+// little-endian fixed-width integers and length-prefixed byte strings.
+
+#ifndef CCF_COMMON_BUFFER_H_
+#define CCF_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf {
+
+// Appends primitive values to an owned byte vector.
+class BufWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { AppendLe(v, 2); }
+  void U32(uint32_t v) { AppendLe(v, 4); }
+  void U64(uint64_t v) { AppendLe(v, 8); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v), 8); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  // Raw bytes, no length prefix.
+  void Raw(ByteSpan data) { Append(&buf_, data); }
+
+  // Length-prefixed (u64) byte string.
+  void Blob(ByteSpan data) {
+    U64(data.size());
+    Raw(data);
+  }
+  void Str(std::string_view s) {
+    U64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  void AppendLe(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+// Consumes primitive values from a non-owned byte span. All accessors
+// fail with OUT_OF_RANGE instead of reading past the end.
+class BufReader {
+ public:
+  explicit BufReader(ByteSpan data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    ASSIGN_OR_RETURN(uint64_t v, ReadLe(1));
+    return static_cast<uint8_t>(v);
+  }
+  Result<uint16_t> U16() {
+    ASSIGN_OR_RETURN(uint64_t v, ReadLe(2));
+    return static_cast<uint16_t>(v);
+  }
+  Result<uint32_t> U32() {
+    ASSIGN_OR_RETURN(uint64_t v, ReadLe(4));
+    return static_cast<uint32_t>(v);
+  }
+  Result<uint64_t> U64() { return ReadLe(8); }
+  Result<int64_t> I64() {
+    ASSIGN_OR_RETURN(uint64_t v, ReadLe(8));
+    return static_cast<int64_t>(v);
+  }
+  Result<bool> Bool() {
+    ASSIGN_OR_RETURN(uint8_t v, U8());
+    return v != 0;
+  }
+
+  Result<Bytes> Raw(size_t n) {
+    if (n > remaining()) {
+      return Status::OutOfRange("buffer underflow");
+    }
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<Bytes> Blob() {
+    ASSIGN_OR_RETURN(uint64_t n, U64());
+    if (n > remaining()) {
+      return Status::OutOfRange("blob length exceeds buffer");
+    }
+    return Raw(static_cast<size_t>(n));
+  }
+
+  Result<std::string> Str() {
+    ASSIGN_OR_RETURN(Bytes b, Blob());
+    return std::string(b.begin(), b.end());
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  Result<uint64_t> ReadLe(int bytes) {
+    if (static_cast<size_t>(bytes) > remaining()) {
+      return Status::OutOfRange("buffer underflow");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += bytes;
+    return v;
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ccf
+
+#endif  // CCF_COMMON_BUFFER_H_

@@ -1,0 +1,48 @@
+// Byte-vector aliases and small helpers shared across the project.
+
+#ifndef CCF_COMMON_BYTES_H_
+#define CCF_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccf {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline Bytes Concat(ByteSpan a, ByteSpan b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+inline void Append(Bytes* dst, ByteSpan src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+// Constant-time equality for secrets and MAC tags.
+inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace ccf
+
+#endif  // CCF_COMMON_BYTES_H_

@@ -1,0 +1,22 @@
+// Hex encoding/decoding.
+
+#ifndef CCF_COMMON_HEX_H_
+#define CCF_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf {
+
+// Lowercase hex encoding of `data`.
+std::string HexEncode(ByteSpan data);
+
+// Decodes a hex string (case-insensitive). Fails on odd length or
+// non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace ccf
+
+#endif  // CCF_COMMON_HEX_H_

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ccf {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("CCF_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel> g_level{LevelFromEnv()};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace ccf

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Off by default in tests/benchmarks; nodes log
+// protocol events at kInfo when enabled via CCF_LOG_LEVEL or SetLogLevel.
+
+#ifndef CCF_COMMON_LOGGING_H_
+#define CCF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ccf {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define CCF_LOG(level)                                      \
+  if (::ccf::GetLogLevel() <= ::ccf::LogLevel::level)       \
+  ::ccf::internal::LogMessage(::ccf::LogLevel::level,       \
+                              __FILE__, __LINE__)           \
+      .stream()
+
+#define LOG_TRACE CCF_LOG(kTrace)
+#define LOG_DEBUG CCF_LOG(kDebug)
+#define LOG_INFO CCF_LOG(kInfo)
+#define LOG_WARN CCF_LOG(kWarn)
+#define LOG_ERROR CCF_LOG(kError)
+
+}  // namespace ccf
+
+#endif  // CCF_COMMON_LOGGING_H_

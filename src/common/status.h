@@ -1,0 +1,166 @@
+// Status / Result error model used across the project (RocksDB idiom).
+//
+// Functions that can fail return a Status, or a Result<T> when they also
+// produce a value. No exceptions cross module boundaries.
+
+#ifndef CCF_COMMON_STATUS_H_
+#define CCF_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ccf {
+
+// Error/success descriptor. Cheap to copy on the OK path.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kCorruption,
+    kPermissionDenied,
+    kUnauthenticated,
+    kFailedPrecondition,
+    kUnavailable,
+    kInternal,
+    kOutOfRange,
+    kAborted,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(Code::kPermissionDenied, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(Code::kUnauthenticated, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  // Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+      case Code::kNotFound: return "NOT_FOUND";
+      case Code::kAlreadyExists: return "ALREADY_EXISTS";
+      case Code::kCorruption: return "CORRUPTION";
+      case Code::kPermissionDenied: return "PERMISSION_DENIED";
+      case Code::kUnauthenticated: return "UNAUTHENTICATED";
+      case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case Code::kUnavailable: return "UNAVAILABLE";
+      case Code::kInternal: return "INTERNAL";
+      case Code::kOutOfRange: return "OUT_OF_RANGE";
+      case Code::kAborted: return "ABORTED";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// A Status plus a value on success. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller: `RETURN_IF_ERROR(DoThing());`
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::ccf::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Unwraps a Result into `lhs`, propagating errors:
+// `ASSIGN_OR_RETURN(auto v, ParseThing(buf));`
+#define CCF_CONCAT_INNER(a, b) a##b
+#define CCF_CONCAT(a, b) CCF_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto CCF_CONCAT(_res_, __LINE__) = (expr);             \
+  if (!CCF_CONCAT(_res_, __LINE__).ok())                 \
+    return CCF_CONCAT(_res_, __LINE__).status();         \
+  lhs = CCF_CONCAT(_res_, __LINE__).take()
+
+}  // namespace ccf
+
+#endif  // CCF_COMMON_STATUS_H_

@@ -1,0 +1,139 @@
+#include "consensus/types.h"
+
+#include "common/buffer.h"
+
+namespace ccf::consensus {
+
+Bytes LogEntry::Serialize() const {
+  BufWriter w;
+  w.U64(view);
+  w.U64(seqno);
+  w.Bool(is_signature);
+  w.Bool(reconfig.has_value());
+  if (reconfig.has_value()) {
+    w.U64(reconfig->seqno);
+    w.U32(static_cast<uint32_t>(reconfig->nodes.size()));
+    for (const NodeId& n : reconfig->nodes) w.Str(n);
+  }
+  w.Blob(data != nullptr ? *data : Bytes{});
+  return w.Take();
+}
+
+Result<LogEntry> LogEntry::Deserialize(ByteSpan bytes) {
+  BufReader r(bytes);
+  LogEntry e;
+  ASSIGN_OR_RETURN(e.view, r.U64());
+  ASSIGN_OR_RETURN(e.seqno, r.U64());
+  ASSIGN_OR_RETURN(e.is_signature, r.Bool());
+  ASSIGN_OR_RETURN(bool has_reconfig, r.Bool());
+  if (has_reconfig) {
+    Configuration cfg;
+    ASSIGN_OR_RETURN(cfg.seqno, r.U64());
+    ASSIGN_OR_RETURN(uint32_t n, r.U32());
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSIGN_OR_RETURN(std::string node, r.Str());
+      cfg.nodes.insert(std::move(node));
+    }
+    e.reconfig = std::move(cfg);
+  }
+  ASSIGN_OR_RETURN(Bytes data, r.Blob());
+  e.data = std::make_shared<const Bytes>(std::move(data));
+  return e;
+}
+
+namespace {
+
+enum MessageTag : uint8_t {
+  kAppendEntriesReq = 0,
+  kAppendEntriesResp = 1,
+  kRequestVoteReq = 2,
+  kRequestVoteResp = 3,
+};
+
+}  // namespace
+
+Bytes Message::Serialize() const {
+  BufWriter w;
+  w.Str(from);
+  if (const auto* ae = std::get_if<AppendEntriesReq>(&body)) {
+    w.U8(kAppendEntriesReq);
+    w.U64(ae->view);
+    w.U64(ae->prev_view);
+    w.U64(ae->prev_seqno);
+    w.U64(ae->commit_seqno);
+    w.U32(static_cast<uint32_t>(ae->entries.size()));
+    for (const LogEntry& e : ae->entries) w.Blob(e.Serialize());
+  } else if (const auto* resp = std::get_if<AppendEntriesResp>(&body)) {
+    w.U8(kAppendEntriesResp);
+    w.U64(resp->view);
+    w.Bool(resp->success);
+    w.U64(resp->match_seqno);
+    w.U64(resp->commit_seqno);
+  } else if (const auto* rv = std::get_if<RequestVoteReq>(&body)) {
+    w.U8(kRequestVoteReq);
+    w.U64(rv->view);
+    w.U64(rv->last_sig_view);
+    w.U64(rv->last_sig_seqno);
+  } else if (const auto* vr = std::get_if<RequestVoteResp>(&body)) {
+    w.U8(kRequestVoteResp);
+    w.U64(vr->view);
+    w.Bool(vr->granted);
+  }
+  return w.Take();
+}
+
+Result<Message> Message::Deserialize(ByteSpan bytes) {
+  BufReader r(bytes);
+  Message m;
+  ASSIGN_OR_RETURN(m.from, r.Str());
+  ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+  switch (tag) {
+    case kAppendEntriesReq: {
+      AppendEntriesReq ae;
+      ASSIGN_OR_RETURN(ae.view, r.U64());
+      ASSIGN_OR_RETURN(ae.prev_view, r.U64());
+      ASSIGN_OR_RETURN(ae.prev_seqno, r.U64());
+      ASSIGN_OR_RETURN(ae.commit_seqno, r.U64());
+      ASSIGN_OR_RETURN(uint32_t n, r.U32());
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(Bytes blob, r.Blob());
+        ASSIGN_OR_RETURN(LogEntry e, LogEntry::Deserialize(blob));
+        ae.entries.push_back(std::move(e));
+      }
+      m.body = std::move(ae);
+      break;
+    }
+    case kAppendEntriesResp: {
+      AppendEntriesResp resp;
+      ASSIGN_OR_RETURN(resp.view, r.U64());
+      ASSIGN_OR_RETURN(resp.success, r.Bool());
+      ASSIGN_OR_RETURN(resp.match_seqno, r.U64());
+      ASSIGN_OR_RETURN(resp.commit_seqno, r.U64());
+      m.body = resp;
+      break;
+    }
+    case kRequestVoteReq: {
+      RequestVoteReq rv;
+      ASSIGN_OR_RETURN(rv.view, r.U64());
+      ASSIGN_OR_RETURN(rv.last_sig_view, r.U64());
+      ASSIGN_OR_RETURN(rv.last_sig_seqno, r.U64());
+      m.body = rv;
+      break;
+    }
+    case kRequestVoteResp: {
+      RequestVoteResp vr;
+      ASSIGN_OR_RETURN(vr.view, r.U64());
+      ASSIGN_OR_RETURN(vr.granted, r.Bool());
+      m.body = vr;
+      break;
+    }
+    default:
+      return Status::InvalidArgument("consensus: unknown message tag");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("consensus: trailing message bytes");
+  }
+  return m;
+}
+
+}  // namespace ccf::consensus

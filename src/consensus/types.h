@@ -1,0 +1,137 @@
+// Types and wire messages for CCF's consensus layer (paper §4).
+//
+// The protocol is derived from Raft but adapted for trusted execution:
+//   - commit points are signature transactions only (§4.1),
+//   - election up-to-dateness compares last *signature* transactions (§4.2),
+//   - reconfiguration is a single transaction switching between arbitrary
+//     node sets, with majority quorums required in every active
+//     configuration (§4.4).
+
+#ifndef CCF_CONSENSUS_TYPES_H_
+#define CCF_CONSENSUS_TYPES_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf::consensus {
+
+using NodeId = std::string;
+
+// Transaction ID: the ordered pair (view, seqno) (paper §3.1).
+struct TxId {
+  uint64_t view = 0;
+  uint64_t seqno = 0;
+
+  bool operator==(const TxId&) const = default;
+  std::string ToString() const {
+    return std::to_string(view) + "." + std::to_string(seqno);
+  }
+};
+
+// Transaction status as observed by a node (paper Figure 4).
+enum class TxStatus {
+  kUnknown,    // node has no evidence about this ID
+  kPending,    // in the local ledger, not yet committed
+  kCommitted,  // final
+  kInvalid,    // final: can never commit
+};
+
+inline const char* TxStatusName(TxStatus s) {
+  switch (s) {
+    case TxStatus::kUnknown: return "Unknown";
+    case TxStatus::kPending: return "Pending";
+    case TxStatus::kCommitted: return "Committed";
+    case TxStatus::kInvalid: return "Invalid";
+  }
+  return "?";
+}
+
+// A node configuration: the TRUSTED node set introduced by the
+// reconfiguration transaction at `seqno` (paper §4.4).
+struct Configuration {
+  uint64_t seqno = 0;
+  std::set<NodeId> nodes;
+
+  bool operator==(const Configuration&) const = default;
+};
+
+// One replicated log entry. `data` is the serialized ledger::Entry, opaque
+// to consensus; the flags it needs (signature / reconfiguration) are
+// explicit.
+struct LogEntry {
+  uint64_t view = 0;
+  uint64_t seqno = 0;
+  bool is_signature = false;
+  std::optional<Configuration> reconfig;
+  std::shared_ptr<const Bytes> data;
+
+  Bytes Serialize() const;
+  static Result<LogEntry> Deserialize(ByteSpan bytes);
+};
+
+// ------------------------------------------------------------- Messages
+
+struct AppendEntriesReq {
+  uint64_t view = 0;
+  // Transaction ID of the entry immediately preceding `entries`.
+  uint64_t prev_view = 0;
+  uint64_t prev_seqno = 0;
+  uint64_t commit_seqno = 0;
+  std::vector<LogEntry> entries;
+};
+
+struct AppendEntriesResp {
+  uint64_t view = 0;
+  bool success = false;
+  // On success: highest seqno now matching the primary's log. On failure:
+  // the responder's best guess at the latest common point (paper §4.2).
+  uint64_t match_seqno = 0;
+  // The responder's commit seqno (used to decide when a retiring learner
+  // has fully caught up, §4.5).
+  uint64_t commit_seqno = 0;
+};
+
+struct RequestVoteReq {
+  uint64_t view = 0;
+  // Transaction ID of the candidate's last signature transaction (§4.2).
+  uint64_t last_sig_view = 0;
+  uint64_t last_sig_seqno = 0;
+};
+
+struct RequestVoteResp {
+  uint64_t view = 0;
+  bool granted = false;
+};
+
+struct Message {
+  NodeId from;
+  std::variant<AppendEntriesReq, AppendEntriesResp, RequestVoteReq,
+               RequestVoteResp>
+      body;
+
+  Bytes Serialize() const;
+  static Result<Message> Deserialize(ByteSpan bytes);
+};
+
+// Consensus node roles (paper Figure 6: the TRUSTED states).
+enum class Role { kBackup, kCandidate, kPrimary };
+
+inline const char* RoleName(Role r) {
+  switch (r) {
+    case Role::kBackup: return "Backup";
+    case Role::kCandidate: return "Candidate";
+    case Role::kPrimary: return "Primary";
+  }
+  return "?";
+}
+
+}  // namespace ccf::consensus
+
+#endif  // CCF_CONSENSUS_TYPES_H_

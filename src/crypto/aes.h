@@ -1,0 +1,36 @@
+// AES-256 block cipher (FIPS 197), implemented from scratch.
+//
+// The S-box is generated at start-up from its algebraic definition
+// (multiplicative inverse in GF(2^8) followed by the FIPS affine transform)
+// and validated by unit tests against published known-answer vectors.
+
+#ifndef CCF_CRYPTO_AES_H_
+#define CCF_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ccf::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAes256KeySize = 32;
+
+// AES-256 with a fixed expanded key. Encrypt/decrypt single 16-byte blocks.
+class Aes256 {
+ public:
+  explicit Aes256(ByteSpan key);  // key.size() must be 32.
+
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  static constexpr int kRounds = 14;
+  // Round keys as bytes: (kRounds + 1) * 16.
+  uint8_t round_keys_[(kRounds + 1) * 16];
+};
+
+}  // namespace ccf::crypto
+
+#endif  // CCF_CRYPTO_AES_H_

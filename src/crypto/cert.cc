@@ -1,0 +1,86 @@
+#include "crypto/cert.h"
+
+#include <cstring>
+
+#include "common/buffer.h"
+#include "common/hex.h"
+
+namespace ccf::crypto {
+
+Bytes Certificate::TbsBytes() const {
+  BufWriter w;
+  w.Str(subject);
+  w.Str(role);
+  w.Raw(ByteSpan(public_key.data(), public_key.size()));
+  w.Str(issuer);
+  w.U64(valid_from);
+  w.U64(valid_to);
+  return w.Take();
+}
+
+Bytes Certificate::Serialize() const {
+  BufWriter w;
+  w.Blob(TbsBytes());
+  w.Raw(ByteSpan(signature.data(), signature.size()));
+  return w.Take();
+}
+
+Result<Certificate> Certificate::Deserialize(ByteSpan data) {
+  BufReader r(data);
+  ASSIGN_OR_RETURN(Bytes tbs, r.Blob());
+  ASSIGN_OR_RETURN(Bytes sig, r.Raw(kSignatureSize));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("cert: trailing bytes");
+  }
+
+  Certificate cert;
+  BufReader tr(tbs);
+  ASSIGN_OR_RETURN(cert.subject, tr.Str());
+  ASSIGN_OR_RETURN(cert.role, tr.Str());
+  ASSIGN_OR_RETURN(Bytes pk, tr.Raw(kPublicKeySize));
+  std::memcpy(cert.public_key.data(), pk.data(), kPublicKeySize);
+  ASSIGN_OR_RETURN(cert.issuer, tr.Str());
+  ASSIGN_OR_RETURN(cert.valid_from, tr.U64());
+  ASSIGN_OR_RETURN(cert.valid_to, tr.U64());
+  if (!tr.AtEnd()) {
+    return Status::InvalidArgument("cert: trailing TBS bytes");
+  }
+  std::memcpy(cert.signature.data(), sig.data(), kSignatureSize);
+  return cert;
+}
+
+std::string Certificate::Fingerprint() const {
+  Sha256Digest d = Sha256::Hash(Serialize());
+  return HexEncode(ByteSpan(d.data(), d.size()));
+}
+
+Certificate IssueCertificate(const std::string& subject,
+                             const std::string& role,
+                             const PublicKeyBytes& subject_key,
+                             const KeyPair& issuer_key,
+                             const std::string& issuer_subject,
+                             uint64_t valid_from, uint64_t valid_to) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.role = role;
+  cert.public_key = subject_key;
+  cert.issuer = issuer_subject;
+  cert.valid_from = valid_from;
+  cert.valid_to = valid_to;
+  cert.signature = issuer_key.Sign(cert.TbsBytes());
+  return cert;
+}
+
+Status VerifyCertificate(const Certificate& cert, ByteSpan issuer_pub,
+                         uint64_t now) {
+  if (now < cert.valid_from || now >= cert.valid_to) {
+    return Status::PermissionDenied("cert: outside validity window");
+  }
+  if (!Verify(issuer_pub, cert.TbsBytes(),
+              ByteSpan(cert.signature.data(), cert.signature.size()))) {
+    return Status::PermissionDenied("cert: bad signature");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ccf::crypto

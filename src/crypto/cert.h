@@ -1,0 +1,56 @@
+// Compact certificates standing in for X.509 (paper Table 1).
+//
+// A certificate binds a subject name and role to a public key, signed by an
+// issuer. The service identity is a self-signed certificate; node, member,
+// and user identities are either self-signed (trust anchored via KV maps,
+// as CCF does with users.certs / members.certs) or issued by the service.
+
+#ifndef CCF_CRYPTO_CERT_H_
+#define CCF_CRYPTO_CERT_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/sign.h"
+
+namespace ccf::crypto {
+
+struct Certificate {
+  std::string subject;   // e.g. "member0", "node-3", "service"
+  std::string role;      // "service" | "node" | "member" | "user"
+  PublicKeyBytes public_key{};
+  std::string issuer;    // issuer subject ("" => self-signed)
+  uint64_t valid_from = 0;             // inclusive, unix-ish seconds
+  uint64_t valid_to = ~uint64_t{0};    // exclusive
+  SignatureBytes signature{};          // issuer signature over TbsBytes()
+
+  // The to-be-signed portion (everything except the signature).
+  Bytes TbsBytes() const;
+  Bytes Serialize() const;
+  static Result<Certificate> Deserialize(ByteSpan data);
+
+  // Hex SHA-256 of the serialized certificate; used as stable identity in
+  // KV maps.
+  std::string Fingerprint() const;
+};
+
+// Creates a certificate for `subject_key`, signed by `issuer_key`.
+// Self-signed when issuer_subject is empty (issuer_key must then hold
+// subject_key itself).
+Certificate IssueCertificate(const std::string& subject,
+                             const std::string& role,
+                             const PublicKeyBytes& subject_key,
+                             const KeyPair& issuer_key,
+                             const std::string& issuer_subject,
+                             uint64_t valid_from = 0,
+                             uint64_t valid_to = ~uint64_t{0});
+
+// Verifies the signature under `issuer_pub` and the validity window at
+// time `now`.
+Status VerifyCertificate(const Certificate& cert, ByteSpan issuer_pub,
+                         uint64_t now = 0);
+
+}  // namespace ccf::crypto
+
+#endif  // CCF_CRYPTO_CERT_H_

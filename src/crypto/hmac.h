@@ -1,0 +1,48 @@
+// HMAC-SHA256 (RFC 2104), HKDF (RFC 5869), and HMAC-DRBG (SP 800-90A).
+//
+// HKDF derives per-purpose keys from the ledger secret; HMAC-DRBG is the
+// deterministic randomness source used by every simulated enclave (seeded
+// per node, keeping all protocol runs reproducible).
+
+#ifndef CCF_CRYPTO_HMAC_H_
+#define CCF_CRYPTO_HMAC_H_
+
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace ccf::crypto {
+
+// HMAC-SHA256(key, data).
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
+
+// HKDF-SHA256 extract-and-expand. `out_len` up to 255*32 bytes.
+Bytes Hkdf(ByteSpan ikm, ByteSpan salt, ByteSpan info, size_t out_len);
+
+// Deterministic random bit generator (HMAC-DRBG with SHA-256).
+// Not thread-safe; each enclave owns one instance.
+class Drbg {
+ public:
+  // Seeds from entropy material. The same seed yields the same stream.
+  explicit Drbg(ByteSpan seed);
+
+  // Convenience: seed from a label and a 64-bit value (tests, simulation).
+  Drbg(std::string_view label, uint64_t n);
+
+  void Generate(uint8_t* out, size_t len);
+  Bytes Generate(size_t len);
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+ private:
+  void Update(ByteSpan data);
+
+  uint8_t key_[32];
+  uint8_t value_[32];
+};
+
+}  // namespace ccf::crypto
+
+#endif  // CCF_CRYPTO_HMAC_H_

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the hash used throughout the system: Merkle tree nodes (paper §7),
+// transaction digests, key fingerprints, and HMAC/HKDF/DRBG below.
+
+#ifndef CCF_CRYPTO_SHA256_H_
+#define CCF_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ccf::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ByteSpan data);
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(ByteSpan data) {
+    Sha256 h;
+    h.Update(data);
+    return h.Finish();
+  }
+
+ private:
+  void Compress(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+};
+
+inline Bytes DigestToBytes(const Sha256Digest& d) {
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace ccf::crypto
+
+#endif  // CCF_CRYPTO_SHA256_H_

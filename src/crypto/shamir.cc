@@ -1,0 +1,106 @@
+#include "crypto/shamir.h"
+
+#include <set>
+
+namespace ccf::crypto {
+
+namespace {
+
+// GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    bool hi = (a & 0x80) != 0;
+    a <<= 1;
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+uint8_t GfPow(uint8_t a, int e) {
+  uint8_t r = 1;
+  while (e > 0) {
+    if (e & 1) r = GfMul(r, a);
+    a = GfMul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+uint8_t GfInv(uint8_t a) {
+  // a^254 = a^-1 in GF(2^8).
+  return GfPow(a, 254);
+}
+
+}  // namespace
+
+Result<std::vector<Share>> ShamirSplit(ByteSpan secret, int k, int n,
+                                       Drbg* drbg) {
+  if (k < 1 || n < k || n > 255) {
+    return Status::InvalidArgument("shamir: need 1 <= k <= n <= 255");
+  }
+  std::vector<Share> shares(n);
+  for (int i = 0; i < n; ++i) {
+    shares[i].index = static_cast<uint8_t>(i + 1);
+    shares[i].data.resize(secret.size());
+  }
+  // Per secret byte: polynomial p(x) = s + c1 x + ... + c_{k-1} x^{k-1}.
+  std::vector<uint8_t> coeffs(k);
+  for (size_t byte = 0; byte < secret.size(); ++byte) {
+    coeffs[0] = secret[byte];
+    for (int j = 1; j < k; ++j) {
+      drbg->Generate(&coeffs[j], 1);
+    }
+    for (int i = 0; i < n; ++i) {
+      uint8_t x = shares[i].index;
+      // Horner evaluation.
+      uint8_t y = coeffs[k - 1];
+      for (int j = k - 2; j >= 0; --j) {
+        y = GfMul(y, x) ^ coeffs[j];
+      }
+      shares[i].data[byte] = y;
+    }
+  }
+  return shares;
+}
+
+Result<Bytes> ShamirCombine(const std::vector<Share>& shares, int k) {
+  if (k < 1 || static_cast<int>(shares.size()) < k) {
+    return Status::InvalidArgument("shamir: not enough shares");
+  }
+  std::set<uint8_t> seen;
+  for (int i = 0; i < k; ++i) {
+    if (shares[i].index == 0) {
+      return Status::InvalidArgument("shamir: share index 0 is invalid");
+    }
+    if (!seen.insert(shares[i].index).second) {
+      return Status::InvalidArgument("shamir: duplicate share index");
+    }
+    if (shares[i].data.size() != shares[0].data.size()) {
+      return Status::InvalidArgument("shamir: inconsistent share lengths");
+    }
+  }
+
+  size_t len = shares[0].data.size();
+  Bytes secret(len, 0);
+  // Lagrange interpolation at x = 0 using the first k shares.
+  for (int i = 0; i < k; ++i) {
+    uint8_t xi = shares[i].index;
+    // basis_i(0) = prod_{j != i} x_j / (x_j - x_i); subtraction is XOR.
+    uint8_t num = 1, den = 1;
+    for (int j = 0; j < k; ++j) {
+      if (j == i) continue;
+      num = GfMul(num, shares[j].index);
+      den = GfMul(den, static_cast<uint8_t>(shares[j].index ^ xi));
+    }
+    uint8_t basis = GfMul(num, GfInv(den));
+    for (size_t b = 0; b < len; ++b) {
+      secret[b] ^= GfMul(shares[i].data[b], basis);
+    }
+  }
+  return secret;
+}
+
+}  // namespace ccf::crypto

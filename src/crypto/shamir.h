@@ -1,0 +1,33 @@
+// Shamir k-of-n secret sharing over GF(2^8) (paper §5.2: recovery shares).
+//
+// The ledger-secret wrapping key is split into n shares such that any k
+// reconstruct it and fewer than k reveal nothing. Each byte of the secret is
+// shared independently with a random degree-(k-1) polynomial.
+
+#ifndef CCF_CRYPTO_SHAMIR_H_
+#define CCF_CRYPTO_SHAMIR_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/hmac.h"
+
+namespace ccf::crypto {
+
+struct Share {
+  uint8_t index = 0;  // x-coordinate, 1..255. 0 is the secret itself.
+  Bytes data;         // one byte per secret byte.
+};
+
+// Splits `secret` into n shares with threshold k (1 <= k <= n <= 255).
+Result<std::vector<Share>> ShamirSplit(ByteSpan secret, int k, int n,
+                                       Drbg* drbg);
+
+// Recovers the secret from at least k distinct shares (any subset works;
+// shares beyond the first k of consistent length are used too).
+Result<Bytes> ShamirCombine(const std::vector<Share>& shares, int k);
+
+}  // namespace ccf::crypto
+
+#endif  // CCF_CRYPTO_SHAMIR_H_

@@ -1,0 +1,121 @@
+#include "crypto/sign.h"
+
+#include <cstring>
+
+#include "crypto/gcm.h"
+#include "crypto/sha512.h"
+
+namespace ccf::crypto {
+
+namespace {
+
+ec::Scalar HashToScalar(ByteSpan a, ByteSpan b, ByteSpan c) {
+  Sha512 h;
+  h.Update(a);
+  h.Update(b);
+  h.Update(c);
+  Sha512Digest d = h.Finish();
+  return ec::ScalarReduce(ByteSpan(d.data(), d.size()));
+}
+
+}  // namespace
+
+KeyPair KeyPair::FromSeed(ByteSpan seed) {
+  KeyPair kp;
+  Bytes s(seed.begin(), seed.end());
+  s.resize(32, 0);
+  std::memcpy(kp.seed_.data(), s.data(), 32);
+
+  // Expand the seed into the signing scalar and the nonce key, Ed25519-style.
+  Sha512Digest expanded = Sha512::Hash(ByteSpan(kp.seed_.data(), 32));
+  kp.secret_ = ec::ScalarReduce(ByteSpan(expanded.data(), 32));
+  std::memcpy(kp.nonce_key_.data(), expanded.data() + 32, 32);
+
+  ec::Point pub = ec::ScalarMultBase(kp.secret_);
+  kp.public_key_ = ec::Encode(pub);
+  return kp;
+}
+
+KeyPair KeyPair::Generate(Drbg* drbg) {
+  Bytes seed = drbg->Generate(32);
+  return FromSeed(seed);
+}
+
+SignatureBytes KeyPair::Sign(ByteSpan msg) const {
+  // Deterministic nonce r = H(nonce_key || msg) mod l.
+  ec::Scalar r = HashToScalar(ByteSpan(nonce_key_.data(), 32), msg, {});
+  ec::Point big_r = ec::ScalarMultBase(r);
+  auto r_enc = ec::Encode(big_r);
+
+  // Challenge k = H(enc(R) || enc(A) || msg) mod l.
+  ec::Scalar k = HashToScalar(ByteSpan(r_enc.data(), 32),
+                              ByteSpan(public_key_.data(), 32), msg);
+
+  // s = r + k * secret mod l.
+  ec::Scalar s = ec::ScalarMulAdd(k, secret_, r);
+
+  SignatureBytes sig{};
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  std::memcpy(sig.data() + 32, s.data(), 32);
+  return sig;
+}
+
+bool Verify(ByteSpan pub, ByteSpan msg, ByteSpan sig) {
+  if (pub.size() != kPublicKeySize || sig.size() != kSignatureSize) {
+    return false;
+  }
+  auto r_result = ec::Decode(sig.subspan(0, 32));
+  if (!r_result.ok()) return false;
+  auto a_result = ec::Decode(pub);
+  if (!a_result.ok()) return false;
+
+  ec::Scalar s{};
+  std::memcpy(s.data(), sig.data() + 32, 32);
+  if (!ec::ScalarIsCanonical(s)) return false;
+
+  ec::Scalar k = HashToScalar(sig.subspan(0, 32), pub, msg);
+
+  // Check s*B == R + k*A.
+  ec::Point lhs = ec::ScalarMultBase(s);
+  ec::Point rhs = ec::Add(r_result.value(), ec::ScalarMult(k, a_result.value()));
+  return ec::PointEqual(lhs, rhs);
+}
+
+Result<Bytes> KeyPair::DeriveSharedSecret(ByteSpan peer_public) const {
+  ASSIGN_OR_RETURN(ec::Point peer, ec::Decode(peer_public));
+  ec::Point shared = ec::ScalarMult(secret_, peer);
+  if (ec::IsIdentity(shared)) {
+    return Status::InvalidArgument("dh: degenerate shared point");
+  }
+  auto enc = ec::Encode(shared);
+  return Hkdf(ByteSpan(enc.data(), enc.size()), ToBytes("ccf.dh.v1"), {}, 32);
+}
+
+Result<Bytes> EciesSeal(ByteSpan recipient_pub, ByteSpan plaintext,
+                        Drbg* drbg) {
+  KeyPair ephemeral = KeyPair::Generate(drbg);
+  ASSIGN_OR_RETURN(Bytes key, ephemeral.DeriveSharedSecret(recipient_pub));
+  AesGcm gcm(key);
+  // A fresh key is derived per message (fresh ephemeral), so a zero IV is
+  // safe here.
+  uint8_t iv[kGcmIvSize] = {0};
+  Bytes sealed = gcm.Seal(ByteSpan(iv, sizeof(iv)), plaintext,
+                          ByteSpan(ephemeral.public_key()));
+  Bytes out(ephemeral.public_key().begin(), ephemeral.public_key().end());
+  Append(&out, sealed);
+  return out;
+}
+
+Result<Bytes> KeyPair::EciesOpen(ByteSpan sealed) const {
+  if (sealed.size() < kPublicKeySize + kGcmTagSize) {
+    return Status::Corruption("ecies: blob too short");
+  }
+  ByteSpan eph_pub = sealed.subspan(0, kPublicKeySize);
+  ASSIGN_OR_RETURN(Bytes key, DeriveSharedSecret(eph_pub));
+  AesGcm gcm(key);
+  uint8_t iv[kGcmIvSize] = {0};
+  return gcm.Open(ByteSpan(iv, sizeof(iv)), sealed.subspan(kPublicKeySize),
+                  eph_pub);
+}
+
+}  // namespace ccf::crypto

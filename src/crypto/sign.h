@@ -1,0 +1,73 @@
+// Schnorr signatures over edwards25519 (Ed25519-shaped), ECDH key agreement,
+// and ECIES public-key encryption.
+//
+// These stand in for the paper's Ed25519/ECDSA service & node identities
+// (Table 1), Diffie-Hellman node-to-node channel keys (§7), and the RSA-OAEP
+// encryption of recovery shares to members' public keys (§5.2).
+
+#ifndef CCF_CRYPTO_SIGN_H_
+#define CCF_CRYPTO_SIGN_H_
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/ec25519.h"
+#include "crypto/hmac.h"
+
+namespace ccf::crypto {
+
+inline constexpr size_t kPublicKeySize = ec::kPointSize;
+inline constexpr size_t kSignatureSize = 64;  // enc(R) || s
+
+using PublicKeyBytes = std::array<uint8_t, kPublicKeySize>;
+using SignatureBytes = std::array<uint8_t, kSignatureSize>;
+
+// Verifies `sig` over `msg` under `pub`. Statelessly usable by anyone
+// holding the 32-byte public key.
+bool Verify(ByteSpan pub, ByteSpan msg, ByteSpan sig);
+
+// A signing/DH key pair. Derives deterministically from a 32-byte seed so
+// that simulated enclaves are reproducible.
+class KeyPair {
+ public:
+  // Generates from a DRBG.
+  static KeyPair Generate(Drbg* drbg);
+  // Derives from a fixed seed (deterministic; used by tests/simulation).
+  static KeyPair FromSeed(ByteSpan seed);
+
+  const PublicKeyBytes& public_key() const { return public_key_; }
+
+  // Schnorr signature: enc(R) || s, 64 bytes. Deterministic nonce derived
+  // from the secret and the message.
+  SignatureBytes Sign(ByteSpan msg) const;
+
+  // ECDH: shared secret = HKDF(enc(scalar * peer_point)). 32 bytes.
+  Result<Bytes> DeriveSharedSecret(ByteSpan peer_public) const;
+
+  // ECIES decryption of a blob produced by EciesSeal against our key.
+  Result<Bytes> EciesOpen(ByteSpan sealed) const;
+
+  // Serialization of the secret seed (for tests / local persistence only;
+  // real CCF keys never leave the enclave).
+  const std::array<uint8_t, 32>& seed() const { return seed_; }
+
+ private:
+  KeyPair() = default;
+
+  std::array<uint8_t, 32> seed_{};
+  ec::Scalar secret_{};
+  std::array<uint8_t, 32> nonce_key_{};
+  PublicKeyBytes public_key_{};
+};
+
+// ECIES: encrypts `plaintext` to the holder of `recipient_pub`.
+// Output: enc(ephemeral_pub) || AES-256-GCM(iv=0, plaintext).
+Result<Bytes> EciesSeal(ByteSpan recipient_pub, ByteSpan plaintext,
+                        Drbg* drbg);
+
+}  // namespace ccf::crypto
+
+#endif  // CCF_CRYPTO_SIGN_H_

@@ -1,0 +1,306 @@
+// Persistent (immutable) map based on the Compressed Hash-Array Mapped
+// Prefix-tree, CHAMP (Steindorfer & Vinju, 2016).
+//
+// The paper (§7) bases CCF's key-value maps on CHAMP: updates produce new
+// map versions sharing structure with old ones, so the store can keep one
+// root per ledger version and roll back uncommitted suffixes in O(1) after
+// a view change (§4.2) — this is the design rationale reproduced here.
+//
+// Put/Remove are path-copying and O(log32 n); lookups are O(log32 n).
+// Instances are cheap to copy (shared_ptr to root) and safe to read from
+// multiple threads.
+
+#ifndef CCF_DS_CHAMP_H_
+#define CCF_DS_CHAMP_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ccf::ds {
+
+// Deterministic 64-bit FNV-1a, used so map layout does not depend on the
+// standard library's std::hash.
+inline uint64_t Fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Key traits for byte-string-like keys (Bytes, std::string).
+template <typename K>
+struct ChampKeyOps {
+  static uint64_t Hash(const K& k) {
+    return Fnv1a64(reinterpret_cast<const uint8_t*>(k.data()), k.size());
+  }
+  static bool Equal(const K& a, const K& b) { return a == b; }
+};
+
+template <typename K, typename V, typename Ops = ChampKeyOps<K>>
+class ChampMap {
+ public:
+  ChampMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Returns nullptr if absent. The pointer is valid as long as this map
+  // instance (or a descendant sharing the entry) is alive.
+  const V* Get(const K& key) const {
+    if (root_ == nullptr) return nullptr;
+    const Node* node = root_.get();
+    uint64_t hash = Ops::Hash(key);
+    int depth = 0;
+    while (true) {
+      if (depth >= kMaxDepth) {
+        for (const Entry& e : node->data) {
+          if (Ops::Equal(e.key, key)) return &e.value;
+        }
+        return nullptr;
+      }
+      uint32_t bit = BitFor(hash, depth);
+      if (node->datamap & bit) {
+        const Entry& e = node->data[DataIndex(node->datamap, bit)];
+        return Ops::Equal(e.key, key) ? &e.value : nullptr;
+      }
+      if (node->nodemap & bit) {
+        node = node->children[NodeIndex(node->nodemap, bit)].get();
+        ++depth;
+        continue;
+      }
+      return nullptr;
+    }
+  }
+
+  bool Contains(const K& key) const { return Get(key) != nullptr; }
+
+  // Returns a new map with key -> value (insert or replace).
+  ChampMap Put(const K& key, V value) const {
+    bool replaced = false;
+    NodePtr new_root = PutRec(root_, 0, Ops::Hash(key), key,
+                              std::move(value), &replaced);
+    ChampMap out;
+    out.root_ = std::move(new_root);
+    out.size_ = size_ + (replaced ? 0 : 1);
+    return out;
+  }
+
+  // Returns a new map without `key` (same map if absent).
+  ChampMap Remove(const K& key) const {
+    if (root_ == nullptr) return *this;
+    bool removed = false;
+    NodePtr new_root = RemoveRec(root_, 0, Ops::Hash(key), key, &removed);
+    if (!removed) return *this;
+    ChampMap out;
+    out.root_ = std::move(new_root);
+    out.size_ = size_ - 1;
+    return out;
+  }
+
+  // In-order over trie structure (deterministic for a given content
+  // history, but not sorted). Callback returns false to stop early.
+  void ForEach(const std::function<bool(const K&, const V&)>& fn) const {
+    if (root_ != nullptr) ForEachRec(root_.get(), fn);
+  }
+
+ private:
+  static constexpr int kBitsPerLevel = 5;
+  static constexpr int kMaxDepth = 12;  // 12*5 = 60 bits of 64-bit hash.
+
+  struct Entry {
+    K key;
+    V value;
+  };
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  // CHAMP node: `datamap` marks slots holding inline entries, `nodemap`
+  // marks slots holding children; the two sets are disjoint. At kMaxDepth
+  // the node degenerates into a collision list (both maps zero).
+  struct Node {
+    uint32_t datamap = 0;
+    uint32_t nodemap = 0;
+    std::vector<Entry> data;
+    std::vector<NodePtr> children;
+  };
+
+  static uint32_t BitFor(uint64_t hash, int depth) {
+    return uint32_t{1} << ((hash >> (kBitsPerLevel * depth)) & 0x1F);
+  }
+  static int DataIndex(uint32_t datamap, uint32_t bit) {
+    return std::popcount(datamap & (bit - 1));
+  }
+  static int NodeIndex(uint32_t nodemap, uint32_t bit) {
+    return std::popcount(nodemap & (bit - 1));
+  }
+
+  static NodePtr MakeLeafPair(int depth, uint64_t h1, Entry e1, uint64_t h2,
+                              Entry e2) {
+    auto node = std::make_shared<Node>();
+    if (depth >= kMaxDepth) {
+      node->data.push_back(std::move(e1));
+      node->data.push_back(std::move(e2));
+      return node;
+    }
+    uint32_t b1 = BitFor(h1, depth);
+    uint32_t b2 = BitFor(h2, depth);
+    if (b1 == b2) {
+      node->nodemap = b1;
+      node->children.push_back(
+          MakeLeafPair(depth + 1, h1, std::move(e1), h2, std::move(e2)));
+    } else {
+      node->datamap = b1 | b2;
+      if (b1 < b2) {
+        node->data.push_back(std::move(e1));
+        node->data.push_back(std::move(e2));
+      } else {
+        node->data.push_back(std::move(e2));
+        node->data.push_back(std::move(e1));
+      }
+    }
+    return node;
+  }
+
+  static NodePtr PutRec(const NodePtr& node, int depth, uint64_t hash,
+                        const K& key, V value, bool* replaced) {
+    if (node == nullptr) {
+      auto fresh = std::make_shared<Node>();
+      if (depth >= kMaxDepth) {
+        fresh->data.push_back(Entry{key, std::move(value)});
+      } else {
+        fresh->datamap = BitFor(hash, depth);
+        fresh->data.push_back(Entry{key, std::move(value)});
+      }
+      return fresh;
+    }
+
+    if (depth >= kMaxDepth) {
+      // Collision node: linear list.
+      auto copy = std::make_shared<Node>(*node);
+      for (Entry& e : copy->data) {
+        if (Ops::Equal(e.key, key)) {
+          e.value = std::move(value);
+          *replaced = true;
+          return copy;
+        }
+      }
+      copy->data.push_back(Entry{key, std::move(value)});
+      return copy;
+    }
+
+    uint32_t bit = BitFor(hash, depth);
+    if (node->datamap & bit) {
+      int idx = DataIndex(node->datamap, bit);
+      const Entry& existing = node->data[idx];
+      if (Ops::Equal(existing.key, key)) {
+        auto copy = std::make_shared<Node>(*node);
+        copy->data[idx].value = std::move(value);
+        *replaced = true;
+        return copy;
+      }
+      // Push both entries one level down.
+      uint64_t existing_hash = Ops::Hash(existing.key);
+      NodePtr sub =
+          MakeLeafPair(depth + 1, existing_hash, existing, hash,
+                       Entry{key, std::move(value)});
+      auto copy = std::make_shared<Node>(*node);
+      copy->data.erase(copy->data.begin() + idx);
+      copy->datamap &= ~bit;
+      int nidx = NodeIndex(copy->nodemap, bit);
+      copy->children.insert(copy->children.begin() + nidx, std::move(sub));
+      copy->nodemap |= bit;
+      return copy;
+    }
+    if (node->nodemap & bit) {
+      int nidx = NodeIndex(node->nodemap, bit);
+      NodePtr child = PutRec(node->children[nidx], depth + 1, hash, key,
+                             std::move(value), replaced);
+      auto copy = std::make_shared<Node>(*node);
+      copy->children[nidx] = std::move(child);
+      return copy;
+    }
+    // Empty slot: insert inline.
+    auto copy = std::make_shared<Node>(*node);
+    int idx = DataIndex(copy->datamap, bit);
+    copy->data.insert(copy->data.begin() + idx, Entry{key, std::move(value)});
+    copy->datamap |= bit;
+    return copy;
+  }
+
+  static NodePtr RemoveRec(const NodePtr& node, int depth, uint64_t hash,
+                           const K& key, bool* removed) {
+    if (depth >= kMaxDepth) {
+      auto copy = std::make_shared<Node>(*node);
+      for (size_t i = 0; i < copy->data.size(); ++i) {
+        if (Ops::Equal(copy->data[i].key, key)) {
+          copy->data.erase(copy->data.begin() + i);
+          *removed = true;
+          break;
+        }
+      }
+      if (copy->data.empty()) return nullptr;
+      return copy;
+    }
+
+    uint32_t bit = BitFor(hash, depth);
+    if (node->datamap & bit) {
+      int idx = DataIndex(node->datamap, bit);
+      if (!Ops::Equal(node->data[idx].key, key)) return node;
+      auto copy = std::make_shared<Node>(*node);
+      copy->data.erase(copy->data.begin() + idx);
+      copy->datamap &= ~bit;
+      *removed = true;
+      if (copy->data.empty() && copy->children.empty()) return nullptr;
+      return copy;
+    }
+    if (node->nodemap & bit) {
+      int nidx = NodeIndex(node->nodemap, bit);
+      NodePtr child = RemoveRec(node->children[nidx], depth + 1, hash, key,
+                                removed);
+      if (!*removed) return node;
+      auto copy = std::make_shared<Node>(*node);
+      if (child == nullptr) {
+        copy->children.erase(copy->children.begin() + nidx);
+        copy->nodemap &= ~bit;
+        if (copy->data.empty() && copy->children.empty()) return nullptr;
+      } else if (child->children.empty() && child->data.size() == 1) {
+        // CHAMP canonical form: inline single-entry subnodes.
+        copy->children.erase(copy->children.begin() + nidx);
+        copy->nodemap &= ~bit;
+        int didx = DataIndex(copy->datamap, bit);
+        copy->data.insert(copy->data.begin() + didx, child->data[0]);
+        copy->datamap |= bit;
+      } else {
+        copy->children[nidx] = std::move(child);
+      }
+      return copy;
+    }
+    return node;
+  }
+
+  static bool ForEachRec(const Node* node,
+                         const std::function<bool(const K&, const V&)>& fn) {
+    for (const Entry& e : node->data) {
+      if (!fn(e.key, e.value)) return false;
+    }
+    for (const NodePtr& child : node->children) {
+      if (!ForEachRec(child.get(), fn)) return false;
+    }
+    return true;
+  }
+
+  NodePtr root_;
+  size_t size_ = 0;
+};
+
+}  // namespace ccf::ds
+
+#endif  // CCF_DS_CHAMP_H_

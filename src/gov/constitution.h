@@ -1,0 +1,66 @@
+// The programmable constitution (paper §5.1).
+//
+// "The constitution is a contract between the consortium members
+// describing all the available governance actions and the associated
+// voting criteria... The constitution defines a resolve function, which
+// takes a governance proposal and votes by consortium members, and
+// determines if the proposal has been accepted. The constitution also
+// defines apply, which takes an accepted proposal and executes the
+// governance actions within it to modify the key-value store."
+//
+// Constitutions are CCL scripts (our QuickJS stand-in) stored in the
+// public:ccf.gov.constitution map and replaceable via the
+// set_constitution governance action.
+
+#ifndef CCF_GOV_CONSTITUTION_H_
+#define CCF_GOV_CONSTITUTION_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "json/json.h"
+#include "kv/store.h"
+#include "script/interp.h"
+
+namespace ccf::gov {
+
+// Installs kv_get/kv_put/kv_remove/kv_has/kv_size/kv_foreach/fail natives
+// into `interp`, operating on `tx`. When read_only, mutating natives fail.
+void BindKvNatives(script::Interpreter* interp, kv::Tx* tx, bool read_only);
+
+class ConstitutionEngine {
+ public:
+  // Reads the current constitution source from the store.
+  static Result<std::string> CurrentSource(kv::Tx* tx);
+
+  // Runs the constitution's optional `validate(proposal)`; returns an
+  // error for malformed proposals (Listing 1's checkType analogue).
+  static Status Validate(const std::string& source,
+                         const json::Value& proposal, kv::Tx* tx);
+
+  // Evaluates one ballot script's vote(proposal, proposer_id).
+  static Result<bool> EvalBallot(const std::string& ballot_source,
+                                 const json::Value& proposal,
+                                 const std::string& proposer_id, kv::Tx* tx);
+
+  // Runs resolve(proposal, proposer_id, votes); returns "Open",
+  // "Accepted", or "Rejected".
+  static Result<std::string> Resolve(const std::string& source,
+                                     const json::Value& proposal,
+                                     const std::string& proposer_id,
+                                     const std::map<std::string, bool>& votes,
+                                     kv::Tx* tx);
+
+  // Runs apply(proposal, proposal_id) with read-write KV access.
+  static Status Apply(const std::string& source, const json::Value& proposal,
+                      const std::string& proposal_id, kv::Tx* tx);
+};
+
+// The default constitution (paper §5.1: strict majority of members;
+// Table 4 actions).
+const std::string& DefaultConstitution();
+
+}  // namespace ccf::gov
+
+#endif  // CCF_GOV_CONSTITUTION_H_

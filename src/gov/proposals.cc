@@ -1,0 +1,153 @@
+#include "gov/proposals.h"
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+#include "gov/constitution.h"
+#include "kv/tables.h"
+
+namespace ccf::gov {
+
+bool IsMember(kv::Tx* tx, const std::string& member_id) {
+  return tx->Handle(kv::tables::kMembersCerts)->HasStr(member_id);
+}
+
+void ProposalManager::RecordHistory(kv::Tx* tx, const std::string& member_id,
+                                    ByteSpan signed_request) {
+  // History key: digest of the signed request; value records who and what.
+  auto digest = crypto::Sha256::Hash(signed_request);
+  json::Object entry;
+  entry["member_id"] = member_id;
+  entry["request"] = HexEncode(signed_request);
+  tx->Handle(kv::tables::kGovHistory)
+      ->PutStr(HexEncode(ByteSpan(digest.data(), digest.size())),
+               json::Value(std::move(entry)).Dump());
+}
+
+Result<ProposalOutcome> ProposalManager::Submit(kv::Tx* tx,
+                                                const std::string& member_id,
+                                                const json::Value& proposal,
+                                                ByteSpan signed_request) {
+  if (!IsMember(tx, member_id)) {
+    return Status::PermissionDenied("not a consortium member: " + member_id);
+  }
+  ASSIGN_OR_RETURN(std::string constitution,
+                   ConstitutionEngine::CurrentSource(tx));
+  RETURN_IF_ERROR(ConstitutionEngine::Validate(constitution, proposal, tx));
+
+  // Proposal ID: digest of content + proposer (stable, collision-free).
+  Bytes id_material = ToBytes(proposal.Dump() + "|" + member_id);
+  auto digest = crypto::Sha256::Hash(id_material);
+  std::string proposal_id =
+      HexEncode(ByteSpan(digest.data(), digest.size())).substr(0, 16);
+
+  kv::MapHandle* proposals = tx->Handle(kv::tables::kProposals);
+  if (proposals->HasStr(proposal_id)) {
+    return Status::AlreadyExists("proposal already exists: " + proposal_id);
+  }
+  proposals->PutStr(proposal_id, proposal.Dump());
+
+  ProposalInfo info;
+  info.proposer_id = member_id;
+  info.state = ProposalState::kOpen;
+  WriteRecord(tx->Handle(kv::tables::kProposalsInfo), proposal_id,
+              info.ToJson());
+  RecordHistory(tx, member_id, signed_request);
+
+  return TryResolve(tx, proposal_id);
+}
+
+Result<ProposalOutcome> ProposalManager::Vote(kv::Tx* tx,
+                                              const std::string& member_id,
+                                              const std::string& proposal_id,
+                                              const std::string& ballot_source,
+                                              ByteSpan signed_request) {
+  if (!IsMember(tx, member_id)) {
+    return Status::PermissionDenied("not a consortium member: " + member_id);
+  }
+  ASSIGN_OR_RETURN(ProposalInfo info, GetInfo(tx, proposal_id));
+  if (info.state != ProposalState::kOpen) {
+    return Status::FailedPrecondition(
+        "proposal is not open: " + proposal_id + " is " +
+        ProposalStateName(info.state));
+  }
+  info.ballots[member_id] = ballot_source;
+  WriteRecord(tx->Handle(kv::tables::kProposalsInfo), proposal_id,
+              info.ToJson());
+  RecordHistory(tx, member_id, signed_request);
+  return TryResolve(tx, proposal_id);
+}
+
+Status ProposalManager::Withdraw(kv::Tx* tx, const std::string& member_id,
+                                 const std::string& proposal_id) {
+  ASSIGN_OR_RETURN(ProposalInfo info, GetInfo(tx, proposal_id));
+  if (info.proposer_id != member_id) {
+    return Status::PermissionDenied("only the proposer may withdraw");
+  }
+  if (info.state != ProposalState::kOpen) {
+    return Status::FailedPrecondition("proposal is not open");
+  }
+  info.state = ProposalState::kDropped;
+  WriteRecord(tx->Handle(kv::tables::kProposalsInfo), proposal_id,
+              info.ToJson());
+  return Status::Ok();
+}
+
+Result<json::Value> ProposalManager::GetProposal(
+    kv::Tx* tx, const std::string& proposal_id) {
+  auto raw = tx->Handle(kv::tables::kProposals)->GetStr(proposal_id);
+  if (!raw.has_value()) {
+    return Status::NotFound("no such proposal: " + proposal_id);
+  }
+  return json::Parse(*raw);
+}
+
+Result<ProposalInfo> ProposalManager::GetInfo(kv::Tx* tx,
+                                              const std::string& proposal_id) {
+  ASSIGN_OR_RETURN(json::Value j,
+                   ReadRecord(tx->Handle(kv::tables::kProposalsInfo),
+                              proposal_id));
+  return ProposalInfo::FromJson(j);
+}
+
+Result<ProposalOutcome> ProposalManager::TryResolve(
+    kv::Tx* tx, const std::string& proposal_id) {
+  ASSIGN_OR_RETURN(json::Value proposal, GetProposal(tx, proposal_id));
+  ASSIGN_OR_RETURN(ProposalInfo info, GetInfo(tx, proposal_id));
+  ASSIGN_OR_RETURN(std::string constitution,
+                   ConstitutionEngine::CurrentSource(tx));
+
+  // Evaluate each member's ballot against the proposal (paper §5.1: a
+  // ballot is "conditional on the proposal itself and the current state of
+  // the key-value store").
+  std::map<std::string, bool> votes;
+  for (const auto& [member, ballot] : info.ballots) {
+    ASSIGN_OR_RETURN(bool vote,
+                     ConstitutionEngine::EvalBallot(ballot, proposal,
+                                                    info.proposer_id, tx));
+    votes[member] = vote;
+  }
+
+  ASSIGN_OR_RETURN(std::string state,
+                   ConstitutionEngine::Resolve(constitution, proposal,
+                                               info.proposer_id, votes, tx));
+  ProposalOutcome outcome;
+  outcome.proposal_id = proposal_id;
+  if (state == "Accepted") {
+    RETURN_IF_ERROR(ConstitutionEngine::Apply(constitution, proposal,
+                                              proposal_id, tx));
+    info.state = ProposalState::kAccepted;
+  } else if (state == "Rejected") {
+    info.state = ProposalState::kRejected;
+  } else {
+    info.state = ProposalState::kOpen;
+  }
+  outcome.state = info.state;
+  if (info.state != ProposalState::kOpen) {
+    info.final_votes = votes;  // recorded like the paper's Listing 2
+  }
+  WriteRecord(tx->Handle(kv::tables::kProposalsInfo), proposal_id,
+              info.ToJson());
+  return outcome;
+}
+
+}  // namespace ccf::gov

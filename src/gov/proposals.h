@@ -1,0 +1,62 @@
+// Governance proposals and ballots (paper §5.1).
+//
+// Proposals are JSON documents {actions: [{name, args}, ...]}; ballots are
+// CCL scripts defining vote(proposal, proposer_id). Both are recorded on
+// the ledger in public maps, together with the signed member request
+// (public:ccf.gov.history), so governance is fully auditable offline.
+
+#ifndef CCF_GOV_PROPOSALS_H_
+#define CCF_GOV_PROPOSALS_H_
+
+#include <string>
+
+#include "gov/records.h"
+#include "json/json.h"
+#include "kv/store.h"
+
+namespace ccf::gov {
+
+struct ProposalOutcome {
+  std::string proposal_id;
+  ProposalState state = ProposalState::kOpen;
+};
+
+class ProposalManager {
+ public:
+  // Records a new proposal from `member_id` (already authenticated and
+  // signature-verified by the caller; `signed_request` is stored in the
+  // governance history map). Runs the constitution's validate, then an
+  // initial resolve (the proposer may have included a ballot).
+  static Result<ProposalOutcome> Submit(kv::Tx* tx,
+                                        const std::string& member_id,
+                                        const json::Value& proposal,
+                                        ByteSpan signed_request);
+
+  // Records `member_id`'s ballot for `proposal_id` and re-tallies.
+  static Result<ProposalOutcome> Vote(kv::Tx* tx, const std::string& member_id,
+                                      const std::string& proposal_id,
+                                      const std::string& ballot_source,
+                                      ByteSpan signed_request);
+
+  // Withdraws an open proposal (proposer only).
+  static Status Withdraw(kv::Tx* tx, const std::string& member_id,
+                         const std::string& proposal_id);
+
+  static Result<json::Value> GetProposal(kv::Tx* tx,
+                                         const std::string& proposal_id);
+  static Result<ProposalInfo> GetInfo(kv::Tx* tx,
+                                      const std::string& proposal_id);
+
+ private:
+  static Result<ProposalOutcome> TryResolve(kv::Tx* tx,
+                                            const std::string& proposal_id);
+  static void RecordHistory(kv::Tx* tx, const std::string& member_id,
+                            ByteSpan signed_request);
+};
+
+// True iff `member_id` is a registered consortium member.
+bool IsMember(kv::Tx* tx, const std::string& member_id);
+
+}  // namespace ccf::gov
+
+#endif  // CCF_GOV_PROPOSALS_H_

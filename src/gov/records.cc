@@ -1,0 +1,194 @@
+#include "gov/records.h"
+
+#include <cstring>
+
+#include "common/hex.h"
+
+namespace ccf::gov {
+
+namespace {
+
+Result<Bytes> HexField(const json::Value& j, std::string_view key) {
+  const json::Value* v = j.Get(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("record: missing field " +
+                                   std::string(key));
+  }
+  return HexDecode(v->AsString());
+}
+
+}  // namespace
+
+const char* NodeStatusName(NodeStatus s) {
+  switch (s) {
+    case NodeStatus::kPending: return "Pending";
+    case NodeStatus::kTrusted: return "Trusted";
+    case NodeStatus::kRetiring: return "Retiring";
+    case NodeStatus::kRetired: return "Retired";
+  }
+  return "?";
+}
+
+Result<NodeStatus> NodeStatusFromName(const std::string& name) {
+  if (name == "Pending") return NodeStatus::kPending;
+  if (name == "Trusted") return NodeStatus::kTrusted;
+  if (name == "Retiring") return NodeStatus::kRetiring;
+  if (name == "Retired") return NodeStatus::kRetired;
+  return Status::InvalidArgument("unknown node status " + name);
+}
+
+json::Value NodeInfo::ToJson() const {
+  json::Object o;
+  o["node_id"] = node_id;
+  o["status"] = NodeStatusName(status);
+  o["cert"] = HexEncode(cert.Serialize());
+  o["code_id"] = code_id;
+  o["host"] = host;
+  return json::Value(std::move(o));
+}
+
+Result<NodeInfo> NodeInfo::FromJson(const json::Value& j) {
+  NodeInfo info;
+  info.node_id = j.GetString("node_id");
+  ASSIGN_OR_RETURN(info.status, NodeStatusFromName(j.GetString("status")));
+  ASSIGN_OR_RETURN(Bytes cert_bytes, HexField(j, "cert"));
+  ASSIGN_OR_RETURN(info.cert, crypto::Certificate::Deserialize(cert_bytes));
+  info.code_id = j.GetString("code_id");
+  info.host = j.GetString("host");
+  return info;
+}
+
+const char* ServiceStatusName(ServiceStatus s) {
+  switch (s) {
+    case ServiceStatus::kOpening: return "Opening";
+    case ServiceStatus::kOpen: return "Open";
+    case ServiceStatus::kRecovering: return "Recovering";
+  }
+  return "?";
+}
+
+json::Value ServiceInfo::ToJson() const {
+  json::Object o;
+  o["status"] = ServiceStatusName(status);
+  o["cert"] = HexEncode(cert);
+  o["previous_identity"] = previous_identity;
+  return json::Value(std::move(o));
+}
+
+Result<ServiceInfo> ServiceInfo::FromJson(const json::Value& j) {
+  ServiceInfo info;
+  std::string status = j.GetString("status");
+  if (status == "Opening") {
+    info.status = ServiceStatus::kOpening;
+  } else if (status == "Open") {
+    info.status = ServiceStatus::kOpen;
+  } else if (status == "Recovering") {
+    info.status = ServiceStatus::kRecovering;
+  } else {
+    return Status::InvalidArgument("unknown service status " + status);
+  }
+  ASSIGN_OR_RETURN(info.cert, HexField(j, "cert"));
+  info.previous_identity = j.GetString("previous_identity");
+  return info;
+}
+
+json::Value MemberInfo::ToJson() const {
+  json::Object o;
+  o["cert"] = HexEncode(cert);
+  o["encryption_key"] =
+      HexEncode(ByteSpan(encryption_key.data(), encryption_key.size()));
+  return json::Value(std::move(o));
+}
+
+Result<MemberInfo> MemberInfo::FromJson(const json::Value& j) {
+  MemberInfo info;
+  ASSIGN_OR_RETURN(info.cert, HexField(j, "cert"));
+  ASSIGN_OR_RETURN(Bytes ek, HexField(j, "encryption_key"));
+  if (ek.size() != info.encryption_key.size()) {
+    return Status::InvalidArgument("member record: bad encryption key size");
+  }
+  std::memcpy(info.encryption_key.data(), ek.data(), ek.size());
+  return info;
+}
+
+json::Value UserInfo::ToJson() const {
+  json::Object o;
+  o["cert"] = HexEncode(cert);
+  return json::Value(std::move(o));
+}
+
+Result<UserInfo> UserInfo::FromJson(const json::Value& j) {
+  UserInfo info;
+  ASSIGN_OR_RETURN(info.cert, HexField(j, "cert"));
+  return info;
+}
+
+const char* ProposalStateName(ProposalState s) {
+  switch (s) {
+    case ProposalState::kOpen: return "Open";
+    case ProposalState::kAccepted: return "Accepted";
+    case ProposalState::kRejected: return "Rejected";
+    case ProposalState::kDropped: return "Dropped";
+  }
+  return "?";
+}
+
+json::Value ProposalInfo::ToJson() const {
+  json::Object o;
+  o["proposer_id"] = proposer_id;
+  o["state"] = ProposalStateName(state);
+  json::Object ballots_json;
+  for (const auto& [member, ballot] : ballots) ballots_json[member] = ballot;
+  o["ballots"] = std::move(ballots_json);
+  if (!final_votes.empty()) {
+    json::Object votes_json;
+    for (const auto& [member, vote] : final_votes) votes_json[member] = vote;
+    o["final_votes"] = std::move(votes_json);
+  }
+  return json::Value(std::move(o));
+}
+
+Result<ProposalInfo> ProposalInfo::FromJson(const json::Value& j) {
+  ProposalInfo info;
+  info.proposer_id = j.GetString("proposer_id");
+  std::string state = j.GetString("state");
+  if (state == "Open") {
+    info.state = ProposalState::kOpen;
+  } else if (state == "Accepted") {
+    info.state = ProposalState::kAccepted;
+  } else if (state == "Rejected") {
+    info.state = ProposalState::kRejected;
+  } else if (state == "Dropped") {
+    info.state = ProposalState::kDropped;
+  } else {
+    return Status::InvalidArgument("unknown proposal state " + state);
+  }
+  const json::Value* ballots = j.Get("ballots");
+  if (ballots != nullptr && ballots->is_object()) {
+    for (const auto& [member, ballot] : ballots->AsObject()) {
+      if (ballot.is_string()) info.ballots[member] = ballot.AsString();
+    }
+  }
+  const json::Value* votes = j.Get("final_votes");
+  if (votes != nullptr && votes->is_object()) {
+    for (const auto& [member, vote] : votes->AsObject()) {
+      if (vote.is_bool()) info.final_votes[member] = vote.AsBool();
+    }
+  }
+  return info;
+}
+
+Result<json::Value> ReadRecord(kv::MapHandle* handle, std::string_view key) {
+  auto raw = handle->GetStr(key);
+  if (!raw.has_value()) {
+    return Status::NotFound("record not found: " + std::string(key));
+  }
+  return json::Parse(*raw);
+}
+
+void WriteRecord(kv::MapHandle* handle, std::string_view key,
+                 const json::Value& record) {
+  handle->PutStr(key, record.Dump());
+}
+
+}  // namespace ccf::gov

@@ -1,0 +1,86 @@
+// JSON record formats for CCF's built-in maps (paper Table 3, Listing 2).
+//
+// All governance/internal records are JSON in public maps, so the ledger
+// can be audited offline without decryption (paper §6.1), and ledger dumps
+// look like the paper's Listing 2.
+
+#ifndef CCF_GOV_RECORDS_H_
+#define CCF_GOV_RECORDS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "crypto/cert.h"
+#include "json/json.h"
+#include "kv/store.h"
+
+namespace ccf::gov {
+
+// Node lifecycle states (paper Figure 6).
+enum class NodeStatus { kPending, kTrusted, kRetiring, kRetired };
+const char* NodeStatusName(NodeStatus s);
+Result<NodeStatus> NodeStatusFromName(const std::string& name);
+
+struct NodeInfo {
+  std::string node_id;
+  NodeStatus status = NodeStatus::kPending;
+  crypto::Certificate cert;  // node identity cert, endorsed by the service
+  std::string code_id;       // measurement from the join quote
+  std::string host;          // operator-visible address
+
+  json::Value ToJson() const;
+  static Result<NodeInfo> FromJson(const json::Value& j);
+};
+
+enum class ServiceStatus { kOpening, kOpen, kRecovering };
+const char* ServiceStatusName(ServiceStatus s);
+
+struct ServiceInfo {
+  ServiceStatus status = ServiceStatus::kOpening;
+  Bytes cert;  // serialized service identity certificate
+  std::string previous_identity;  // hex pubkey of pre-recovery service ("")
+
+  json::Value ToJson() const;
+  static Result<ServiceInfo> FromJson(const json::Value& j);
+};
+
+struct MemberInfo {
+  Bytes cert;  // serialized member certificate
+  crypto::PublicKeyBytes encryption_key{};  // for recovery shares
+
+  json::Value ToJson() const;
+  static Result<MemberInfo> FromJson(const json::Value& j);
+};
+
+struct UserInfo {
+  Bytes cert;
+
+  json::Value ToJson() const;
+  static Result<UserInfo> FromJson(const json::Value& j);
+};
+
+enum class ProposalState { kOpen, kAccepted, kRejected, kDropped };
+const char* ProposalStateName(ProposalState s);
+
+struct ProposalInfo {
+  std::string proposer_id;
+  ProposalState state = ProposalState::kOpen;
+  // member id -> ballot script source.
+  std::map<std::string, std::string> ballots;
+  // Populated once resolved: member id -> evaluated vote.
+  std::map<std::string, bool> final_votes;
+
+  json::Value ToJson() const;
+  static Result<ProposalInfo> FromJson(const json::Value& j);
+};
+
+// --------------------------------------------------- KV record helpers
+
+// Reads a JSON record from a public map; NOT_FOUND when absent.
+Result<json::Value> ReadRecord(kv::MapHandle* handle, std::string_view key);
+void WriteRecord(kv::MapHandle* handle, std::string_view key,
+                 const json::Value& record);
+
+}  // namespace ccf::gov
+
+#endif  // CCF_GOV_RECORDS_H_

@@ -1,0 +1,154 @@
+#include "gov/shares.h"
+
+#include <vector>
+
+#include "common/hex.h"
+#include "crypto/gcm.h"
+#include "crypto/shamir.h"
+#include "crypto/sign.h"
+#include "gov/records.h"
+#include "kv/tables.h"
+
+namespace ccf::gov {
+
+namespace {
+
+constexpr char kWrappedSecretKey[] = "current";
+
+struct MemberKeys {
+  std::string member_id;
+  crypto::PublicKeyBytes encryption_key;
+};
+
+Result<std::vector<MemberKeys>> CurrentMembers(kv::Tx* tx) {
+  std::vector<MemberKeys> members;
+  Status status = Status::Ok();
+  tx->Handle(kv::tables::kMembersCerts)
+      ->Foreach([&](const Bytes& key, const Bytes& value) {
+        auto j = json::Parse(ToString(value));
+        if (!j.ok()) {
+          status = j.status();
+          return false;
+        }
+        auto info = MemberInfo::FromJson(*j);
+        if (!info.ok()) {
+          status = info.status();
+          return false;
+        }
+        members.push_back({ToString(key), info->encryption_key});
+        return true;
+      });
+  RETURN_IF_ERROR(status);
+  return members;
+}
+
+}  // namespace
+
+int ShareManager::RecoveryThreshold(kv::Tx* tx) {
+  auto raw = tx->Handle(kv::tables::kServiceConfig)
+                 ->GetStr("recovery_threshold");
+  if (raw.has_value()) {
+    int k = std::atoi(raw->c_str());
+    if (k >= 1) return k;
+  }
+  size_t members = tx->Handle(kv::tables::kMembersCerts)->Size();
+  return static_cast<int>(members / 2 + 1);
+}
+
+Status ShareManager::ReissueShares(kv::Tx* tx, const kv::LedgerSecret& secret,
+                                   crypto::Drbg* drbg) {
+  ASSIGN_OR_RETURN(std::vector<MemberKeys> members, CurrentMembers(tx));
+  if (members.empty()) {
+    return Status::FailedPrecondition("shares: no members registered");
+  }
+  int n = static_cast<int>(members.size());
+  int k = std::min(RecoveryThreshold(tx), n);
+
+  // Fresh wrapping key; wrap the ledger secret with it.
+  Bytes wrapping_key = drbg->Generate(crypto::kAes256KeySize);
+  crypto::AesGcm wrapper(wrapping_key);
+  Bytes iv(crypto::kGcmIvSize, 0);  // fresh key per wrap: zero IV is safe
+  Bytes wrapped =
+      wrapper.Seal(iv, secret.key, ToBytes("ccf.ledger-secret.v1"));
+  json::Object wrapped_record;
+  wrapped_record["wrapped_secret"] = HexEncode(wrapped);
+  WriteRecord(tx->Handle(kv::tables::kLedgerSecret), kWrappedSecretKey,
+              json::Value(std::move(wrapped_record)));
+  tx->Handle(kv::tables::kServiceConfig)
+      ->PutStr("recovery_threshold", std::to_string(k));
+
+  // Split the wrapping key and encrypt one share per member.
+  ASSIGN_OR_RETURN(std::vector<crypto::Share> shares,
+                   crypto::ShamirSplit(wrapping_key, k, n, drbg));
+  kv::MapHandle* shares_map = tx->Handle(kv::tables::kRecoveryShares);
+  // Replace all existing shares.
+  std::vector<std::string> stale;
+  shares_map->Foreach([&](const Bytes& key, const Bytes&) {
+    stale.push_back(ToString(key));
+    return true;
+  });
+  for (const std::string& key : stale) shares_map->RemoveStr(key);
+
+  for (int i = 0; i < n; ++i) {
+    Bytes share_plain;
+    share_plain.push_back(shares[i].index);
+    Append(&share_plain, shares[i].data);
+    ASSIGN_OR_RETURN(Bytes sealed,
+                     crypto::EciesSeal(members[i].encryption_key, share_plain,
+                                       drbg));
+    json::Object record;
+    record["encrypted_share"] = HexEncode(sealed);
+    WriteRecord(shares_map, members[i].member_id,
+                json::Value(std::move(record)));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ShareManager::ExtractMemberShare(
+    kv::Tx* tx, const std::string& member_id,
+    const crypto::KeyPair& member_key) {
+  ASSIGN_OR_RETURN(json::Value record,
+                   ReadRecord(tx->Handle(kv::tables::kRecoveryShares),
+                              member_id));
+  ASSIGN_OR_RETURN(Bytes sealed,
+                   HexDecode(record.GetString("encrypted_share")));
+  return member_key.EciesOpen(sealed);
+}
+
+Result<kv::LedgerSecret> ShareManager::RecoverLedgerSecret(
+    kv::Tx* tx, const std::map<std::string, Bytes>& submitted_shares) {
+  int k = RecoveryThreshold(tx);
+  if (static_cast<int>(submitted_shares.size()) < k) {
+    return Status::FailedPrecondition(
+        "shares: need " + std::to_string(k) + " shares, have " +
+        std::to_string(submitted_shares.size()));
+  }
+  std::vector<crypto::Share> shares;
+  for (const auto& [member_id, plain] : submitted_shares) {
+    if (plain.size() < 2) {
+      return Status::InvalidArgument("shares: malformed share from " +
+                                     member_id);
+    }
+    crypto::Share s;
+    s.index = plain[0];
+    s.data.assign(plain.begin() + 1, plain.end());
+    shares.push_back(std::move(s));
+  }
+  ASSIGN_OR_RETURN(Bytes wrapping_key, crypto::ShamirCombine(shares, k));
+
+  ASSIGN_OR_RETURN(json::Value record,
+                   ReadRecord(tx->Handle(kv::tables::kLedgerSecret),
+                              kWrappedSecretKey));
+  ASSIGN_OR_RETURN(Bytes wrapped, HexDecode(record.GetString("wrapped_secret")));
+  crypto::AesGcm wrapper(wrapping_key);
+  Bytes iv(crypto::kGcmIvSize, 0);
+  auto secret = wrapper.Open(iv, wrapped, ToBytes("ccf.ledger-secret.v1"));
+  if (!secret.ok()) {
+    return Status::PermissionDenied(
+        "shares: reconstructed wrapping key does not unwrap the secret (bad "
+        "or insufficient shares)");
+  }
+  return kv::LedgerSecret{secret.take()};
+}
+
+}  // namespace ccf::gov

@@ -1,0 +1,50 @@
+// Recovery shares (paper §5.2).
+//
+// The ledger secret is wrapped by a fresh "ledger secret wrapping key";
+// the wrapped secret is recorded in the ledger. The wrapping key is split
+// k-of-n with Shamir sharing; each share is ECIES-encrypted to one
+// consortium member's public encryption key and recorded in the ledger.
+// During disaster recovery, members decrypt and submit their shares; once
+// k arrive, the enclave reconstructs the wrapping key, unwraps the ledger
+// secret, and decrypts the private ledger state.
+
+#ifndef CCF_GOV_SHARES_H_
+#define CCF_GOV_SHARES_H_
+
+#include <map>
+#include <string>
+
+#include "crypto/hmac.h"
+#include "crypto/sign.h"
+#include "kv/encryptor.h"
+#include "kv/store.h"
+
+namespace ccf::gov {
+
+class ShareManager {
+ public:
+  // (Re)wraps `ledger_secret` and issues encrypted shares to the current
+  // members, using the recovery threshold from the service config
+  // (default: majority of members). Writes the ledger_secret and
+  // recovery_shares maps.
+  static Status ReissueShares(kv::Tx* tx, const kv::LedgerSecret& secret,
+                              crypto::Drbg* drbg);
+
+  // Member side: decrypts this member's share from the restored state.
+  static Result<Bytes> ExtractMemberShare(kv::Tx* tx,
+                                          const std::string& member_id,
+                                          const crypto::KeyPair& member_key);
+
+  // Service side during recovery: combines >= threshold submitted
+  // (plaintext) shares, unwraps and returns the ledger secret.
+  static Result<kv::LedgerSecret> RecoverLedgerSecret(
+      kv::Tx* tx, const std::map<std::string, Bytes>& submitted_shares);
+
+  // Current recovery threshold (k). Defaults to a strict majority of the
+  // members when unset.
+  static int RecoveryThreshold(kv::Tx* tx);
+};
+
+}  // namespace ccf::gov
+
+#endif  // CCF_GOV_SHARES_H_

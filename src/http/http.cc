@@ -1,0 +1,193 @@
+#include "http/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace ccf::http {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+void AppendStr(Bytes* out, std::string_view s) {
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+// Finds "\r\n\r\n"; returns offset past it, or npos.
+size_t FindHeaderEnd(const Bytes& buf) {
+  for (size_t i = 0; i + 3 < buf.size(); ++i) {
+    if (buf[i] == '\r' && buf[i + 1] == '\n' && buf[i + 2] == '\r' &&
+        buf[i + 3] == '\n') {
+      return i + 4;
+    }
+  }
+  return std::string::npos;
+}
+
+struct ParsedHead {
+  std::string first_line;
+  std::map<std::string, std::string> headers;
+  size_t body_len = 0;
+};
+
+Result<ParsedHead> ParseHead(const Bytes& buf, size_t head_end) {
+  ParsedHead out;
+  std::string head(buf.begin(), buf.begin() + head_end - 4);
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    std::string line =
+        eol == std::string::npos ? head.substr(pos) : head.substr(pos, eol - pos);
+    if (first) {
+      out.first_line = line;
+      first = false;
+    } else if (!line.empty()) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("http: malformed header line");
+      }
+      std::string name = ToLower(line.substr(0, colon));
+      size_t vstart = line.find_first_not_of(' ', colon + 1);
+      std::string value =
+          vstart == std::string::npos ? "" : line.substr(vstart);
+      out.headers[name] = value;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 2;
+  }
+  auto it = out.headers.find("content-length");
+  if (it != out.headers.end()) {
+    size_t v = 0;
+    auto [p, ec] =
+        std::from_chars(it->second.data(), it->second.data() + it->second.size(), v);
+    if (ec != std::errc() || p != it->second.data() + it->second.size()) {
+      return Status::InvalidArgument("http: bad content-length");
+    }
+    if (v > (64u << 20)) {
+      return Status::InvalidArgument("http: body too large");
+    }
+    out.body_len = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Bytes Request::Serialize() const {
+  Bytes out;
+  AppendStr(&out, method);
+  AppendStr(&out, " ");
+  AppendStr(&out, path);
+  AppendStr(&out, " HTTP/1.1\r\n");
+  for (const auto& [name, value] : headers) {
+    AppendStr(&out, name);
+    AppendStr(&out, ": ");
+    AppendStr(&out, value);
+    AppendStr(&out, "\r\n");
+  }
+  AppendStr(&out, "content-length: " + std::to_string(body.size()) + "\r\n");
+  AppendStr(&out, "\r\n");
+  Append(&out, body);
+  return out;
+}
+
+Bytes Response::Serialize() const {
+  Bytes out;
+  AppendStr(&out, "HTTP/1.1 " + std::to_string(status) + " " +
+                      ReasonPhrase(status) + "\r\n");
+  for (const auto& [name, value] : headers) {
+    AppendStr(&out, name);
+    AppendStr(&out, ": ");
+    AppendStr(&out, value);
+    AppendStr(&out, "\r\n");
+  }
+  AppendStr(&out, "content-length: " + std::to_string(body.size()) + "\r\n");
+  AppendStr(&out, "\r\n");
+  Append(&out, body);
+  return out;
+}
+
+template <>
+Result<std::optional<Request>> Parser<Request>::Next() {
+  size_t head_end = FindHeaderEnd(buffer_);
+  if (head_end == std::string::npos) return std::optional<Request>{};
+  ASSIGN_OR_RETURN(ParsedHead head, ParseHead(buffer_, head_end));
+  if (buffer_.size() < head_end + head.body_len) {
+    return std::optional<Request>{};  // body incomplete
+  }
+  // Request line: METHOD SP PATH SP VERSION
+  size_t sp1 = head.first_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : head.first_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  std::string version = head.first_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("http: unsupported version");
+  }
+  Request req;
+  req.method = head.first_line.substr(0, sp1);
+  req.path = head.first_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.headers = std::move(head.headers);
+  req.body.assign(buffer_.begin() + head_end,
+                  buffer_.begin() + head_end + head.body_len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + head_end + head.body_len);
+  return std::optional<Request>(std::move(req));
+}
+
+template <>
+Result<std::optional<Response>> Parser<Response>::Next() {
+  size_t head_end = FindHeaderEnd(buffer_);
+  if (head_end == std::string::npos) return std::optional<Response>{};
+  ASSIGN_OR_RETURN(ParsedHead head, ParseHead(buffer_, head_end));
+  if (buffer_.size() < head_end + head.body_len) {
+    return std::optional<Response>{};
+  }
+  // Status line: VERSION SP CODE SP REASON
+  if (head.first_line.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("http: malformed status line");
+  }
+  size_t sp1 = head.first_line.find(' ');
+  if (sp1 == std::string::npos) {
+    return Status::InvalidArgument("http: malformed status line");
+  }
+  int code = std::atoi(head.first_line.c_str() + sp1 + 1);
+  if (code < 100 || code > 599) {
+    return Status::InvalidArgument("http: bad status code");
+  }
+  Response resp;
+  resp.status = code;
+  resp.headers = std::move(head.headers);
+  resp.body.assign(buffer_.begin() + head_end,
+                   buffer_.begin() + head_end + head.body_len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + head_end + head.body_len);
+  return std::optional<Response>(std::move(resp));
+}
+
+template class Parser<Request>;
+template class Parser<Response>;
+
+}  // namespace ccf::http

@@ -1,0 +1,72 @@
+// Minimal HTTP/1.1 message codec (paper §3.1: users invoke endpoints using
+// the HTTP REST API; §7: custom transaction-ID response header).
+//
+// Supports the subset CCF needs: request line, status line, headers,
+// Content-Length bodies, incremental parsing of a byte stream (records
+// arriving over STLS sessions may be split or pipelined).
+
+#ifndef CCF_HTTP_HTTP_H_
+#define CCF_HTTP_HTTP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf::http {
+
+// The response header carrying the transaction ID (paper §7).
+inline constexpr char kTxIdHeader[] = "x-ccf-tx-id";
+
+struct Request {
+  std::string method;  // GET, POST, ...
+  std::string path;    // /app/log, /gov/proposals, ...
+  std::map<std::string, std::string> headers;  // lowercase names
+  Bytes body;
+
+  std::string GetHeader(const std::string& name) const {
+    auto it = headers.find(name);
+    return it != headers.end() ? it->second : "";
+  }
+
+  Bytes Serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  std::string GetHeader(const std::string& name) const {
+    auto it = headers.find(name);
+    return it != headers.end() ? it->second : "";
+  }
+
+  Bytes Serialize() const;
+};
+
+const char* ReasonPhrase(int status);
+
+// Incremental parser: feed bytes, poll complete messages. One instance per
+// direction of a session.
+template <typename Message>
+class Parser {
+ public:
+  void Feed(ByteSpan data) { Append(&buffer_, data); }
+
+  // Returns a complete message if available, nullopt if more bytes are
+  // needed, or an error on malformed input.
+  Result<std::optional<Message>> Next();
+
+ private:
+  Bytes buffer_;
+};
+
+using RequestParser = Parser<Request>;
+using ResponseParser = Parser<Response>;
+
+}  // namespace ccf::http
+
+#endif  // CCF_HTTP_HTTP_H_

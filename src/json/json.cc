@@ -1,0 +1,370 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ccf::json {
+
+namespace {
+
+// ---------------------------------------------------------------- Serialize
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(const Value& v, std::string* out) {
+  if (v.is_int()) {
+    *out += std::to_string(v.AsInt());
+    return;
+  }
+  double d = v.AsDouble();
+  if (std::isnan(d) || std::isinf(d)) {
+    *out += "null";  // JSON has no NaN/Inf.
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void DumpTo(const Value& v, std::string* out, int indent, int depth) {
+  auto newline = [&] {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * depth, ' ');
+    }
+  };
+  switch (v.type()) {
+    case Value::Type::kNull: *out += "null"; break;
+    case Value::Type::kBool: *out += v.AsBool() ? "true" : "false"; break;
+    case Value::Type::kInt:
+    case Value::Type::kDouble: DumpNumber(v, out); break;
+    case Value::Type::kString: EscapeString(v.AsString(), out); break;
+    case Value::Type::kArray: {
+      const Array& a = v.AsArray();
+      if (a.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const Value& e : a) {
+        if (!first) out->push_back(',');
+        first = false;
+        ++depth;
+        newline();
+        --depth;
+        DumpTo(e, out, indent, depth + 1);
+      }
+      newline();
+      out->push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      const Object& o = v.AsObject();
+      if (o.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, val] : o) {
+        if (!first) out->push_back(',');
+        first = false;
+        ++depth;
+        newline();
+        --depth;
+        EscapeString(key, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        DumpTo(val, out, indent, depth + 1);
+      }
+      newline();
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Parse
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument("json: " + msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (++depth_ > kMaxDepth) return Err("nesting too deep");
+    struct DepthGuard {
+      int* d;
+      ~DepthGuard() { --*d; }
+    } guard{&depth_};
+
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value(true);
+        }
+        return Err("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value(false);
+        }
+        return Err("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value(nullptr);
+        }
+        return Err("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Object obj;
+    SkipWs();
+    if (Consume('}')) return Value(std::move(obj));
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      ASSIGN_OR_RETURN(Value val, ParseValue());
+      obj[std::move(key)] = std::move(val);
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(obj));
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Array arr;
+    SkipWs();
+    if (Consume(']')) return Value(std::move(arr));
+    while (true) {
+      ASSIGN_OR_RETURN(Value val, ParseValue());
+      arr.push_back(std::move(val));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(arr));
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+            // Surrogate pair handling.
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+                if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                  cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else {
+                  return Err("invalid low surrogate");
+                }
+              } else {
+                return Err("lone high surrogate");
+              }
+            }
+            AppendUtf8(cp, &out);
+            break;
+          }
+          default:
+            return Err("invalid escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Err("invalid \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view num = text_.substr(start, pos_ - start);
+    if (num.empty() || num == "-") return Err("invalid number");
+    if (!is_double) {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (ec == std::errc() && ptr == num.data() + num.size()) {
+        return Value(v);
+      }
+      // Fall through to double for out-of-range integers.
+    }
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), d);
+    if (ec != std::errc() || ptr != num.data() + num.size()) {
+      return Err("invalid number");
+    }
+    return Value(d);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(*this, &out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Value::DumpPretty() const {
+  std::string out;
+  DumpTo(*this, &out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace ccf::json

@@ -1,0 +1,120 @@
+// Self-contained JSON value, parser, and serializer.
+//
+// Used for governance proposals and ballots (paper §5.1: "proposals are
+// encoded as succinct JSON documents"), HTTP request/response bodies, and as
+// the interchange format between native code and CCL scripts.
+
+#ifndef CCF_JSON_JSON_H_
+#define CCF_JSON_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ccf::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps key order deterministic, which matters because governance
+// proposals are hashed and signed over their serialized form.
+using Object = std::map<std::string, Value>;
+
+// A JSON document node. Numbers preserve integer-ness: values parsed from
+// integer literals round-trip as int64.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(int v) : data_(static_cast<int64_t>(v)) {}   // NOLINT
+  Value(int64_t v) : data_(v) {}                     // NOLINT
+  Value(uint64_t v) : data_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : data_(v) {}                      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(std::string_view s) : data_(std::string(s)) {}  // NOLINT
+  Value(Array a) : data_(std::move(a)) {}            // NOLINT
+  Value(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const {
+    if (is_double()) return static_cast<int64_t>(std::get<double>(data_));
+    return std::get<int64_t>(data_);
+  }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const Array& AsArray() const { return std::get<Array>(data_); }
+  Array& AsArray() { return std::get<Array>(data_); }
+  const Object& AsObject() const { return std::get<Object>(data_); }
+  Object& AsObject() { return std::get<Object>(data_); }
+
+  // Object field access. Get returns nullptr when absent or not an object.
+  const Value* Get(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    auto it = AsObject().find(std::string(key));
+    return it == AsObject().end() ? nullptr : &it->second;
+  }
+  Value& operator[](const std::string& key) {
+    if (!is_object()) data_ = Object{};
+    return AsObject()[key];
+  }
+
+  // Typed field accessors with defaults, for terse handler code.
+  std::string GetString(std::string_view key,
+                        const std::string& dflt = "") const {
+    const Value* v = Get(key);
+    return (v != nullptr && v->is_string()) ? v->AsString() : dflt;
+  }
+  int64_t GetInt(std::string_view key, int64_t dflt = 0) const {
+    const Value* v = Get(key);
+    return (v != nullptr && v->is_number()) ? v->AsInt() : dflt;
+  }
+  bool GetBool(std::string_view key, bool dflt = false) const {
+    const Value* v = Get(key);
+    return (v != nullptr && v->is_bool()) ? v->AsBool() : dflt;
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Compact serialization (no whitespace). Deterministic: object keys are
+  // already sorted by the underlying std::map.
+  std::string Dump() const;
+  // Pretty serialization with 2-space indentation.
+  std::string DumpPretty() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+// Parses a complete JSON document. Trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace ccf::json
+
+#endif  // CCF_JSON_JSON_H_

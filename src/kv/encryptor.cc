@@ -1,0 +1,39 @@
+#include "kv/encryptor.h"
+
+#include "common/buffer.h"
+
+namespace ccf::kv {
+
+TxEncryptor::TxEncryptor(const LedgerSecret& secret) : gcm_(secret.key) {}
+
+Bytes TxEncryptor::MakeIv(uint64_t view, uint64_t seqno) {
+  // 12 bytes: seqno (8, LE) || low 32 bits of view. Unique per transaction
+  // ID, and transaction IDs are unique per ledger (paper §3.1).
+  BufWriter w;
+  w.U64(seqno);
+  w.U32(static_cast<uint32_t>(view));
+  return w.Take();
+}
+
+Bytes TxEncryptor::MakeAad(uint64_t view, uint64_t seqno,
+                           ByteSpan public_digest) {
+  BufWriter w;
+  w.U64(view);
+  w.U64(seqno);
+  w.Blob(public_digest);
+  return w.Take();
+}
+
+Bytes TxEncryptor::Seal(uint64_t view, uint64_t seqno, ByteSpan plain,
+                        ByteSpan public_digest_aad) const {
+  return gcm_.Seal(MakeIv(view, seqno), plain,
+                   MakeAad(view, seqno, public_digest_aad));
+}
+
+Result<Bytes> TxEncryptor::Open(uint64_t view, uint64_t seqno, ByteSpan sealed,
+                                ByteSpan public_digest_aad) const {
+  return gcm_.Open(MakeIv(view, seqno), sealed,
+                   MakeAad(view, seqno, public_digest_aad));
+}
+
+}  // namespace ccf::kv

@@ -1,0 +1,52 @@
+// Ledger-secret encryption of private map updates (paper Table 1, §6.1).
+//
+// "Maps may be private, meaning their updates are encrypted before leaving
+// the TEE and being appended to the ledger." The symmetric ledger secret is
+// shared between all trusted nodes; the IV is derived from the transaction
+// ID (unique per transaction), and the public half of the entry is bound in
+// as additional authenticated data so the two halves cannot be mixed across
+// transactions.
+
+#ifndef CCF_KV_ENCRYPTOR_H_
+#define CCF_KV_ENCRYPTOR_H_
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+
+namespace ccf::kv {
+
+// The symmetric ledger secret (paper Table 1).
+struct LedgerSecret {
+  Bytes key;  // 32 bytes
+
+  static LedgerSecret Generate(crypto::Drbg* drbg) {
+    return LedgerSecret{drbg->Generate(crypto::kAes256KeySize)};
+  }
+};
+
+class TxEncryptor {
+ public:
+  explicit TxEncryptor(const LedgerSecret& secret);
+
+  // Seals the serialized private write set of transaction (view, seqno).
+  // `public_digest_aad` binds the ciphertext to the rest of the entry.
+  Bytes Seal(uint64_t view, uint64_t seqno, ByteSpan plain,
+             ByteSpan public_digest_aad) const;
+
+  Result<Bytes> Open(uint64_t view, uint64_t seqno, ByteSpan sealed,
+                     ByteSpan public_digest_aad) const;
+
+ private:
+  static Bytes MakeIv(uint64_t view, uint64_t seqno);
+  static Bytes MakeAad(uint64_t view, uint64_t seqno, ByteSpan public_digest);
+
+  crypto::AesGcm gcm_;
+};
+
+}  // namespace ccf::kv
+
+#endif  // CCF_KV_ENCRYPTOR_H_

@@ -1,0 +1,91 @@
+#include "kv/snapshot.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace ccf::kv {
+
+crypto::Sha256Digest Snapshot::Digest() const {
+  BufWriter w;
+  w.Str("ccf.snapshot.v1");
+  w.U64(view);
+  w.U64(seqno);
+  w.Blob(data);
+  return crypto::Sha256::Hash(w.data());
+}
+
+Bytes SerializeState(const State& state) {
+  // Sort map names for determinism.
+  std::vector<std::string> names;
+  state.maps.ForEach([&](const std::string& name, const MapEntry&) {
+    names.push_back(name);
+    return true;
+  });
+  std::sort(names.begin(), names.end());
+
+  BufWriter w;
+  w.U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const MapEntry* entry = state.maps.Get(name);
+    w.Str(name);
+    w.U64(entry->version);
+    // Sort keys for determinism.
+    std::vector<std::pair<Bytes, const VersionedValue*>> items;
+    items.reserve(entry->data.size());
+    entry->data.ForEach([&](const Bytes& key, const VersionedValue& vv) {
+      items.emplace_back(key, &vv);
+      return true;
+    });
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.U64(items.size());
+    for (const auto& [key, vv] : items) {
+      w.Blob(key);
+      w.Blob(vv->value);
+      w.U64(vv->version);
+    }
+  }
+  return w.Take();
+}
+
+Result<State> DeserializeState(ByteSpan data) {
+  BufReader r(data);
+  State state;
+  ASSIGN_OR_RETURN(uint32_t map_count, r.U32());
+  for (uint32_t m = 0; m < map_count; ++m) {
+    ASSIGN_OR_RETURN(std::string name, r.Str());
+    MapEntry entry;
+    ASSIGN_OR_RETURN(entry.version, r.U64());
+    ASSIGN_OR_RETURN(uint64_t item_count, r.U64());
+    for (uint64_t i = 0; i < item_count; ++i) {
+      ASSIGN_OR_RETURN(Bytes key, r.Blob());
+      VersionedValue vv;
+      ASSIGN_OR_RETURN(vv.value, r.Blob());
+      ASSIGN_OR_RETURN(vv.version, r.U64());
+      entry.data = entry.data.Put(key, std::move(vv));
+    }
+    state.maps = state.maps.Put(name, std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("snapshot: trailing bytes");
+  }
+  return state;
+}
+
+Snapshot TakeSnapshot(const Store& store, uint64_t view) {
+  Snapshot snap;
+  snap.seqno = store.committed_seqno();
+  snap.view = view;
+  snap.data = SerializeState(store.committed_state());
+  return snap;
+}
+
+Status InstallSnapshot(const Snapshot& snapshot, Store* store) {
+  ASSIGN_OR_RETURN(State state, DeserializeState(snapshot.data));
+  store->InstallState(std::move(state), snapshot.seqno);
+  return Status::Ok();
+}
+
+}  // namespace ccf::kv

@@ -1,0 +1,249 @@
+#include "kv/store.h"
+
+#include <cassert>
+
+namespace ccf::kv {
+
+// ----------------------------------------------------------------- Handle
+
+std::optional<Bytes> MapHandle::Get(const Bytes& key) {
+  auto wit = writes_.find(key);
+  if (wit != writes_.end()) {
+    return wit->second;  // own write (or own removal -> nullopt)
+  }
+  if (base_ == nullptr) {
+    reads_[key] = 0;
+    return std::nullopt;
+  }
+  const VersionedValue* vv = base_->data.Get(key);
+  if (vv == nullptr) {
+    reads_[key] = 0;
+    return std::nullopt;
+  }
+  reads_[key] = vv->version;
+  return vv->value;
+}
+
+void MapHandle::Put(const Bytes& key, Bytes value) {
+  writes_[key] = std::move(value);
+}
+
+void MapHandle::Remove(const Bytes& key) { writes_[key] = std::nullopt; }
+
+void MapHandle::Foreach(
+    const std::function<bool(const Bytes&, const Bytes&)>& fn) {
+  read_whole_map_ = true;
+  bool keep_going = true;
+  if (base_ != nullptr) {
+    base_->data.ForEach([&](const Bytes& key, const VersionedValue& vv) {
+      if (writes_.count(key) > 0) return true;  // overlaid below
+      keep_going = fn(key, vv.value);
+      return keep_going;
+    });
+  }
+  if (!keep_going) return;
+  for (const auto& [key, value] : writes_) {
+    if (!value.has_value()) continue;  // removed
+    if (!fn(key, *value)) return;
+  }
+}
+
+size_t MapHandle::Size() {
+  read_whole_map_ = true;
+  size_t n = base_ != nullptr ? base_->data.size() : 0;
+  for (const auto& [key, value] : writes_) {
+    bool in_base =
+        base_ != nullptr && base_->data.Get(key) != nullptr;
+    if (value.has_value() && !in_base) ++n;
+    if (!value.has_value() && in_base) --n;
+  }
+  return n;
+}
+
+std::optional<std::string> MapHandle::GetStr(std::string_view key) {
+  auto v = Get(ToBytes(key));
+  if (!v.has_value()) return std::nullopt;
+  return ToString(*v);
+}
+
+void MapHandle::PutStr(std::string_view key, std::string_view value) {
+  Put(ToBytes(key), ToBytes(value));
+}
+
+void MapHandle::RemoveStr(std::string_view key) { Remove(ToBytes(key)); }
+
+// --------------------------------------------------------------------- Tx
+
+MapHandle* Tx::Handle(const std::string& map_name) {
+  auto it = handles_.find(map_name);
+  if (it != handles_.end()) return it->second.get();
+  const MapEntry* base = base_.maps.Get(map_name);
+  auto handle =
+      std::unique_ptr<MapHandle>(new MapHandle(map_name, base));
+  MapHandle* ptr = handle.get();
+  handles_[map_name] = std::move(handle);
+  return ptr;
+}
+
+bool Tx::has_writes() const {
+  for (const auto& [name, handle] : handles_) {
+    if (handle->has_writes()) return true;
+  }
+  return false;
+}
+
+WriteSet Tx::ExtractWriteSet() const {
+  WriteSet ws;
+  for (const auto& [name, handle] : handles_) {
+    if (!handle->writes_.empty()) {
+      ws.maps[name] = handle->writes_;
+    }
+  }
+  return ws;
+}
+
+// ------------------------------------------------------------------ Store
+
+Result<Tx> Store::BeginTxAt(uint64_t seqno) const {
+  if (seqno == current_seqno_) return Tx(current_, current_seqno_);
+  if (seqno == committed_seqno_) return Tx(committed_state_, seqno);
+  auto it = retained_.find(seqno);
+  if (it == retained_.end()) {
+    return Status::NotFound("kv: version " + std::to_string(seqno) +
+                            " not retained");
+  }
+  return Tx(it->second, seqno);
+}
+
+Status Store::ValidateReads(const Tx& tx) const {
+  for (const auto& [name, handle] : tx.handles_) {
+    const MapEntry* current_map = current_.maps.Get(name);
+    if (handle->read_whole_map_) {
+      uint64_t current_version =
+          current_map != nullptr ? current_map->version : 0;
+      if (current_version > tx.base_seqno_) {
+        return Status::Aborted("kv: conflict on map " + name);
+      }
+    }
+    for (const auto& [key, seen_version] : handle->reads_) {
+      const VersionedValue* vv =
+          current_map != nullptr ? current_map->data.Get(key) : nullptr;
+      uint64_t current_version = vv != nullptr ? vv->version : 0;
+      if (current_version != seen_version) {
+        return Status::Aborted("kv: conflict on key in map " + name);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Store::ApplyWrites(const WriteSet& ws, uint64_t seqno) {
+  State next = current_;
+  for (const auto& [name, writes] : ws.maps) {
+    if (writes.empty()) continue;
+    const MapEntry* existing = next.maps.Get(name);
+    MapEntry entry = existing != nullptr ? *existing : MapEntry{};
+    for (const auto& [key, value] : writes) {
+      if (value.has_value()) {
+        entry.data = entry.data.Put(key, VersionedValue{*value, seqno});
+      } else {
+        entry.data = entry.data.Remove(key);
+      }
+    }
+    entry.version = seqno;
+    next.maps = next.maps.Put(name, entry);
+  }
+  current_ = std::move(next);
+  current_seqno_ = seqno;
+  retained_[seqno] = current_;
+}
+
+Result<CommitResult> Store::CommitTx(Tx* tx) {
+  CommitResult result;
+  result.claims = tx->claims();
+  if (!tx->has_writes()) {
+    // Read-only fast path (paper §3.4): no ledger entry, the response
+    // carries the ID of the last applied transaction.
+    result.seqno = current_seqno_;
+    return result;
+  }
+  if (tx->base_seqno_ != current_seqno_) {
+    RETURN_IF_ERROR(ValidateReads(*tx));
+  }
+  result.seqno = current_seqno_ + 1;
+  result.write_set = tx->ExtractWriteSet();
+  ApplyWrites(result.write_set, result.seqno);
+  return result;
+}
+
+Status Store::ApplyWriteSet(const WriteSet& ws, uint64_t seqno) {
+  if (seqno != current_seqno_ + 1) {
+    return Status::FailedPrecondition(
+        "kv: non-contiguous apply at " + std::to_string(seqno) +
+        ", current " + std::to_string(current_seqno_));
+  }
+  ApplyWrites(ws, seqno);
+  return Status::Ok();
+}
+
+Status Store::Rollback(uint64_t seqno) {
+  if (seqno < committed_seqno_) {
+    return Status::InvalidArgument("kv: cannot roll back below commit");
+  }
+  if (seqno >= current_seqno_) return Status::Ok();
+  if (seqno == committed_seqno_) {
+    current_ = committed_state_;
+  } else {
+    auto it = retained_.find(seqno);
+    if (it == retained_.end()) {
+      return Status::Internal("kv: missing retained version " +
+                              std::to_string(seqno));
+    }
+    current_ = it->second;
+  }
+  current_seqno_ = seqno;
+  retained_.erase(retained_.upper_bound(seqno), retained_.end());
+  return Status::Ok();
+}
+
+Status Store::Compact(uint64_t seqno) {
+  if (seqno > current_seqno_) {
+    return Status::InvalidArgument("kv: cannot compact beyond current");
+  }
+  if (seqno <= committed_seqno_) return Status::Ok();
+  auto it = retained_.find(seqno);
+  if (it == retained_.end()) {
+    return Status::Internal("kv: missing retained version " +
+                            std::to_string(seqno));
+  }
+  committed_state_ = it->second;
+  committed_seqno_ = seqno;
+  retained_.erase(retained_.begin(), retained_.upper_bound(seqno));
+  return Status::Ok();
+}
+
+std::optional<Bytes> Store::Get(const std::string& map_name,
+                                const Bytes& key) const {
+  const MapEntry* map = current_.maps.Get(map_name);
+  if (map == nullptr) return std::nullopt;
+  const VersionedValue* vv = map->data.Get(key);
+  if (vv == nullptr) return std::nullopt;
+  return vv->value;
+}
+
+std::optional<std::string> Store::GetStr(const std::string& map_name,
+                                         std::string_view key) const {
+  auto v = Get(map_name, ToBytes(key));
+  if (!v.has_value()) return std::nullopt;
+  return ToString(*v);
+}
+
+void Store::InstallState(State state, uint64_t seqno) {
+  current_ = state;
+  committed_state_ = std::move(state);
+  current_seqno_ = seqno;
+  committed_seqno_ = seqno;
+  retained_.clear();
+}
+
+}  // namespace ccf::kv

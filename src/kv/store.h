@@ -1,0 +1,177 @@
+// Transactional key-value store over CHAMP maps (paper §3.3).
+//
+// The store holds a set of named maps. Application endpoints execute
+// optimistically against the latest version; commits validate read sets and
+// apply write sets atomically, producing one new store version per ledger
+// transaction. Because every version is a persistent CHAMP root, the store
+// retains all versions since the last compaction and can roll back an
+// uncommitted suffix in O(1) after a view change (paper §4.2).
+//
+// Thread-compatibility: a Store is owned by one enclave thread. Tx objects
+// capture an immutable snapshot and may be executed anywhere; CommitTx /
+// ApplyWriteSet / Rollback / Compact must be serialized by the owner.
+
+#ifndef CCF_KV_STORE_H_
+#define CCF_KV_STORE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "ds/champ.h"
+#include "kv/writeset.h"
+
+namespace ccf::kv {
+
+struct VersionedValue {
+  Bytes value;
+  uint64_t version = 0;  // seqno of the transaction that wrote it
+};
+
+struct MapEntry {
+  ds::ChampMap<Bytes, VersionedValue> data;
+  uint64_t version = 0;  // seqno of the last write to this map
+};
+
+// One immutable store version. Cheap to copy (structural sharing).
+struct State {
+  ds::ChampMap<std::string, MapEntry> maps;
+};
+
+class Tx;
+
+// Read/write access to one map within a transaction. Reads record the
+// observed per-key version for optimistic validation; writes overlay the
+// base state until commit.
+class MapHandle {
+ public:
+  // Reads see the transaction's own writes first, then the base version.
+  std::optional<Bytes> Get(const Bytes& key);
+  bool Has(const Bytes& key) { return Get(key).has_value(); }
+  void Put(const Bytes& key, Bytes value);
+  void Remove(const Bytes& key);
+
+  // Iterates over the merged view (base + overlay). Marks the whole map as
+  // read, so any concurrent write to it conflicts. Callback returns false
+  // to stop.
+  void Foreach(const std::function<bool(const Bytes&, const Bytes&)>& fn);
+
+  // Number of keys in the merged view (whole-map read).
+  size_t Size();
+
+  // String-typed conveniences (keys and values are raw bytes underneath).
+  std::optional<std::string> GetStr(std::string_view key);
+  void PutStr(std::string_view key, std::string_view value);
+  void RemoveStr(std::string_view key);
+  bool HasStr(std::string_view key) { return GetStr(key).has_value(); }
+
+  bool has_writes() const { return !writes_.empty(); }
+
+ private:
+  friend class Tx;
+  friend class Store;
+
+  MapHandle(std::string name, const MapEntry* base)
+      : name_(std::move(name)), base_(base) {}
+
+  std::string name_;
+  const MapEntry* base_;  // null if the map does not exist in the base
+  MapWrites writes_;
+  std::map<Bytes, uint64_t> reads_;  // key -> version observed (0 = absent)
+  bool read_whole_map_ = false;
+};
+
+// A transaction executing against an immutable snapshot of the store.
+class Tx {
+ public:
+  // Returns the handle for `map_name`, creating the map on first write.
+  MapHandle* Handle(const std::string& map_name);
+
+  uint64_t base_seqno() const { return base_seqno_; }
+  bool has_writes() const;
+
+  // Application-attached claims, covered by the transaction's receipt
+  // (paper §3.5).
+  void SetClaims(Bytes claims) { claims_ = std::move(claims); }
+  const Bytes& claims() const { return claims_; }
+
+ private:
+  friend class Store;
+
+  Tx(State base, uint64_t base_seqno)
+      : base_(std::move(base)), base_seqno_(base_seqno) {}
+
+  WriteSet ExtractWriteSet() const;
+
+  State base_;
+  uint64_t base_seqno_;
+  Bytes claims_;
+  std::map<std::string, std::unique_ptr<MapHandle>> handles_;
+};
+
+struct CommitResult {
+  uint64_t seqno = 0;  // version the transaction was applied at
+  WriteSet write_set;  // empty for read-only transactions
+  Bytes claims;
+};
+
+class Store {
+ public:
+  Store() = default;
+
+  // Begins a transaction against the latest applied version.
+  Tx BeginTx() const { return Tx(current_, current_seqno_); }
+  // Begins a transaction against a specific retained version (historical /
+  // snapshot-consistent reads).
+  Result<Tx> BeginTxAt(uint64_t seqno) const;
+
+  // Optimistically commits: validates the read set against the latest
+  // version and applies writes at seqno current+1. Returns ABORTED on
+  // conflict — the caller re-executes the endpoint (paper §6.4: logic may
+  // run multiple times, its transaction is applied exactly once).
+  // Read-only transactions return the current seqno and an empty write set.
+  Result<CommitResult> CommitTx(Tx* tx);
+
+  // Applies a replicated write set (backup / replay path). `seqno` must be
+  // current_seqno()+1.
+  Status ApplyWriteSet(const WriteSet& ws, uint64_t seqno);
+
+  // Discards all versions with seqno > `seqno` (must be >= committed).
+  Status Rollback(uint64_t seqno);
+
+  // Marks everything up to `seqno` as globally committed and drops the
+  // per-version roots at or below it.
+  Status Compact(uint64_t seqno);
+
+  uint64_t current_seqno() const { return current_seqno_; }
+  uint64_t committed_seqno() const { return committed_seqno_; }
+  const State& current_state() const { return current_; }
+  const State& committed_state() const { return committed_state_; }
+
+  // Direct read of the latest version (no transaction bookkeeping).
+  std::optional<Bytes> Get(const std::string& map_name,
+                           const Bytes& key) const;
+  std::optional<std::string> GetStr(const std::string& map_name,
+                                    std::string_view key) const;
+
+  // Snapshot support (see kv/snapshot.h for the serialized format).
+  // Installs `state` as both committed and current at `seqno`.
+  void InstallState(State state, uint64_t seqno);
+
+ private:
+  Status ValidateReads(const Tx& tx) const;
+  void ApplyWrites(const WriteSet& ws, uint64_t seqno);
+
+  State current_;
+  uint64_t current_seqno_ = 0;
+  uint64_t committed_seqno_ = 0;
+  State committed_state_;
+  // Retained roots for seqnos in (committed, current].
+  std::map<uint64_t, State> retained_;
+};
+
+}  // namespace ccf::kv
+
+#endif  // CCF_KV_STORE_H_

@@ -1,0 +1,38 @@
+// Built-in map names (paper Table 3). All framework maps are public for
+// transparency (auditable without ledger decryption); application maps are
+// private by default.
+
+#ifndef CCF_KV_TABLES_H_
+#define CCF_KV_TABLES_H_
+
+namespace ccf::kv::tables {
+
+// Governance maps (public:ccf.gov.*).
+inline constexpr char kUsersCerts[] = "public:ccf.gov.users.certs";
+inline constexpr char kMembersCerts[] = "public:ccf.gov.members.certs";
+inline constexpr char kMembersKeys[] = "public:ccf.gov.members_keys";
+inline constexpr char kNodesInfo[] = "public:ccf.gov.nodes.info";
+inline constexpr char kNodesCodeIds[] = "public:ccf.gov.nodes.code_ids";
+inline constexpr char kServiceInfo[] = "public:ccf.gov.service.info";
+inline constexpr char kConstitution[] = "public:ccf.gov.constitution";
+inline constexpr char kModules[] = "public:ccf.gov.modules";
+inline constexpr char kEndpoints[] = "public:ccf.gov.endpoints";
+inline constexpr char kProposals[] = "public:ccf.gov.proposals";
+inline constexpr char kProposalsInfo[] = "public:ccf.gov.proposals_info";
+inline constexpr char kGovHistory[] = "public:ccf.gov.history";
+
+// Internal maps (public:ccf.internal.*).
+inline constexpr char kSignatures[] = "public:ccf.internal.signatures";
+inline constexpr char kLedgerSecret[] = "public:ccf.internal.ledger_secret";
+inline constexpr char kRecoveryShares[] =
+    "public:ccf.internal.recovery_shares";
+inline constexpr char kSnapshotEvidence[] =
+    "public:ccf.internal.snapshot_evidence";
+inline constexpr char kServiceConfig[] = "public:ccf.internal.config";
+
+// Conventional singleton keys.
+inline constexpr char kCurrentKey[] = "current";
+
+}  // namespace ccf::kv::tables
+
+#endif  // CCF_KV_TABLES_H_

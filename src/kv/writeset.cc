@@ -1,0 +1,84 @@
+#include "kv/writeset.h"
+
+#include "common/buffer.h"
+
+namespace ccf::kv {
+
+bool WriteSet::empty() const {
+  for (const auto& [name, writes] : maps) {
+    if (!writes.empty()) return false;
+  }
+  return true;
+}
+
+size_t WriteSet::num_writes() const {
+  size_t n = 0;
+  for (const auto& [name, writes] : maps) n += writes.size();
+  return n;
+}
+
+namespace {
+
+Bytes SerializeFiltered(const WriteSet& ws, bool want_public) {
+  BufWriter w;
+  uint32_t count = 0;
+  for (const auto& [name, writes] : ws.maps) {
+    if (IsPublicMap(name) == want_public && !writes.empty()) ++count;
+  }
+  w.U32(count);
+  for (const auto& [name, writes] : ws.maps) {
+    if (IsPublicMap(name) != want_public || writes.empty()) continue;
+    w.Str(name);
+    w.U32(static_cast<uint32_t>(writes.size()));
+    for (const auto& [key, value] : writes) {
+      w.Blob(key);
+      w.Bool(value.has_value());
+      if (value.has_value()) w.Blob(*value);
+    }
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+Bytes WriteSet::SerializePublic() const {
+  return SerializeFiltered(*this, /*want_public=*/true);
+}
+
+Bytes WriteSet::SerializePrivate() const {
+  return SerializeFiltered(*this, /*want_public=*/false);
+}
+
+Status WriteSet::ParseInto(ByteSpan data, WriteSet* out) {
+  if (data.empty()) return Status::Ok();
+  BufReader r(data);
+  ASSIGN_OR_RETURN(uint32_t map_count, r.U32());
+  for (uint32_t m = 0; m < map_count; ++m) {
+    ASSIGN_OR_RETURN(std::string name, r.Str());
+    ASSIGN_OR_RETURN(uint32_t write_count, r.U32());
+    MapWrites& writes = out->maps[name];
+    for (uint32_t i = 0; i < write_count; ++i) {
+      ASSIGN_OR_RETURN(Bytes key, r.Blob());
+      ASSIGN_OR_RETURN(bool has_value, r.Bool());
+      if (has_value) {
+        ASSIGN_OR_RETURN(Bytes value, r.Blob());
+        writes[std::move(key)] = std::move(value);
+      } else {
+        writes[std::move(key)] = std::nullopt;
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("writeset: trailing bytes");
+  }
+  return Status::Ok();
+}
+
+Result<WriteSet> WriteSet::Parse(ByteSpan public_part, ByteSpan private_part) {
+  WriteSet ws;
+  RETURN_IF_ERROR(ParseInto(public_part, &ws));
+  RETURN_IF_ERROR(ParseInto(private_part, &ws));
+  return ws;
+}
+
+}  // namespace ccf::kv

@@ -1,0 +1,51 @@
+// Write sets: the unit recorded per transaction on the ledger (paper §3.3).
+//
+// "Each transaction in the ledger includes a set of updates, each either a
+// write-to or a removal-of a single key, to be applied atomically to the
+// maps. These updates are subdivided into updates to public maps
+// (unencrypted) and updates to private maps (encrypted)."
+//
+// Map naming follows CCF: names beginning with "public:" are public; all
+// others are private and their updates are sealed with the ledger secret
+// before leaving the enclave.
+
+#ifndef CCF_KV_WRITESET_H_
+#define CCF_KV_WRITESET_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf::kv {
+
+inline bool IsPublicMap(const std::string& name) {
+  return name.rfind("public:", 0) == 0;
+}
+
+// Updates to one map: key -> new value, or nullopt for removal.
+// std::map keys keep serialization deterministic.
+using MapWrites = std::map<Bytes, std::optional<Bytes>>;
+
+struct WriteSet {
+  // Map name -> writes, both public and private maps.
+  std::map<std::string, MapWrites> maps;
+
+  bool empty() const;
+  size_t num_writes() const;
+
+  // Serializes only the public (resp. private) maps' updates.
+  Bytes SerializePublic() const;
+  Bytes SerializePrivate() const;
+
+  // Parses a serialized half and merges it into `out`.
+  static Status ParseInto(ByteSpan data, WriteSet* out);
+  static Result<WriteSet> Parse(ByteSpan public_part, ByteSpan private_part);
+};
+
+}  // namespace ccf::kv
+
+#endif  // CCF_KV_WRITESET_H_

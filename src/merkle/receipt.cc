@@ -1,0 +1,136 @@
+#include "merkle/receipt.h"
+
+#include <cstring>
+
+#include "common/buffer.h"
+
+namespace ccf::merkle {
+
+namespace {
+
+void WriteDigest(BufWriter* w, const Digest& d) {
+  w->Raw(ByteSpan(d.data(), d.size()));
+}
+
+Result<Digest> ReadDigest(BufReader* r) {
+  ASSIGN_OR_RETURN(Bytes b, r->Raw(crypto::kSha256DigestSize));
+  Digest d;
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+Bytes SignedRoot::SignedPayload() const {
+  BufWriter w;
+  w.Str("ccf.signed-root.v1");
+  w.U64(view);
+  w.U64(seqno);
+  WriteDigest(&w, root);
+  w.Str(node_id);
+  return w.Take();
+}
+
+Bytes SignedRoot::Serialize() const {
+  BufWriter w;
+  w.U64(view);
+  w.U64(seqno);
+  WriteDigest(&w, root);
+  w.Str(node_id);
+  w.Raw(ByteSpan(signature.data(), signature.size()));
+  return w.Take();
+}
+
+Result<SignedRoot> SignedRoot::Deserialize(ByteSpan data) {
+  BufReader r(data);
+  SignedRoot sr;
+  ASSIGN_OR_RETURN(sr.view, r.U64());
+  ASSIGN_OR_RETURN(sr.seqno, r.U64());
+  ASSIGN_OR_RETURN(sr.root, ReadDigest(&r));
+  ASSIGN_OR_RETURN(sr.node_id, r.Str());
+  ASSIGN_OR_RETURN(Bytes sig, r.Raw(crypto::kSignatureSize));
+  std::copy(sig.begin(), sig.end(), sr.signature.begin());
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("signed-root: trailing bytes");
+  }
+  return sr;
+}
+
+Bytes TransactionLeafContent(uint64_t view, uint64_t seqno,
+                             const Digest& write_set_digest,
+                             const Digest& claims_digest) {
+  BufWriter w;
+  w.U64(view);
+  w.U64(seqno);
+  WriteDigest(&w, write_set_digest);
+  WriteDigest(&w, claims_digest);
+  return w.Take();
+}
+
+Bytes Receipt::Serialize() const {
+  BufWriter w;
+  w.U64(view);
+  w.U64(seqno);
+  WriteDigest(&w, write_set_digest);
+  WriteDigest(&w, claims_digest);
+  w.Blob(proof.Serialize());
+  w.Blob(signed_root.Serialize());
+  w.Blob(node_cert.Serialize());
+  return w.Take();
+}
+
+Result<Receipt> Receipt::Deserialize(ByteSpan data) {
+  BufReader r(data);
+  Receipt receipt;
+  ASSIGN_OR_RETURN(receipt.view, r.U64());
+  ASSIGN_OR_RETURN(receipt.seqno, r.U64());
+  ASSIGN_OR_RETURN(receipt.write_set_digest, ReadDigest(&r));
+  ASSIGN_OR_RETURN(receipt.claims_digest, ReadDigest(&r));
+  ASSIGN_OR_RETURN(Bytes proof_bytes, r.Blob());
+  ASSIGN_OR_RETURN(receipt.proof, Proof::Deserialize(proof_bytes));
+  ASSIGN_OR_RETURN(Bytes root_bytes, r.Blob());
+  ASSIGN_OR_RETURN(receipt.signed_root, SignedRoot::Deserialize(root_bytes));
+  ASSIGN_OR_RETURN(Bytes cert_bytes, r.Blob());
+  ASSIGN_OR_RETURN(receipt.node_cert,
+                   crypto::Certificate::Deserialize(cert_bytes));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("receipt: trailing bytes");
+  }
+  return receipt;
+}
+
+Status Receipt::Verify(ByteSpan service_public_key) const {
+  // 1. The node certificate chains to the service identity.
+  if (node_cert.role != "node") {
+    return Status::PermissionDenied("receipt: certificate is not a node cert");
+  }
+  RETURN_IF_ERROR(crypto::VerifyCertificate(node_cert, service_public_key));
+
+  // 2. The root signature verifies under the node key.
+  if (!crypto::Verify(node_cert.public_key, signed_root.SignedPayload(),
+                      ByteSpan(signed_root.signature.data(),
+                               signed_root.signature.size()))) {
+    return Status::PermissionDenied("receipt: bad root signature");
+  }
+
+  // 3. Positions are consistent: the proof places leaf seqno-1 in the tree
+  //    of size signed_root.seqno - 1 (everything before the signature tx).
+  if (seqno == 0 || signed_root.seqno == 0 || seqno >= signed_root.seqno) {
+    return Status::InvalidArgument("receipt: inconsistent seqnos");
+  }
+  if (proof.leaf_index != seqno - 1 ||
+      proof.tree_size != signed_root.seqno - 1) {
+    return Status::InvalidArgument("receipt: proof position mismatch");
+  }
+
+  // 4. The Merkle path folds from the transaction leaf to the signed root.
+  Digest leaf = LeafHash(
+      TransactionLeafContent(view, seqno, write_set_digest, claims_digest));
+  Digest computed = ComputeRootFromProof(leaf, proof);
+  if (computed != signed_root.root) {
+    return Status::PermissionDenied("receipt: proof does not match root");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ccf::merkle

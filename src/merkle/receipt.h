@@ -1,0 +1,65 @@
+// Verifiable receipts (paper §3.5).
+//
+// A receipt proves offline that a transaction was committed at a given
+// position in the ledger of a given service. It bundles:
+//   - the transaction's ledger position (view, seqno) and write-set digest,
+//   - optional application-attached claims,
+//   - a Merkle proof from the transaction leaf to a signed root,
+//   - the signing node's certificate, endorsed by the service identity.
+//
+// Convention: seqno is 1-based; the leaf index of transaction s is s-1.
+// The signature transaction at seqno s signs the root over leaves [0, s-1),
+// i.e. over every transaction before it.
+
+#ifndef CCF_MERKLE_RECEIPT_H_
+#define CCF_MERKLE_RECEIPT_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/cert.h"
+#include "merkle/merkle.h"
+
+namespace ccf::merkle {
+
+// The signed content of a signature transaction (paper §3.2): the Merkle
+// root over the ledger prefix, signed by the primary's node key.
+struct SignedRoot {
+  uint64_t view = 0;
+  uint64_t seqno = 0;  // seqno of the signature transaction itself
+  Digest root{};       // root over leaves [0, seqno-1)
+  std::string node_id;
+  crypto::SignatureBytes signature{};
+
+  // Byte string covered by `signature`.
+  Bytes SignedPayload() const;
+  Bytes Serialize() const;
+  static Result<SignedRoot> Deserialize(ByteSpan data);
+  bool operator==(const SignedRoot&) const = default;
+};
+
+// Canonical leaf content for a transaction: what the Merkle tree hashes.
+Bytes TransactionLeafContent(uint64_t view, uint64_t seqno,
+                             const Digest& write_set_digest,
+                             const Digest& claims_digest);
+
+struct Receipt {
+  uint64_t view = 0;
+  uint64_t seqno = 0;  // transaction being proven
+  Digest write_set_digest{};
+  Digest claims_digest{};  // digest of application claims (zero if none)
+  Proof proof;
+  SignedRoot signed_root;
+  crypto::Certificate node_cert;  // role "node", issued by the service
+
+  Bytes Serialize() const;
+  static Result<Receipt> Deserialize(ByteSpan data);
+
+  // Full offline verification against the service identity public key.
+  Status Verify(ByteSpan service_public_key) const;
+};
+
+}  // namespace ccf::merkle
+
+#endif  // CCF_MERKLE_RECEIPT_H_

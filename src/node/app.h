@@ -1,0 +1,32 @@
+// Application interface (paper §2: "CCF enables each service to bring its
+// own application logic"). C++ applications implement this and register
+// endpoints; scripted (CCL) applications are installed via the set_js_app
+// governance action and executed by the node's script runtime.
+
+#ifndef CCF_NODE_APP_H_
+#define CCF_NODE_APP_H_
+
+#include "rpc/endpoints.h"
+
+namespace ccf::node {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+  // Installs the application's endpoints (paths should start with /app/).
+  virtual void RegisterEndpoints(rpc::EndpointRegistry* registry) = 0;
+};
+
+// Indexing strategy (paper §3.4): the indexer pre-processes each committed
+// transaction in ledger order, maintaining app-defined lookup structures
+// for historical range queries.
+class IndexingStrategy {
+ public:
+  virtual ~IndexingStrategy() = default;
+  virtual void OnCommittedEntry(uint64_t view, uint64_t seqno,
+                                const kv::WriteSet& writes) = 0;
+};
+
+}  // namespace ccf::node
+
+#endif  // CCF_NODE_APP_H_

@@ -1,0 +1,155 @@
+#include "node/audit.h"
+
+#include <map>
+
+#include "common/hex.h"
+#include "gov/records.h"
+#include "json/json.h"
+#include "kv/tables.h"
+#include "kv/writeset.h"
+#include "merkle/merkle.h"
+#include "merkle/receipt.h"
+
+namespace ccf::node {
+
+namespace tables = kv::tables;
+
+namespace {
+
+// Minimal public-state replay: map name -> key -> value.
+using PublicState = std::map<std::string, std::map<std::string, std::string>>;
+
+void ApplyPublic(const kv::WriteSet& ws, PublicState* state) {
+  for (const auto& [name, writes] : ws.maps) {
+    if (!kv::IsPublicMap(name)) continue;
+    auto& map = (*state)[name];
+    for (const auto& [key, value] : writes) {
+      if (value.has_value()) {
+        map[ToString(key)] = ToString(*value);
+      } else {
+        map.erase(ToString(key));
+      }
+    }
+  }
+}
+
+Result<crypto::PublicKeyBytes> ServiceIdentityFrom(const PublicState& state) {
+  auto mit = state.find(tables::kServiceInfo);
+  if (mit == state.end()) {
+    return Status::Corruption("audit: no service info in genesis");
+  }
+  auto kit = mit->second.find(tables::kCurrentKey);
+  if (kit == mit->second.end()) {
+    return Status::Corruption("audit: no current service record");
+  }
+  ASSIGN_OR_RETURN(json::Value j, json::Parse(kit->second));
+  ASSIGN_OR_RETURN(gov::ServiceInfo info, gov::ServiceInfo::FromJson(j));
+  ASSIGN_OR_RETURN(crypto::Certificate cert,
+                   crypto::Certificate::Deserialize(info.cert));
+  return cert.public_key;
+}
+
+Result<crypto::Certificate> NodeCertFrom(const PublicState& state,
+                                         const std::string& node_id) {
+  auto mit = state.find(tables::kNodesInfo);
+  if (mit == state.end()) {
+    return Status::Corruption("audit: no nodes.info map");
+  }
+  auto kit = mit->second.find(node_id);
+  if (kit == mit->second.end()) {
+    return Status::Corruption("audit: unknown signing node " + node_id);
+  }
+  ASSIGN_OR_RETURN(json::Value j, json::Parse(kit->second));
+  ASSIGN_OR_RETURN(gov::NodeInfo info, gov::NodeInfo::FromJson(j));
+  return info.cert;
+}
+
+}  // namespace
+
+Result<AuditReport> AuditLedger(
+    const ledger::Ledger& ledger,
+    std::optional<crypto::PublicKeyBytes> expected_service) {
+  if (ledger.base_seqno() != 0) {
+    return Status::InvalidArgument(
+        "audit: full audit requires a ledger from genesis");
+  }
+
+  AuditReport report;
+  PublicState state;
+  merkle::MerkleTree tree;
+  std::optional<crypto::PublicKeyBytes> service;
+
+  for (const ledger::Entry& entry : ledger.entries()) {
+    ++report.entries;
+    if (entry.seqno != report.entries) {
+      return Status::Corruption("audit: non-contiguous seqno at " +
+                                std::to_string(entry.seqno));
+    }
+    auto ws = kv::WriteSet::Parse(entry.public_ws, {});
+    if (!ws.ok()) {
+      return Status::Corruption("audit: unparseable write set at " +
+                                std::to_string(entry.seqno));
+    }
+
+    if (entry.type == ledger::EntryType::kSignature) {
+      ++report.signature_transactions;
+      auto it = ws->maps.find(tables::kSignatures);
+      if (it == ws->maps.end() || it->second.empty() ||
+          !it->second.begin()->second.has_value()) {
+        return Status::Corruption("audit: signature entry without root at " +
+                                  std::to_string(entry.seqno));
+      }
+      ASSIGN_OR_RETURN(Bytes sr_bytes,
+                       HexDecode(ToString(*it->second.begin()->second)));
+      ASSIGN_OR_RETURN(merkle::SignedRoot sr,
+                       merkle::SignedRoot::Deserialize(sr_bytes));
+      if (sr.seqno != entry.seqno) {
+        return Status::Corruption("audit: signed root seqno mismatch at " +
+                                  std::to_string(entry.seqno));
+      }
+      // Root covers everything before this entry.
+      if (sr.root != tree.Root()) {
+        return Status::Corruption(
+            "audit: Merkle root mismatch at " + std::to_string(entry.seqno) +
+            " (ledger modified)");
+      }
+      if (!service.has_value()) {
+        return Status::Corruption("audit: signature before genesis state");
+      }
+      ASSIGN_OR_RETURN(crypto::Certificate signer,
+                       NodeCertFrom(state, sr.node_id));
+      RETURN_IF_ERROR(crypto::VerifyCertificate(signer, *service));
+      if (!crypto::Verify(signer.public_key, sr.SignedPayload(),
+                          ByteSpan(sr.signature.data(),
+                                   sr.signature.size()))) {
+        return Status::Corruption("audit: bad root signature at " +
+                                  std::to_string(entry.seqno));
+      }
+      report.verified_seqno = entry.seqno;
+    }
+
+    if (entry.type == ledger::EntryType::kGovernance) {
+      ++report.governance_entries;
+    }
+
+    ApplyPublic(*ws, &state);
+    tree.Append(merkle::TransactionLeafContent(
+        entry.view, entry.seqno, entry.WriteSetDigest(),
+        entry.claims_digest));
+
+    if (!service.has_value()) {
+      // Genesis entry: establish (or check) the service identity.
+      ASSIGN_OR_RETURN(crypto::PublicKeyBytes id, ServiceIdentityFrom(state));
+      if (expected_service.has_value() && id != *expected_service) {
+        return Status::PermissionDenied(
+            "audit: ledger chains to a different service identity");
+      }
+      service = id;
+      report.service_identity_hex =
+          HexEncode(ByteSpan(id.data(), id.size()));
+    }
+  }
+  return report;
+}
+
+}  // namespace ccf::node

@@ -1,0 +1,53 @@
+// Node and service configuration.
+
+#ifndef CCF_NODE_CONFIG_H_
+#define CCF_NODE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "consensus/raft.h"
+#include "crypto/cert.h"
+#include "tee/attestation.h"
+#include "tee/boundary.h"
+
+namespace ccf::node {
+
+struct NodeConfig {
+  std::string node_id;
+  tee::TeeMode tee_mode = tee::TeeMode::kVirtual;
+  tee::CodeId code_id = "ccf-code-v1";
+  std::string host = "";  // operator-visible address label
+  uint64_t seed = 0;      // deterministic key/drbg seed
+
+  consensus::RaftConfig raft;
+  // A signature transaction is emitted after this many transactions (paper
+  // §7: "the signature transaction frequency has been set to every 100
+  // transactions"), or after signature_interval_ms of inactivity.
+  uint64_t signature_interval_txs = 100;
+  uint64_t signature_interval_ms = 100;
+  // Snapshots of committed state are produced every this many commits.
+  uint64_t snapshot_interval_txs = 1000;
+};
+
+// Initial consortium passed to the genesis node (paper §5: "the
+// constitution ... is provided to a CCF service at start-up").
+struct MemberIdentity {
+  std::string member_id;
+  Bytes cert;                           // serialized member certificate
+  crypto::PublicKeyBytes encryption_key{};  // for recovery shares
+};
+
+struct ServiceInit {
+  std::vector<MemberIdentity> members;
+  std::string constitution;  // CCL source; empty => default constitution
+  // Convenience for tests/benchmarks: open the service at genesis instead
+  // of requiring a transition_service_to_open proposal.
+  bool open_immediately = false;
+  // Users registered at genesis (normally added via set_user proposals).
+  std::vector<std::pair<std::string, Bytes>> initial_users;  // id, cert
+};
+
+}  // namespace ccf::node
+
+#endif  // CCF_NODE_CONFIG_H_

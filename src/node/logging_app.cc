@@ -1,0 +1,109 @@
+#include "node/logging_app.h"
+
+#include "json/json.h"
+
+namespace ccf::node {
+
+namespace {
+
+void WriteMessage(rpc::EndpointContext* ctx, const char* map) {
+  auto params = ctx->Params();
+  if (!params.ok() || params->Get("id") == nullptr ||
+      params->Get("msg") == nullptr) {
+    ctx->SetError(400, "body must contain {id, msg}");
+    return;
+  }
+  int64_t id = params->GetInt("id");
+  std::string msg = params->GetString("msg");
+  ctx->tx().Handle(map)->PutStr(std::to_string(id), msg);
+  json::Object out;
+  out["ok"] = true;
+  ctx->SetJsonResponse(200, json::Value(std::move(out)));
+}
+
+void ReadMessage(rpc::EndpointContext* ctx, const char* map) {
+  std::string id = ctx->request().GetHeader("x-query-id");
+  if (id.empty()) {
+    ctx->SetError(400, "missing id query parameter");
+    return;
+  }
+  auto msg = ctx->tx().Handle(map)->GetStr(id);
+  if (!msg.has_value()) {
+    ctx->SetError(404, "no such message");
+    return;
+  }
+  json::Object out;
+  out["id"] = static_cast<int64_t>(std::strtoll(id.c_str(), nullptr, 10));
+  out["msg"] = *msg;
+  ctx->SetJsonResponse(200, json::Value(std::move(out)));
+}
+
+}  // namespace
+
+void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry) {
+  using rpc::AuthPolicy;
+  registry->Install(
+      "POST", "/app/log",
+      {[](rpc::EndpointContext* ctx) { WriteMessage(ctx, kPrivateMessagesMap); },
+       AuthPolicy::kUserCert, /*read_only=*/false});
+  registry->Install(
+      "GET", "/app/log",
+      {[](rpc::EndpointContext* ctx) { ReadMessage(ctx, kPrivateMessagesMap); },
+       AuthPolicy::kUserCert, /*read_only=*/true});
+  registry->Install(
+      "POST", "/app/log_public",
+      {[](rpc::EndpointContext* ctx) { WriteMessage(ctx, kPublicMessagesMap); },
+       AuthPolicy::kUserCert, /*read_only=*/false});
+  registry->Install(
+      "GET", "/app/log_public",
+      {[](rpc::EndpointContext* ctx) { ReadMessage(ctx, kPublicMessagesMap); },
+       AuthPolicy::kUserCert, /*read_only=*/true});
+  registry->Install(
+      "GET", "/app/count",
+      {[](rpc::EndpointContext* ctx) {
+         json::Object out;
+         out["count"] = ctx->tx().Handle(kPrivateMessagesMap)->Size();
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kUserCert, /*read_only=*/true});
+}
+
+const std::string& LoggingAppModule() {
+  static const std::string module = R"CCL(
+// Scripted logging application (Table 5's "JS" implementation).
+
+function write_message(request) {
+  let p = request.params;
+  if (p == null || p.id == null || p.msg == null) {
+    return {status: 400, body: {error: 'body must contain {id, msg}'}};
+  }
+  kv_put('private:app.messages', str(p.id), p.msg);
+  return {status: 200, body: {ok: true}};
+}
+
+function read_message(request) {
+  let p = request.params;
+  if (p == null || p.id == null) {
+    return {status: 400, body: {error: 'body must contain {id}'}};
+  }
+  let msg = kv_get('private:app.messages', str(p.id));
+  if (msg == null) {
+    return {status: 404, body: {error: 'no such message'}};
+  }
+  return {status: 200, body: {id: p.id, msg: msg}};
+}
+)CCL";
+  return module;
+}
+
+const std::string& LoggingAppEndpointsJson() {
+  static const std::string endpoints = R"JSON({
+    "POST /app/jslog": {"handler": "write_message", "auth": "user_cert",
+                        "readonly": false},
+    "POST /app/jslog_read": {"handler": "read_message", "auth": "user_cert",
+                             "readonly": true}
+  })JSON";
+  return endpoints;
+}
+
+}  // namespace ccf::node

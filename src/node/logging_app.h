@@ -1,0 +1,39 @@
+// The logging application from the paper's evaluation (§7): "a simple
+// logging application, where messages with corresponding identifiers are
+// posted, and later retrieved with read-only transactions. Messages are
+// private."
+//
+// Provided both as a native C++ application and as a CCL (scripted)
+// module, so benchmarks can reproduce Table 5's C++-vs-JS comparison.
+
+#ifndef CCF_NODE_LOGGING_APP_H_
+#define CCF_NODE_LOGGING_APP_H_
+
+#include <string>
+
+#include "node/app.h"
+
+namespace ccf::node {
+
+// Map names used by the logging app.
+inline constexpr char kPrivateMessagesMap[] = "private:app.messages";
+inline constexpr char kPublicMessagesMap[] = "public:app.messages";
+
+// Endpoints:
+//   POST /app/log          {"id": N, "msg": "..."}      (user cert)
+//   GET  /app/log?id=N                                  (user cert, RO)
+//   POST /app/log_public   / GET /app/log_public?id=N   (public map)
+//   GET  /app/count                                     (RO)
+class LoggingApp : public Application {
+ public:
+  void RegisterEndpoints(rpc::EndpointRegistry* registry) override;
+};
+
+// The same application as a CCL module (install via set_js_app).
+const std::string& LoggingAppModule();
+// The endpoints table for set_js_app: {"POST /app/log": {...}, ...}.
+const std::string& LoggingAppEndpointsJson();
+
+}  // namespace ccf::node
+
+#endif  // CCF_NODE_LOGGING_APP_H_

@@ -1,0 +1,845 @@
+#include "node/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/buffer.h"
+#include "common/hex.h"
+#include "common/logging.h"
+#include "gov/constitution.h"
+#include "kv/tables.h"
+#include "kv/writeset.h"
+#include "tee/attestation.h"
+
+namespace ccf::node {
+
+namespace tables = kv::tables;
+
+namespace {
+
+// First byte of every simulation payload addressed to a node host.
+enum WireKind : uint8_t {
+  kSessionRecord = 1,
+  kNodeChannel = 2,
+};
+
+// Inner types on node-to-node channels.
+enum ChannelType : uint8_t {
+  kConsensus = 1,
+  kForwardRequest = 2,
+  kForwardResponse = 3,
+};
+
+// Ring-buffer message types across the host/enclave boundary.
+enum BoundaryType : uint32_t {
+  kInboundNet = 1,
+  kOutboundNet = 2,
+};
+
+Bytes WrapWire(WireKind kind, ByteSpan payload) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(kind));
+  Append(&out, payload);
+  return out;
+}
+
+crypto::Sha256Digest PublicAadDigest(ByteSpan public_ws) {
+  return crypto::Sha256::Hash(public_ws);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- lifecycle
+
+Node::Node(NodeConfig config, Application* app, sim::Environment* env)
+    : config_(config),
+      app_(app),
+      env_(env),
+      boundary_(config.tee_mode),
+      drbg_("ccf-node-" + config.node_id, config.seed),
+      node_key_(crypto::KeyPair::Generate(&drbg_)) {
+  InstallFrameworkEndpoints();
+  if (app_ != nullptr) {
+    app_->RegisterEndpoints(&registry_);
+  }
+}
+
+Node::~Node() {
+  if (env_ != nullptr) env_->Unregister(config_.node_id);
+}
+
+void Node::RegisterWithEnvironment() {
+  env_->Register(
+      config_.node_id,
+      [this](const std::string& from, ByteSpan data) {
+        HostReceive(from, data);
+      },
+      [this](uint64_t now_ms) { Tick(now_ms); });
+}
+
+std::unique_ptr<Node> Node::CreateGenesis(NodeConfig config,
+                                          const ServiceInit& init,
+                                          Application* app,
+                                          sim::Environment* env) {
+  auto node = std::unique_ptr<Node>(new Node(config, app, env));
+  node->InitGenesis(init);
+  node->RegisterWithEnvironment();
+  return node;
+}
+
+std::unique_ptr<Node> Node::CreateJoiner(NodeConfig config,
+                                         crypto::PublicKeyBytes service_identity,
+                                         const std::string& target_node,
+                                         Application* app,
+                                         sim::Environment* env) {
+  auto node = std::unique_ptr<Node>(new Node(config, app, env));
+  node->service_identity_ = service_identity;
+  node->RegisterWithEnvironment();
+  node->StartJoin(target_node);
+  return node;
+}
+
+std::unique_ptr<Node> Node::CreateRecovery(NodeConfig config,
+                                           ledger::Ledger restored,
+                                           Application* app,
+                                           sim::Environment* env) {
+  auto node = std::unique_ptr<Node>(new Node(config, app, env));
+  node->InitRecovery(std::move(restored));
+  node->RegisterWithEnvironment();
+  return node;
+}
+
+void Node::InitGenesis(const ServiceInit& init) {
+  // Fresh service identity (paper Table 1: generated when a CCF service is
+  // started for the first time).
+  service_key_ = std::make_unique<crypto::KeyPair>(
+      crypto::KeyPair::Generate(&drbg_));
+  service_identity_ = service_key_->public_key();
+  service_cert_ = crypto::IssueCertificate("service", "service",
+                                           service_identity_, *service_key_,
+                                           "");
+  node_cert_ = crypto::IssueCertificate(config_.node_id, "node",
+                                        node_key_.public_key(), *service_key_,
+                                        "service");
+  ledger_secret_ = kv::LedgerSecret::Generate(&drbg_);
+  encryptor_ = std::make_unique<kv::TxEncryptor>(ledger_secret_);
+
+  raft_ = std::make_unique<consensus::RaftNode>(
+      config_.node_id, config_.raft, std::set<std::string>{config_.node_id},
+      /*start_as_primary=*/true, this);
+
+  // The genesis transaction (paper §5): constitution, consortium, code id,
+  // this node, and the service identity, in one transaction.
+  kv::Tx tx = store_.BeginTx();
+  tx.Handle(tables::kConstitution)
+      ->PutStr(tables::kCurrentKey,
+               init.constitution.empty() ? gov::DefaultConstitution()
+                                         : init.constitution);
+  for (const MemberIdentity& m : init.members) {
+    gov::MemberInfo info;
+    info.cert = m.cert;
+    info.encryption_key = m.encryption_key;
+    gov::WriteRecord(tx.Handle(tables::kMembersCerts), m.member_id,
+                     info.ToJson());
+  }
+  for (const auto& [user_id, cert] : init.initial_users) {
+    gov::UserInfo info;
+    info.cert = cert;
+    gov::WriteRecord(tx.Handle(tables::kUsersCerts), user_id, info.ToJson());
+  }
+  tx.Handle(tables::kNodesCodeIds)->PutStr(config_.code_id, "AllowedToJoin");
+
+  gov::NodeInfo self;
+  self.node_id = config_.node_id;
+  self.status = gov::NodeStatus::kTrusted;
+  self.cert = node_cert_;
+  self.code_id = config_.code_id;
+  self.host = config_.host;
+  gov::WriteRecord(tx.Handle(tables::kNodesInfo), config_.node_id,
+                   self.ToJson());
+
+  gov::ServiceInfo service;
+  service.status = init.open_immediately ? gov::ServiceStatus::kOpen
+                                         : gov::ServiceStatus::kOpening;
+  service.cert = service_cert_.Serialize();
+  gov::WriteRecord(tx.Handle(tables::kServiceInfo), tables::kCurrentKey,
+                   service.ToJson());
+
+  if (!init.members.empty()) {
+    Status s = gov::ShareManager::ReissueShares(&tx, ledger_secret_, &drbg_);
+    if (!s.ok()) LOG_ERROR << "genesis share issuance failed: " << s.ToString();
+  }
+
+  auto committed = CommitAndReplicate(&tx, ledger::EntryType::kInternal);
+  if (!committed.ok()) {
+    LOG_ERROR << "genesis commit failed: " << committed.status().ToString();
+    return;
+  }
+  EmitSignature();
+}
+
+gov::ServiceStatus Node::service_status() const {
+  auto raw = store_.GetStr(tables::kServiceInfo, tables::kCurrentKey);
+  if (!raw.has_value()) return gov::ServiceStatus::kOpening;
+  auto j = json::Parse(*raw);
+  if (!j.ok()) return gov::ServiceStatus::kOpening;
+  auto info = gov::ServiceInfo::FromJson(*j);
+  if (!info.ok()) return gov::ServiceStatus::kOpening;
+  return info->status;
+}
+
+// -------------------------------------------------------------- driving
+
+void Node::HostReceive(const std::string& from, ByteSpan data) {
+  // Host side: push the raw network payload across the boundary.
+  BufWriter w;
+  w.Str(from);
+  w.Blob(data);
+  if (!boundary_.HostSend(kInboundNet, w.data())) {
+    LOG_WARN << config_.node_id << " boundary inbox full, dropping message";
+  }
+}
+
+void Node::Tick(uint64_t now_ms) {
+  now_ms_ = std::max(now_ms_, now_ms);
+  DrainEnclaveInbox();
+  if (raft_ != nullptr) {
+    raft_->Tick(now_ms_);
+    MaybeEmitSignature(now_ms_);
+    MaybeCompleteRetirements();
+    HandleOwnRetirement();
+  }
+  DrainEnclaveOutbox();
+}
+
+void Node::DrainEnclaveInbox() {
+  uint32_t type;
+  Bytes payload;
+  while (boundary_.EnclaveReceive(&type, &payload)) {
+    if (type != kInboundNet) continue;
+    BufReader r(payload);
+    auto from = r.Str();
+    if (!from.ok()) continue;
+    auto data = r.Blob();
+    if (!data.ok()) continue;
+    EnclaveProcess(*from, *data);
+  }
+}
+
+void Node::EnclaveProcess(const std::string& from, ByteSpan data) {
+  if (data.empty()) return;
+  auto kind = static_cast<WireKind>(data[0]);
+  ByteSpan payload = data.subspan(1);
+  switch (kind) {
+    case kSessionRecord:
+      HandleSessionRecord(from, payload);
+      break;
+    case kNodeChannel:
+      HandleChannelMessage(from, payload);
+      break;
+    default:
+      LOG_WARN << config_.node_id << " unknown wire kind from " << from;
+  }
+}
+
+void Node::EnclaveSendNet(const std::string& to, ByteSpan data) {
+  BufWriter w;
+  w.Str(to);
+  w.Blob(data);
+  if (!boundary_.EnclaveSend(kOutboundNet, w.data())) {
+    LOG_WARN << config_.node_id << " boundary outbox full, dropping message";
+  }
+}
+
+void Node::DrainEnclaveOutbox() {
+  uint32_t type;
+  Bytes payload;
+  while (boundary_.HostReceive(&type, &payload)) {
+    if (type != kOutboundNet) continue;
+    BufReader r(payload);
+    auto to = r.Str();
+    if (!to.ok()) continue;
+    auto data = r.Blob();
+    if (!data.ok()) continue;
+    env_->Send(config_.node_id, *to, std::move(*data));
+  }
+}
+
+// ----------------------------------------------------- node channels
+
+std::optional<crypto::PublicKeyBytes> Node::NodePublicKey(
+    const std::string& node_id) {
+  auto it = known_node_keys_.find(node_id);
+  if (it != known_node_keys_.end()) return it->second;
+  auto raw = store_.GetStr(tables::kNodesInfo, node_id);
+  if (!raw.has_value()) return std::nullopt;
+  auto j = json::Parse(*raw);
+  if (!j.ok()) return std::nullopt;
+  auto info = gov::NodeInfo::FromJson(*j);
+  if (!info.ok()) return std::nullopt;
+  known_node_keys_[node_id] = info->cert.public_key;
+  return info->cert.public_key;
+}
+
+Result<Bytes> Node::ChannelKeyFor(const std::string& peer) {
+  auto peer_key = NodePublicKey(peer);
+  if (!peer_key.has_value()) {
+    return Status::NotFound("no public key known for node " + peer);
+  }
+  ASSIGN_OR_RETURN(Bytes shared, node_key_.DeriveSharedSecret(*peer_key));
+  // Derivation is symmetric in the pair of node ids.
+  std::string lo = std::min(config_.node_id, peer);
+  std::string hi = std::max(config_.node_id, peer);
+  return crypto::Hkdf(shared, ToBytes("ccf.channel.v1"),
+                      ToBytes(lo + "|" + hi), 32);
+}
+
+crypto::AesGcm* Node::ChannelGcmFor(const std::string& peer) {
+  auto it = channel_gcm_.find(peer);
+  if (it != channel_gcm_.end()) return it->second.get();
+  auto key = ChannelKeyFor(peer);
+  if (!key.ok()) {
+    LOG_DEBUG << config_.node_id << " cannot reach " << peer << ": "
+              << key.status().ToString();
+    return nullptr;
+  }
+  auto gcm = std::make_unique<crypto::AesGcm>(*key);
+  crypto::AesGcm* ptr = gcm.get();
+  channel_gcm_[peer] = std::move(gcm);
+  return ptr;
+}
+
+void Node::SendOnChannel(const std::string& peer, uint8_t channel_type,
+                         ByteSpan payload) {
+  crypto::AesGcm* gcm_ptr = ChannelGcmFor(peer);
+  if (gcm_ptr == nullptr) return;
+  crypto::AesGcm& gcm = *gcm_ptr;
+  BufWriter ivw;
+  ivw.U64(channel_send_counter_[peer]++);
+  ivw.U32(static_cast<uint32_t>(config_.node_id.size()));  // direction split
+  Bytes inner;
+  inner.push_back(channel_type);
+  Append(&inner, payload);
+  Bytes aad = ToBytes(config_.node_id + ">" + peer);
+  Bytes sealed = gcm.Seal(ivw.data(), inner, aad);
+
+  BufWriter w;
+  w.Blob(ivw.data());
+  w.Raw(sealed);
+  EnclaveSendNet(peer, WrapWire(kNodeChannel, w.data()));
+}
+
+void Node::HandleChannelMessage(const std::string& peer, ByteSpan payload) {
+  crypto::AesGcm* gcm_ptr = ChannelGcmFor(peer);
+  if (gcm_ptr == nullptr) return;
+  BufReader r(payload);
+  auto iv = r.Blob();
+  if (!iv.ok() || iv->size() != crypto::kGcmIvSize) return;
+  auto sealed = r.Raw(r.remaining());
+  if (!sealed.ok()) return;
+  Bytes aad = ToBytes(peer + ">" + config_.node_id);
+  auto inner = gcm_ptr->Open(*iv, *sealed, aad);
+  if (!inner.ok()) {
+    LOG_WARN << config_.node_id << " rejecting unauthenticated channel "
+             << "message from " << peer;
+    return;
+  }
+  if (inner->empty()) return;
+  uint8_t channel_type = (*inner)[0];
+  ByteSpan body(inner->data() + 1, inner->size() - 1);
+
+  switch (channel_type) {
+    case kConsensus: {
+      if (raft_ == nullptr) return;
+      auto msg = consensus::Message::Deserialize(body);
+      if (msg.ok() && msg->from == peer) {
+        raft_->Receive(*msg, now_ms_);
+      }
+      break;
+    }
+    case kForwardRequest: {
+      BufReader fr(body);
+      auto corr = fr.U64();
+      auto has_cert = fr.Bool();
+      if (!corr.ok() || !has_cert.ok()) return;
+      std::optional<crypto::Certificate> cert;
+      if (*has_cert) {
+        auto cert_bytes = fr.Blob();
+        if (!cert_bytes.ok()) return;
+        auto parsed = crypto::Certificate::Deserialize(*cert_bytes);
+        if (!parsed.ok()) return;
+        cert = std::move(*parsed);
+      }
+      auto req_bytes = fr.Blob();
+      if (!req_bytes.ok()) return;
+      http::RequestParser parser;
+      parser.Feed(*req_bytes);
+      auto req = parser.Next();
+      if (!req.ok() || !req->has_value()) return;
+
+      // Re-authenticate the forwarded caller against our own state.
+      http::Response response;
+      auto caller = Authenticate(cert);
+      if (!caller.ok()) {
+        response.status = 401;
+        response.body = ToBytes(caller.status().ToString());
+      } else {
+        response = ExecuteRequest(**req, *caller);
+      }
+      BufWriter w;
+      w.U64(*corr);
+      w.Blob(response.Serialize());
+      SendOnChannel(peer, kForwardResponse, w.data());
+      break;
+    }
+    case kForwardResponse: {
+      BufReader fr(body);
+      auto corr = fr.U64();
+      auto resp_bytes = fr.Blob();
+      if (!corr.ok() || !resp_bytes.ok()) return;
+      auto it = pending_forwards_.find(*corr);
+      if (it == pending_forwards_.end()) return;
+      std::string session_peer = it->second;
+      pending_forwards_.erase(it);
+      http::ResponseParser parser;
+      parser.Feed(*resp_bytes);
+      auto resp = parser.Next();
+      if (resp.ok() && resp->has_value()) {
+        RespondToSession(session_peer, **resp);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Node::Send(const consensus::NodeId& to, const consensus::Message& msg) {
+  SendOnChannel(to, kConsensus, msg.Serialize());
+}
+
+// --------------------------------------------------- consensus callbacks
+
+void Node::OnAppend(const consensus::LogEntry& entry) {
+  ApplyRemoteEntry(entry);
+}
+
+void Node::ApplyRemoteEntry(const consensus::LogEntry& entry) {
+  auto parsed = ledger::Entry::Deserialize(*entry.data);
+  if (!parsed.ok()) {
+    LOG_ERROR << config_.node_id
+              << " corrupt replicated entry: " << parsed.status().ToString();
+    integrity_violation_ = true;
+    return;
+  }
+  ledger::Entry ledger_entry = parsed.take();
+
+  // Decrypt the private half with the ledger secret.
+  Bytes private_plain;
+  if (!ledger_entry.private_sealed.empty() && encryptor_ != nullptr) {
+    auto aad = PublicAadDigest(ledger_entry.public_ws);
+    auto opened = encryptor_->Open(ledger_entry.view, ledger_entry.seqno,
+                                   ledger_entry.private_sealed,
+                                   ByteSpan(aad.data(), aad.size()));
+    if (!opened.ok()) {
+      LOG_ERROR << config_.node_id << " cannot decrypt private writes at "
+                << ledger_entry.seqno;
+      integrity_violation_ = true;
+      return;
+    }
+    private_plain = opened.take();
+  }
+  auto ws = kv::WriteSet::Parse(ledger_entry.public_ws, private_plain);
+  if (!ws.ok()) {
+    integrity_violation_ = true;
+    return;
+  }
+
+  // Verify signature transactions against our own Merkle tree (the root
+  // covers everything before this entry).
+  if (ledger_entry.type == ledger::EntryType::kSignature) {
+    auto it = ws->maps.find(tables::kSignatures);
+    if (it != ws->maps.end()) {
+      for (const auto& [key, value] : it->second) {
+        if (!value.has_value()) continue;
+        auto hex = HexDecode(ToString(*value));
+        if (!hex.ok()) continue;
+        auto sr = merkle::SignedRoot::Deserialize(*hex);
+        if (!sr.ok()) continue;
+        if (sr->root != tree_.Root()) {
+          LOG_ERROR << config_.node_id << " signature root mismatch at "
+                    << ledger_entry.seqno;
+          integrity_violation_ = true;
+        } else {
+          signed_roots_[ledger_entry.seqno] = *sr;
+        }
+      }
+    }
+  }
+
+  Status applied = store_.ApplyWriteSet(*ws, ledger_entry.seqno);
+  if (!applied.ok()) {
+    LOG_ERROR << config_.node_id
+              << " apply failed: " << applied.ToString();
+    integrity_violation_ = true;
+    return;
+  }
+  AppendLeafFor(ledger_entry);
+  Status appended = host_ledger_.Append(std::move(ledger_entry));
+  if (!appended.ok()) {
+    LOG_ERROR << config_.node_id << " ledger append failed";
+  }
+}
+
+void Node::AppendLeafFor(const ledger::Entry& entry) {
+  TxDigests digests;
+  digests.write_set = entry.WriteSetDigest();
+  digests.claims = entry.claims_digest;
+  Bytes leaf = merkle::TransactionLeafContent(entry.view, entry.seqno,
+                                              digests.write_set,
+                                              digests.claims);
+  tree_.Append(leaf);
+  tx_digests_.push_back(digests);
+}
+
+void Node::OnRollback(uint64_t seqno) {
+  Status s = store_.Rollback(seqno);
+  if (!s.ok()) LOG_ERROR << config_.node_id << " rollback: " << s.ToString();
+  // The tree and digest history track the full ledger (joiners receive
+  // the historical leaves at join time), so indices align with seqnos.
+  tree_.Truncate(seqno);
+  tx_digests_.resize(seqno);
+  host_ledger_.Truncate(seqno);
+  signed_roots_.erase(signed_roots_.upper_bound(seqno), signed_roots_.end());
+  txs_since_signature_ = 0;
+}
+
+void Node::OnCommit(uint64_t seqno) {
+  Status s = store_.Compact(seqno);
+  if (!s.ok()) {
+    LOG_ERROR << config_.node_id << " compact: " << s.ToString();
+  }
+  // Feed newly committed entries to the indexing strategies (paper §3.4:
+  // "the indexer pre-processes in-order each transaction in the ledger as
+  // it is committed").
+  if (!indexing_strategies_.empty()) {
+    for (uint64_t i = indexed_upto_ + 1; i <= seqno; ++i) {
+      auto entry = host_ledger_.Get(i);
+      if (!entry.ok()) continue;
+      Bytes private_plain;
+      if (!(*entry)->private_sealed.empty() && encryptor_ != nullptr) {
+        auto aad = PublicAadDigest((*entry)->public_ws);
+        auto opened = encryptor_->Open((*entry)->view, (*entry)->seqno,
+                                       (*entry)->private_sealed,
+                                       ByteSpan(aad.data(), aad.size()));
+        if (opened.ok()) private_plain = opened.take();
+      }
+      auto ws = kv::WriteSet::Parse((*entry)->public_ws, private_plain);
+      if (ws.ok()) {
+        for (auto& strategy : indexing_strategies_) {
+          strategy->OnCommittedEntry((*entry)->view, (*entry)->seqno, *ws);
+        }
+      }
+    }
+    indexed_upto_ = std::max(indexed_upto_, seqno);
+  }
+  MaybeSnapshot();
+}
+
+void Node::OnRoleChange(consensus::Role role, uint64_t view) {
+  LOG_INFO << config_.node_id << " is now " << consensus::RoleName(role)
+           << " in view " << view;
+  if (role == consensus::Role::kPrimary) {
+    if (recovery_pending_ && store_.current_seqno() > 0) {
+      // First primary moment of a recovery node: declare the recovered
+      // service (paper §5.2).
+      kv::Tx tx = store_.BeginTx();
+      // Retire all previous nodes; this node joins as the sole trusted one.
+      std::vector<std::string> old_nodes;
+      tx.Handle(tables::kNodesInfo)
+          ->Foreach([&](const Bytes& key, const Bytes&) {
+            old_nodes.push_back(ToString(key));
+            return true;
+          });
+      for (const std::string& old_id : old_nodes) {
+        auto record = gov::ReadRecord(tx.Handle(tables::kNodesInfo), old_id);
+        if (!record.ok()) continue;
+        auto info = gov::NodeInfo::FromJson(*record);
+        if (!info.ok()) continue;
+        info->status = gov::NodeStatus::kRetired;
+        gov::WriteRecord(tx.Handle(tables::kNodesInfo), old_id,
+                         info->ToJson());
+      }
+      gov::NodeInfo self;
+      self.node_id = config_.node_id;
+      self.status = gov::NodeStatus::kTrusted;
+      self.cert = node_cert_;
+      self.code_id = config_.code_id;
+      self.host = config_.host;
+      gov::WriteRecord(tx.Handle(tables::kNodesInfo), config_.node_id,
+                       self.ToJson());
+
+      // New service identity; previous identity recorded so the recovery
+      // is detectable and the open proposal can be bound to it.
+      auto old_service = store_.GetStr(tables::kServiceInfo,
+                                       tables::kCurrentKey);
+      std::string previous;
+      if (old_service.has_value()) {
+        auto j = json::Parse(*old_service);
+        if (j.ok()) {
+          auto info = gov::ServiceInfo::FromJson(*j);
+          if (info.ok()) {
+            auto cert = crypto::Certificate::Deserialize(info->cert);
+            if (cert.ok()) {
+              previous = HexEncode(ByteSpan(cert->public_key.data(),
+                                            cert->public_key.size()));
+            }
+          }
+        }
+      }
+      gov::ServiceInfo service;
+      service.status = gov::ServiceStatus::kRecovering;
+      service.cert = service_cert_.Serialize();
+      service.previous_identity = previous;
+      gov::WriteRecord(tx.Handle(tables::kServiceInfo), tables::kCurrentKey,
+                       service.ToJson());
+
+      auto committed = CommitAndReplicate(&tx, ledger::EntryType::kInternal);
+      if (!committed.ok()) {
+        LOG_ERROR << "recovery declaration failed: "
+                  << committed.status().ToString();
+      }
+    }
+    // Paper §4.2: "The new view will begin with a signature transaction."
+    EmitSignature();
+  }
+}
+
+// ----------------------------------------------------- transactions
+
+uint64_t Node::ViewAtSeqno(uint64_t seqno) const {
+  if (raft_ == nullptr) return 0;
+  uint64_t v = 0;
+  for (const auto& [view, start] : raft_->view_history()) {
+    if (start <= seqno) v = view;
+  }
+  return v;
+}
+
+Result<consensus::TxId> Node::CommitAndReplicate(kv::Tx* tx,
+                                                 ledger::EntryType type) {
+  if (raft_ == nullptr || !raft_->IsPrimary()) {
+    return Status::Unavailable("not the primary");
+  }
+  ASSIGN_OR_RETURN(kv::CommitResult result, store_.CommitTx(tx));
+  if (result.write_set.empty()) {
+    // Read-only (paper §3.4): respond with the last applied transaction ID.
+    return consensus::TxId{ViewAtSeqno(result.seqno), result.seqno};
+  }
+
+  ledger::Entry entry;
+  entry.view = raft_->view();
+  entry.seqno = result.seqno;
+  entry.type = type;
+  entry.public_ws = result.write_set.SerializePublic();
+  Bytes private_plain = result.write_set.SerializePrivate();
+  kv::WriteSet empty_check;
+  // Only seal when there are private writes.
+  bool has_private = false;
+  for (const auto& [name, writes] : result.write_set.maps) {
+    if (!kv::IsPublicMap(name) && !writes.empty()) has_private = true;
+  }
+  if (has_private) {
+    if (encryptor_ == nullptr) {
+      return Status::FailedPrecondition("no ledger secret available");
+    }
+    auto aad = PublicAadDigest(entry.public_ws);
+    entry.private_sealed =
+        encryptor_->Seal(entry.view, entry.seqno, private_plain,
+                         ByteSpan(aad.data(), aad.size()));
+  }
+  if (!result.claims.empty()) {
+    entry.claims_digest = crypto::Sha256::Hash(result.claims);
+  }
+
+  AppendLeafFor(entry);
+  auto data = std::make_shared<const Bytes>(entry.Serialize());
+  std::optional<consensus::Configuration> reconfig =
+      DetectReconfiguration(result.write_set, result.seqno);
+  Status appended = host_ledger_.Append(entry);
+  if (!appended.ok()) {
+    LOG_ERROR << config_.node_id << " primary ledger append failed";
+  }
+  if (type == ledger::EntryType::kSignature) {
+    // Record our own signed root for receipts.
+    auto it = result.write_set.maps.find(tables::kSignatures);
+    if (it != result.write_set.maps.end() && !it->second.empty()) {
+      auto hex = HexDecode(ToString(*it->second.begin()->second));
+      if (hex.ok()) {
+        auto sr = merkle::SignedRoot::Deserialize(*hex);
+        if (sr.ok()) signed_roots_[entry.seqno] = *sr;
+      }
+    }
+  } else {
+    ++txs_since_signature_;
+  }
+
+  Status replicated = raft_->Replicate(
+      result.seqno, data, type == ledger::EntryType::kSignature, reconfig);
+  if (!replicated.ok()) {
+    return replicated;
+  }
+  return consensus::TxId{entry.view, entry.seqno};
+}
+
+std::set<std::string> Node::TrustedNodesInState() const {
+  std::set<std::string> trusted;
+  const kv::MapEntry* map = store_.current_state().maps.Get(
+      std::string(tables::kNodesInfo));
+  if (map == nullptr) return trusted;
+  map->data.ForEach([&](const Bytes& key, const kv::VersionedValue& vv) {
+    auto j = json::Parse(ToString(vv.value));
+    if (j.ok() && j->GetString("status") == "Trusted") {
+      trusted.insert(ToString(key));
+    }
+    return true;
+  });
+  return trusted;
+}
+
+std::optional<consensus::Configuration> Node::DetectReconfiguration(
+    const kv::WriteSet& writes, uint64_t seqno) {
+  auto it = writes.maps.find(tables::kNodesInfo);
+  if (it == writes.maps.end() || it->second.empty()) return std::nullopt;
+  std::set<std::string> trusted = TrustedNodesInState();
+  if (!raft_->active_configs().empty() &&
+      raft_->active_configs().back().nodes == trusted) {
+    return std::nullopt;  // membership unchanged (e.g. Retiring -> Retired)
+  }
+  // Nodes leaving the configuration become learners until they have seen
+  // their own retirement commit (paper §4.5).
+  for (const std::string& old_node :
+       raft_->active_configs().back().nodes) {
+    if (trusted.count(old_node) == 0 && old_node != config_.node_id) {
+      raft_->AddLearner(old_node);
+    }
+  }
+  LOG_INFO << config_.node_id << " reconfiguration at " << seqno << " to "
+           << trusted.size() << " nodes";
+  return consensus::Configuration{seqno, std::move(trusted)};
+}
+
+void Node::EmitSignature() {
+  if (raft_ == nullptr || !raft_->IsPrimary()) return;
+  merkle::SignedRoot sr;
+  sr.view = raft_->view();
+  sr.seqno = raft_->last_seqno() + 1;
+  sr.root = tree_.Root();
+  sr.node_id = config_.node_id;
+  sr.signature = node_key_.Sign(sr.SignedPayload());
+
+  kv::Tx tx = store_.BeginTx();
+  tx.Handle(tables::kSignatures)
+      ->PutStr(tables::kCurrentKey, HexEncode(sr.Serialize()));
+  auto committed = CommitAndReplicate(&tx, ledger::EntryType::kSignature);
+  if (committed.ok()) {
+    txs_since_signature_ = 0;
+    last_signature_ms_ = now_ms_;
+  }
+}
+
+void Node::MaybeEmitSignature(uint64_t now_ms) {
+  if (!raft_->IsPrimary() || txs_since_signature_ == 0) return;
+  if (txs_since_signature_ >= config_.signature_interval_txs ||
+      now_ms - last_signature_ms_ >= config_.signature_interval_ms) {
+    EmitSignature();
+  }
+}
+
+void Node::MaybeSnapshot() {
+  uint64_t commit = raft_->commit_seqno();
+  if (commit < last_snapshot_seqno_ + config_.snapshot_interval_txs) return;
+  last_snapshot_seqno_ = commit;
+  latest_snapshot_ = kv::TakeSnapshot(store_, ViewAtSeqno(commit));
+  // Keep the matching tree leaves and configuration for joiners.
+  snapshot_leaves_.clear();
+  for (uint64_t i = 0; i < commit; ++i) {
+    auto leaf = tree_.LeafAt(i);
+    if (leaf.ok()) snapshot_leaves_.push_back(*leaf);
+  }
+  snapshot_configs_ = {raft_->active_configs().front()};
+}
+
+void Node::MaybeCompleteRetirements() {
+  // Paper §4.5: once the reconfiguration transaction that set a node to
+  // RETIRING has committed (removing it from the configuration), the
+  // primary adds a second transaction marking it RETIRED; after that
+  // commits the node can be shut down.
+  if (raft_ == nullptr || !raft_->IsPrimary()) return;
+  const kv::MapEntry* map =
+      store_.current_state().maps.Get(std::string(tables::kNodesInfo));
+  if (map == nullptr) return;
+  std::vector<std::string> to_retire;
+  map->data.ForEach([&](const Bytes& key, const kv::VersionedValue& vv) {
+    if (vv.version > raft_->commit_seqno()) return true;  // not committed
+    auto j = json::Parse(ToString(vv.value));
+    if (j.ok() && j->GetString("status") == "Retiring") {
+      to_retire.push_back(ToString(key));
+    }
+    return true;
+  });
+  // Drop learners that have fully caught up on a committed retirement.
+  std::vector<std::string> done;
+  for (const std::string& learner : raft_->learners()) {
+    auto raw = store_.GetStr(tables::kNodesInfo, learner);
+    if (!raw.has_value()) continue;
+    auto j = json::Parse(*raw);
+    if (j.ok() && j->GetString("status") == "Retired" &&
+        raft_->PeerCaughtUp(learner)) {
+      done.push_back(learner);
+    }
+  }
+  for (const std::string& learner : done) raft_->RemoveLearner(learner);
+
+  if (to_retire.empty()) return;
+  kv::Tx tx = store_.BeginTx();
+  for (const std::string& node_id : to_retire) {
+    auto record = gov::ReadRecord(tx.Handle(tables::kNodesInfo), node_id);
+    if (!record.ok()) continue;
+    auto info = gov::NodeInfo::FromJson(*record);
+    if (!info.ok()) continue;
+    info->status = gov::NodeStatus::kRetired;
+    gov::WriteRecord(tx.Handle(tables::kNodesInfo), node_id, info->ToJson());
+    LOG_INFO << config_.node_id << " marking " << node_id << " Retired";
+  }
+  auto committed = CommitAndReplicate(&tx, ledger::EntryType::kReconfiguration);
+  if (!committed.ok()) {
+    LOG_DEBUG << "retirement completion failed: "
+              << committed.status().ToString();
+  }
+}
+
+void Node::HandleOwnRetirement() {
+  if (retired_) return;
+  auto raw = store_.GetStr(tables::kNodesInfo, config_.node_id);
+  if (!raw.has_value()) return;
+  auto j = json::Parse(*raw);
+  if (!j.ok()) return;
+  if (j->GetString("status") == "Retired") {
+    // Only final once committed.
+    const kv::MapEntry* map = store_.current_state().maps.Get(
+        std::string(tables::kNodesInfo));
+    if (map != nullptr && map->version <= raft_->commit_seqno()) {
+      retired_ = true;
+      LOG_INFO << config_.node_id << " retired and may shut down";
+    }
+  }
+}
+
+Result<Bytes> Node::ExtractRecoveryShare(const std::string& member_id,
+                                         const crypto::KeyPair& member_key) {
+  kv::Tx tx = store_.BeginTx();
+  return gov::ShareManager::ExtractMemberShare(&tx, member_id, member_key);
+}
+
+}  // namespace ccf::node

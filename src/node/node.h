@@ -1,0 +1,283 @@
+// A CCF node: the integration of every substrate in this repository.
+//
+// One Node object contains both halves of Figure 2:
+//   - the untrusted HOST: network endpoint (simulation process), the
+//     append-only ledger on "disk", snapshot files;
+//   - the ENCLAVE: node & service keys, the transactional KV store, the
+//     Merkle tree, the consensus layer, the endpoint dispatcher, the
+//     governance engine, and the script runtime.
+// All network payloads cross between the two through the ring-buffer
+// boundary (tee::EnclaveBoundary), where the TEE mode's cost applies.
+// Ledger persistence is modelled as direct host-object calls.
+//
+// A node starts in one of three ways (paper §5):
+//   - CreateGenesis: first node of a new service; creates the service
+//     identity and the genesis transaction.
+//   - CreateJoiner: attests to an existing service over STLS and receives
+//     the service secrets, a snapshot, and a node certificate (§4.4).
+//   - CreateRecovery: disaster recovery from ledger files (§5.2): public
+//     state is restored immediately; private state after enough members
+//     submit their recovery shares.
+
+#ifndef CCF_NODE_NODE_H_
+#define CCF_NODE_NODE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consensus/raft.h"
+#include "gov/records.h"
+#include "gov/shares.h"
+#include "http/http.h"
+#include "kv/encryptor.h"
+#include "kv/snapshot.h"
+#include "kv/store.h"
+#include "ledger/ledger.h"
+#include "merkle/merkle.h"
+#include "merkle/receipt.h"
+#include "node/app.h"
+#include "node/config.h"
+#include "rpc/endpoints.h"
+#include "rpc/session.h"
+#include "sim/environment.h"
+
+namespace ccf::node {
+
+class Node : public consensus::RaftCallbacks {
+ public:
+  static std::unique_ptr<Node> CreateGenesis(NodeConfig config,
+                                             const ServiceInit& init,
+                                             Application* app,
+                                             sim::Environment* env);
+  static std::unique_ptr<Node> CreateJoiner(
+      NodeConfig config, crypto::PublicKeyBytes service_identity,
+      const std::string& target_node, Application* app,
+      sim::Environment* env);
+  static std::unique_ptr<Node> CreateRecovery(NodeConfig config,
+                                              ledger::Ledger restored,
+                                              Application* app,
+                                              sim::Environment* env);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ------------------------------------------------------------ state
+
+  const std::string& id() const { return config_.node_id; }
+  // Accessors are safe before a joiner has completed its join.
+  bool IsPrimary() const { return raft_ != nullptr && raft_->IsPrimary(); }
+  uint64_t view() const { return raft_ != nullptr ? raft_->view() : 0; }
+  uint64_t commit_seqno() const {
+    return raft_ != nullptr ? raft_->commit_seqno() : 0;
+  }
+  uint64_t last_seqno() const {
+    return raft_ != nullptr ? raft_->last_seqno() : 0;
+  }
+  bool has_joined() const { return raft_ != nullptr; }
+  const crypto::PublicKeyBytes& service_identity() const {
+    return service_identity_;
+  }
+  gov::ServiceStatus service_status() const;
+  // True once this node's retirement has committed and it can be shut
+  // down by the operator (paper §4.5).
+  bool retired() const { return retired_; }
+
+  consensus::RaftNode& raft() { return *raft_; }
+  kv::Store& store() { return store_; }
+  const ledger::Ledger& host_ledger() const { return host_ledger_; }
+  const tee::EnclaveBoundary& boundary() const { return boundary_; }
+
+  // ------------------------------------------------------- host ops
+
+  Status SaveLedgerToDir(const std::string& dir) const {
+    return ledger::SaveToDir(host_ledger_, dir);
+  }
+
+  void InstallIndexingStrategy(std::shared_ptr<IndexingStrategy> strategy) {
+    indexing_strategies_.push_back(std::move(strategy));
+  }
+
+  // Member-side helper for recovery drills (reads public state).
+  Result<Bytes> ExtractRecoveryShare(const std::string& member_id,
+                                     const crypto::KeyPair& member_key);
+
+  // --------------------------------------------------- RaftCallbacks
+
+  void OnAppend(const consensus::LogEntry& entry) override;
+  void OnRollback(uint64_t seqno) override;
+  void OnCommit(uint64_t seqno) override;
+  void OnRoleChange(consensus::Role role, uint64_t view) override;
+  void Send(const consensus::NodeId& to,
+            const consensus::Message& msg) override;
+
+ private:
+  Node(NodeConfig config, Application* app, sim::Environment* env);
+
+  // ------------------------------------------------------ lifecycle
+
+  void InitGenesis(const ServiceInit& init);
+  void StartJoin(const std::string& target_node);
+  void InitRecovery(ledger::Ledger restored);
+  void RegisterWithEnvironment();
+  void InstallFrameworkEndpoints();
+
+  // -------------------------------------------------------- driving
+
+  void HostReceive(const std::string& from, ByteSpan data);
+  void Tick(uint64_t now_ms);
+  void DrainEnclaveInbox();
+  void DrainEnclaveOutbox();
+  void EnclaveProcess(const std::string& from, ByteSpan data);
+  // Queues an outbound network message (crosses the boundary).
+  void EnclaveSendNet(const std::string& to, ByteSpan data);
+
+  // ------------------------------------------------------- sessions
+
+  void HandleSessionRecord(const std::string& peer, ByteSpan record);
+  void HandleChannelMessage(const std::string& peer, ByteSpan payload);
+  void SendOnChannel(const std::string& peer, uint8_t channel_type,
+                     ByteSpan payload);
+  Result<Bytes> ChannelKeyFor(const std::string& peer);
+  crypto::AesGcm* ChannelGcmFor(const std::string& peer);
+  std::optional<crypto::PublicKeyBytes> NodePublicKey(
+      const std::string& node_id);
+
+  // ------------------------------------------------------- requests
+
+  void DispatchRequest(const std::string& session_peer,
+                       const http::Request& request);
+  void RespondToSession(const std::string& session_peer,
+                        const http::Response& response);
+  http::Response ExecuteRequest(const http::Request& request,
+                                const rpc::CallerIdentity& caller);
+  http::Response ExecuteScriptedEndpoint(const std::string& key,
+                                         const json::Value& spec,
+                                         const http::Request& request,
+                                         const rpc::CallerIdentity& caller);
+  Result<rpc::CallerIdentity> Authenticate(
+      const std::optional<crypto::Certificate>& session_cert);
+  Status CheckAuthPolicy(rpc::AuthPolicy policy,
+                         const rpc::CallerIdentity& caller);
+  void ForwardToPrimary(const std::string& session_peer,
+                        const http::Request& request,
+                        const rpc::CallerIdentity& caller);
+
+  // -------------------------------------------------- transactions
+
+  // Commits `tx` and replicates the resulting entry. Returns the tx ID.
+  Result<consensus::TxId> CommitAndReplicate(kv::Tx* tx,
+                                             ledger::EntryType type);
+  void EmitSignature();
+  void MaybeEmitSignature(uint64_t now_ms);
+  void MaybeSnapshot();
+  void ApplyRemoteEntry(const consensus::LogEntry& entry);
+  std::optional<consensus::Configuration> DetectReconfiguration(
+      const kv::WriteSet& writes, uint64_t seqno);
+  std::set<std::string> TrustedNodesInState() const;
+  void AppendLeafFor(const ledger::Entry& entry);
+  uint64_t ViewAtSeqno(uint64_t seqno) const;
+  void HandleOwnRetirement();
+  void MaybeCompleteRetirements();
+
+  // ------------------------------------------------ built-in logic
+
+  void HandleJoinRequest(rpc::EndpointContext* ctx);
+  void HandleJoinResponseRecord(ByteSpan record);
+  Status InstallJoinResponse(const json::Value& body);
+  void HandleRecoveryShareSubmission(rpc::EndpointContext* ctx);
+  void CompleteRecovery(kv::LedgerSecret secret);
+  Result<merkle::Receipt> BuildReceipt(uint64_t seqno);
+
+  // ---------------------------------------------------------- data
+
+  NodeConfig config_;
+  Application* app_;
+  sim::Environment* env_;
+
+  // ------------------------------ host state
+  ledger::Ledger host_ledger_;
+  tee::EnclaveBoundary boundary_;
+
+  // ------------------------------ enclave state
+  crypto::Drbg drbg_;
+  crypto::KeyPair node_key_;
+  crypto::Certificate node_cert_;
+  // Service identity. Genesis/recovery nodes generate it; joiners receive
+  // the private key after attestation (paper Table 1).
+  std::unique_ptr<crypto::KeyPair> service_key_;  // null until trusted
+  crypto::PublicKeyBytes service_identity_{};
+  crypto::Certificate service_cert_;
+
+  kv::Store store_;
+  std::unique_ptr<kv::TxEncryptor> encryptor_;
+  kv::LedgerSecret ledger_secret_;
+  merkle::MerkleTree tree_;
+  std::unique_ptr<consensus::RaftNode> raft_;
+
+  rpc::EndpointRegistry registry_;
+
+  // Per-transaction digests for receipts, indexed by seqno-1.
+  struct TxDigests {
+    crypto::Sha256Digest write_set;
+    crypto::Sha256Digest claims;
+  };
+  std::vector<TxDigests> tx_digests_;
+  // Committed signature roots by seqno (receipt lookup).
+  std::map<uint64_t, merkle::SignedRoot> signed_roots_;
+
+  // Sessions from users/joiners, keyed by simulation peer id.
+  struct UserSession {
+    std::unique_ptr<rpc::ServerSession> stls;
+    http::RequestParser parser;
+    bool sticky_forwarding = false;
+  };
+  std::map<std::string, UserSession> sessions_;
+
+  // Node-to-node channel receive/send state. Pair keys are derived once
+  // per peer (static-static ECDH) and cached.
+  std::map<std::string, uint64_t> channel_send_counter_;
+  std::map<std::string, crypto::PublicKeyBytes> known_node_keys_;
+  std::map<std::string, std::unique_ptr<crypto::AesGcm>> channel_gcm_;
+
+  // Forwarded requests awaiting a primary response: correlation -> session.
+  uint64_t next_correlation_ = 1;
+  std::map<uint64_t, std::string> pending_forwards_;
+
+  // Joining state.
+  bool join_pending_ = false;
+  std::string join_target_;
+  std::unique_ptr<rpc::ClientSession> join_session_;
+  http::ResponseParser join_parser_;
+  bool join_request_sent_ = false;
+
+  // Recovery state.
+  bool recovery_pending_ = false;
+  std::map<std::string, Bytes> submitted_shares_;
+
+  // Signature cadence.
+  uint64_t txs_since_signature_ = 0;
+  uint64_t last_signature_ms_ = 0;
+  uint64_t now_ms_ = 0;
+
+  // Snapshots (host side).
+  uint64_t last_snapshot_seqno_ = 0;
+  std::optional<kv::Snapshot> latest_snapshot_;
+  std::vector<merkle::Digest> snapshot_leaves_;  // tree leaves at snapshot
+  std::vector<consensus::Configuration> snapshot_configs_;
+
+  std::vector<std::shared_ptr<IndexingStrategy>> indexing_strategies_;
+  uint64_t indexed_upto_ = 0;
+
+  bool retired_ = false;
+  bool integrity_violation_ = false;  // backup saw a bad signature root
+};
+
+}  // namespace ccf::node
+
+#endif  // CCF_NODE_NODE_H_

@@ -1,0 +1,1046 @@
+// Session handling, request dispatch, built-in endpoints, the join
+// protocol, and disaster recovery for ccf::node::Node.
+
+#include <algorithm>
+
+#include "common/buffer.h"
+#include "common/hex.h"
+#include "common/logging.h"
+#include "gov/constitution.h"
+#include "gov/proposals.h"
+#include "kv/tables.h"
+#include "node/node.h"
+#include "script/interp.h"
+#include "tee/attestation.h"
+
+namespace ccf::node {
+
+namespace tables = kv::tables;
+
+namespace {
+
+enum WireKind : uint8_t {
+  kSessionRecord = 1,
+  kNodeChannel = 2,
+};
+
+enum ChannelType : uint8_t {
+  kConsensus = 1,
+  kForwardRequest = 2,
+  kForwardResponse = 3,
+};
+
+Bytes WrapWire(WireKind kind, ByteSpan payload) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(kind));
+  Append(&out, payload);
+  return out;
+}
+
+// Splits "/path?k=v&k2=v2" into the path and a param map.
+std::pair<std::string, std::map<std::string, std::string>> SplitQuery(
+    const std::string& raw_path) {
+  size_t q = raw_path.find('?');
+  if (q == std::string::npos) return {raw_path, {}};
+  std::map<std::string, std::string> params;
+  std::string rest = raw_path.substr(q + 1);
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    size_t amp = rest.find('&', pos);
+    std::string pair = amp == std::string::npos ? rest.substr(pos)
+                                                : rest.substr(pos, amp - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      params[pair] = "";
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return {raw_path.substr(0, q), params};
+}
+
+// Verifies the detached governance request signature (COSE-Sign1 analogue):
+// x-ccf-signature header = hex signature over SHA-256 of the body, under
+// the caller's certificate key.
+Status VerifyGovSignature(const http::Request& request,
+                          const rpc::CallerIdentity& caller) {
+  if (!caller.cert.has_value()) {
+    return Status::Unauthenticated("governance requires a member certificate");
+  }
+  std::string sig_hex = request.GetHeader("x-ccf-signature");
+  if (sig_hex.empty()) {
+    return Status::Unauthenticated(
+        "governance writes must be signed (x-ccf-signature)");
+  }
+  auto sig = HexDecode(sig_hex);
+  if (!sig.ok()) return Status::Unauthenticated("malformed signature");
+  auto digest = crypto::Sha256::Hash(request.body);
+  if (!crypto::Verify(caller.cert->public_key,
+                      ByteSpan(digest.data(), digest.size()), *sig)) {
+    return Status::Unauthenticated("bad governance request signature");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- sessions
+
+void Node::HandleSessionRecord(const std::string& peer, ByteSpan record) {
+  // A joining node acts as the STLS *client* towards its target.
+  if (join_pending_ && peer == join_target_) {
+    HandleJoinResponseRecord(record);
+    return;
+  }
+
+  auto it = sessions_.find(peer);
+  bool is_hello = !record.empty() && record[0] == 1;  // kClientHello
+  if (it == sessions_.end() || is_hello) {
+    UserSession session;
+    session.stls = std::make_unique<rpc::ServerSession>(&node_key_,
+                                                        node_cert_, &drbg_);
+    it = sessions_.insert_or_assign(peer, std::move(session)).first;
+  }
+  auto out = it->second.stls->OnRecord(record);
+  if (!out.ok()) {
+    LOG_DEBUG << config_.node_id << " session error from " << peer << ": "
+              << out.status().ToString();
+    sessions_.erase(it);
+    return;
+  }
+  if (!out->to_send.empty()) {
+    EnclaveSendNet(peer, WrapWire(kSessionRecord, out->to_send));
+  }
+  for (const Bytes& app_data : out->app_data) {
+    it->second.parser.Feed(app_data);
+  }
+  while (true) {
+    auto req = it->second.parser.Next();
+    if (!req.ok()) {
+      sessions_.erase(peer);
+      return;
+    }
+    if (!req->has_value()) break;
+    DispatchRequest(peer, **req);
+    // Dispatch may have torn down the session (error path).
+    it = sessions_.find(peer);
+    if (it == sessions_.end()) break;
+  }
+}
+
+void Node::RespondToSession(const std::string& session_peer,
+                            const http::Response& response) {
+  auto it = sessions_.find(session_peer);
+  if (it == sessions_.end()) return;
+  auto record = it->second.stls->Seal(response.Serialize());
+  if (record.ok()) {
+    EnclaveSendNet(session_peer, WrapWire(kSessionRecord, *record));
+  }
+}
+
+// ----------------------------------------------------------------- auth
+
+Result<rpc::CallerIdentity> Node::Authenticate(
+    const std::optional<crypto::Certificate>& session_cert) {
+  rpc::CallerIdentity caller;
+  if (!session_cert.has_value()) return caller;
+  caller.cert = session_cert;
+  std::string cert_hex = HexEncode(session_cert->Serialize());
+
+  // Scan the identity maps for a record with this certificate; the map key
+  // is the principal's id (paper Table 3 / Listing 2 style).
+  auto scan = [&](const char* table, bool* flag) {
+    const kv::MapEntry* map =
+        store_.current_state().maps.Get(std::string(table));
+    if (map == nullptr) return;
+    map->data.ForEach([&](const Bytes& key, const kv::VersionedValue& vv) {
+      auto j = json::Parse(ToString(vv.value));
+      if (j.ok() && j->GetString("cert") == cert_hex) {
+        caller.id = ToString(key);
+        *flag = true;
+        return false;
+      }
+      return true;
+    });
+  };
+  scan(tables::kUsersCerts, &caller.is_user);
+  if (!caller.is_user) scan(tables::kMembersCerts, &caller.is_member);
+  if (caller.id.empty()) caller.id = session_cert->Fingerprint();
+  return caller;
+}
+
+Status Node::CheckAuthPolicy(rpc::AuthPolicy policy,
+                             const rpc::CallerIdentity& caller) {
+  switch (policy) {
+    case rpc::AuthPolicy::kNoAuth:
+      return Status::Ok();
+    case rpc::AuthPolicy::kUserCert:
+      if (!caller.is_user) {
+        return Status::PermissionDenied("requires a registered user cert");
+      }
+      return Status::Ok();
+    case rpc::AuthPolicy::kMemberCert:
+      if (!caller.is_member) {
+        return Status::PermissionDenied("requires a consortium member cert");
+      }
+      return Status::Ok();
+    case rpc::AuthPolicy::kAnyCert:
+      if (!caller.is_user && !caller.is_member) {
+        return Status::PermissionDenied("requires a registered cert");
+      }
+      return Status::Ok();
+  }
+  return Status::Internal("unknown auth policy");
+}
+
+// -------------------------------------------------------------- dispatch
+
+void Node::DispatchRequest(const std::string& session_peer,
+                           const http::Request& request) {
+  auto session_it = sessions_.find(session_peer);
+  if (session_it == sessions_.end()) return;
+  UserSession& session = session_it->second;
+
+  auto caller = Authenticate(session.stls->peer_cert());
+  if (!caller.ok()) {
+    http::Response resp;
+    resp.status = 401;
+    resp.body = ToBytes(caller.status().ToString());
+    RespondToSession(session_peer, resp);
+    return;
+  }
+
+  // Determine whether this request can execute locally: read-only
+  // endpoints are served by any node (paper §4.3); writes go to the
+  // primary. Session consistency: once forwarded, always forwarded.
+  auto [path, query] = SplitQuery(request.path);
+  bool read_only = false;
+  const rpc::EndpointSpec* spec = registry_.Find(request.method, path);
+  if (spec != nullptr) {
+    read_only = spec->read_only;
+  } else {
+    auto scripted = store_.GetStr(tables::kEndpoints,
+                                  request.method + " " + path);
+    if (scripted.has_value()) {
+      auto j = json::Parse(*scripted);
+      if (j.ok()) read_only = j->GetBool("readonly");
+    }
+  }
+
+  bool must_forward = (!read_only || session.sticky_forwarding) &&
+                      raft_ != nullptr && !raft_->IsPrimary();
+  if (must_forward) {
+    session.sticky_forwarding = true;
+    ForwardToPrimary(session_peer, request, *caller);
+    return;
+  }
+  http::Response response = ExecuteRequest(request, *caller);
+  RespondToSession(session_peer, response);
+}
+
+void Node::ForwardToPrimary(const std::string& session_peer,
+                            const http::Request& request,
+                            const rpc::CallerIdentity& caller) {
+  auto leader = raft_ != nullptr ? raft_->leader() : std::nullopt;
+  if (!leader.has_value() || *leader == config_.node_id) {
+    http::Response resp;
+    resp.status = 503;
+    resp.body = ToBytes("{\"error\":\"no known primary, retry\"}");
+    RespondToSession(session_peer, resp);
+    return;
+  }
+  uint64_t corr = next_correlation_++;
+  pending_forwards_[corr] = session_peer;
+  BufWriter w;
+  w.U64(corr);
+  w.Bool(caller.cert.has_value());
+  if (caller.cert.has_value()) {
+    w.Blob(caller.cert->Serialize());
+  }
+  w.Blob(request.Serialize());
+  SendOnChannel(*leader, kForwardRequest, w.data());
+}
+
+http::Response Node::ExecuteRequest(const http::Request& request,
+                                    const rpc::CallerIdentity& caller) {
+  auto [path, query] = SplitQuery(request.path);
+  http::Response error;
+
+  const rpc::EndpointSpec* spec = registry_.Find(request.method, path);
+  json::Value scripted_spec;
+  bool is_scripted = false;
+  if (spec == nullptr) {
+    auto scripted = store_.GetStr(tables::kEndpoints,
+                                  request.method + " " + path);
+    if (scripted.has_value()) {
+      auto j = json::Parse(*scripted);
+      if (j.ok()) {
+        scripted_spec = *j;
+        is_scripted = true;
+      }
+    }
+  }
+  if (spec == nullptr && !is_scripted) {
+    error.status = 404;
+    error.body = ToBytes("{\"error\":\"no such endpoint\"}");
+    return error;
+  }
+
+  // The application is only reachable once the service is open (paper §5).
+  if (path.rfind("/app/", 0) == 0 &&
+      service_status() != gov::ServiceStatus::kOpen) {
+    error.status = 503;
+    error.body = ToBytes("{\"error\":\"service is not open\"}");
+    return error;
+  }
+
+  rpc::AuthPolicy policy = rpc::AuthPolicy::kNoAuth;
+  if (spec != nullptr) {
+    policy = spec->auth;
+  } else {
+    std::string auth = scripted_spec.GetString("auth", "no_auth");
+    if (auth == "user_cert") policy = rpc::AuthPolicy::kUserCert;
+    if (auth == "member_cert") policy = rpc::AuthPolicy::kMemberCert;
+    if (auth == "any_cert") policy = rpc::AuthPolicy::kAnyCert;
+  }
+  Status auth_ok = CheckAuthPolicy(policy, caller);
+  if (!auth_ok.ok()) {
+    error.status = 401;
+    error.body = ToBytes("{\"error\":\"" + auth_ok.message() + "\"}");
+    return error;
+  }
+
+  // Optimistic execution with re-execution on conflict (paper §6.4).
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (is_scripted) {
+      http::Response resp = ExecuteScriptedEndpoint(
+          request.method + " " + path, scripted_spec, request, caller);
+      if (resp.status == 409 && attempt + 1 < 5) continue;
+      return resp;
+    }
+
+    kv::Tx tx = store_.BeginTx();
+    // Stash query params as header-like fields for handlers.
+    http::Request annotated = request;
+    annotated.path = path;
+    for (const auto& [k, v] : query) {
+      annotated.headers["x-query-" + k] = v;
+    }
+    rpc::EndpointContext qctx(&tx, &annotated, caller);
+    spec->handler(&qctx);
+    http::Response resp = std::move(qctx.response());
+    if (resp.status >= 400) {
+      return resp;  // failed requests leave no trace in the ledger
+    }
+    if (spec->read_only) {
+      if (tx.has_writes()) {
+        error.status = 500;
+        error.body = ToBytes("{\"error\":\"read-only endpoint wrote\"}");
+        return error;
+      }
+      resp.headers[http::kTxIdHeader] =
+          consensus::TxId{ViewAtSeqno(store_.current_seqno()),
+                          store_.current_seqno()}
+              .ToString();
+      return resp;
+    }
+    ledger::EntryType entry_type = path.rfind("/gov/", 0) == 0
+                                       ? ledger::EntryType::kGovernance
+                                       : ledger::EntryType::kUser;
+    auto committed = CommitAndReplicate(&tx, entry_type);
+    if (!committed.ok()) {
+      if (committed.status().code() == Status::Code::kAborted) {
+        continue;  // conflict: re-execute
+      }
+      error.status = 503;
+      error.body = ToBytes("{\"error\":\"" + committed.status().message() +
+                           "\"}");
+      return error;
+    }
+    resp.headers[http::kTxIdHeader] = committed->ToString();
+    return resp;
+  }
+  error.status = 409;
+  error.body = ToBytes("{\"error\":\"transaction conflict\"}");
+  return error;
+}
+
+http::Response Node::ExecuteScriptedEndpoint(
+    const std::string& key, const json::Value& spec,
+    const http::Request& request, const rpc::CallerIdentity& caller) {
+  (void)key;
+  http::Response resp;
+  auto module = store_.GetStr(tables::kModules, "app");
+  if (!module.has_value()) {
+    resp.status = 500;
+    resp.body = ToBytes("{\"error\":\"no scripted app installed\"}");
+    return resp;
+  }
+  std::string handler = spec.GetString("handler");
+  bool read_only = spec.GetBool("readonly");
+
+  kv::Tx tx = store_.BeginTx();
+  // Fresh interpreter per request, like CCF's per-request JS runtime.
+  script::Interpreter interp;
+  gov::BindKvNatives(&interp, &tx, read_only);
+  auto program = script::Compile(*module);
+  if (!program.ok()) {
+    resp.status = 500;
+    resp.body = ToBytes("{\"error\":\"app module does not compile\"}");
+    return resp;
+  }
+  if (!interp.Run(*program).ok()) {
+    resp.status = 500;
+    resp.body = ToBytes("{\"error\":\"app module failed to initialize\"}");
+    return resp;
+  }
+
+  script::Object req_obj;
+  req_obj["method"] = script::Value(request.method);
+  req_obj["path"] = script::Value(request.path);
+  req_obj["body"] = script::Value(ToString(request.body));
+  req_obj["caller_id"] = script::Value(caller.id);
+  auto params = json::Parse(ToString(request.body));
+  req_obj["params"] = params.ok() ? script::Value::FromJson(*params)
+                                  : script::Value();
+  auto result = interp.Call(handler, {script::Value(std::move(req_obj))});
+  if (!result.ok()) {
+    resp.status = 500;
+    resp.body = ToBytes("{\"error\":\"" + result.status().message() + "\"}");
+    return resp;
+  }
+
+  // Handler returns {status, body} (object body is JSON-serialized).
+  int status = 200;
+  std::string body;
+  if (result->is_object()) {
+    const script::Object& obj = *result->AsObject();
+    auto sit = obj.find("status");
+    if (sit != obj.end() && sit->second.is_number()) {
+      status = static_cast<int>(sit->second.AsNumber());
+    }
+    auto bit = obj.find("body");
+    if (bit != obj.end()) {
+      if (bit->second.is_string()) {
+        body = bit->second.AsString();
+      } else {
+        auto j = bit->second.ToJson();
+        if (j.ok()) body = j->Dump();
+      }
+    }
+  } else if (result->is_string()) {
+    body = result->AsString();
+  }
+  resp.status = status;
+  resp.body = ToBytes(body);
+  if (resp.status >= 400) return resp;
+
+  if (read_only || !tx.has_writes()) {
+    resp.headers[http::kTxIdHeader] =
+        consensus::TxId{ViewAtSeqno(store_.current_seqno()),
+                        store_.current_seqno()}
+            .ToString();
+    return resp;
+  }
+  auto committed = CommitAndReplicate(&tx, ledger::EntryType::kUser);
+  if (!committed.ok()) {
+    resp.status =
+        committed.status().code() == Status::Code::kAborted ? 409 : 503;
+    resp.body = ToBytes("{\"error\":\"" + committed.status().message() +
+                        "\"}");
+    return resp;
+  }
+  resp.headers[http::kTxIdHeader] = committed->ToString();
+  return resp;
+}
+
+// --------------------------------------------------- framework endpoints
+
+void Node::InstallFrameworkEndpoints() {
+  using rpc::AuthPolicy;
+  using rpc::EndpointContext;
+
+  // Transaction status (paper §3.2, Figure 4).
+  registry_.Install(
+      "GET", "/node/tx",
+      {[this](EndpointContext* ctx) {
+         uint64_t view = std::strtoull(
+             ctx->request().GetHeader("x-query-view").c_str(), nullptr, 10);
+         uint64_t seqno = std::strtoull(
+             ctx->request().GetHeader("x-query-seqno").c_str(), nullptr, 10);
+         json::Object out;
+         out["view"] = view;
+         out["seqno"] = seqno;
+         out["status"] = consensus::TxStatusName(
+             raft_ != nullptr ? raft_->GetTxStatus(view, seqno)
+                              : consensus::TxStatus::kUnknown);
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
+  registry_.Install(
+      "GET", "/node/commit",
+      {[this](EndpointContext* ctx) {
+         uint64_t commit = raft_ != nullptr ? raft_->commit_seqno() : 0;
+         json::Object out;
+         out["view"] = ViewAtSeqno(commit);
+         out["seqno"] = commit;
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
+  registry_.Install(
+      "GET", "/node/network",
+      {[this](EndpointContext* ctx) {
+         json::Object out;
+         out["view"] = raft_ != nullptr ? raft_->view() : 0;
+         out["primary"] =
+             raft_ != nullptr && raft_->leader().has_value()
+                 ? json::Value(*raft_->leader())
+                 : json::Value(nullptr);
+         json::Object nodes;
+         ctx->tx().Handle(tables::kNodesInfo)
+             ->Foreach([&](const Bytes& key, const Bytes& value) {
+               auto j = json::Parse(ToString(value));
+               nodes[ToString(key)] =
+                   j.ok() ? json::Value(j->GetString("status"))
+                          : json::Value("?");
+               return true;
+             });
+         out["nodes"] = std::move(nodes);
+         out["service_status"] = gov::ServiceStatusName(service_status());
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
+  // Verifiable receipts (paper §3.5).
+  registry_.Install(
+      "GET", "/node/receipt",
+      {[this](EndpointContext* ctx) {
+         uint64_t seqno = std::strtoull(
+             ctx->request().GetHeader("x-query-seqno").c_str(), nullptr, 10);
+         auto receipt = BuildReceipt(seqno);
+         if (!receipt.ok()) {
+           ctx->SetError(404, receipt.status().message());
+           return;
+         }
+         json::Object out;
+         out["receipt"] = HexEncode(receipt->Serialize());
+         out["view"] = receipt->view;
+         out["seqno"] = receipt->seqno;
+         out["root_seqno"] = receipt->signed_root.seqno;
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
+  // Join protocol (paper §4.4 / §5; a write, so it executes on the
+  // primary via forwarding).
+  registry_.Install("POST", "/node/join",
+                    {[this](EndpointContext* ctx) { HandleJoinRequest(ctx); },
+                     AuthPolicy::kNoAuth, /*read_only=*/false});
+
+  // Governance (paper §5.1).
+  registry_.Install(
+      "POST", "/gov/propose",
+      {[this](EndpointContext* ctx) {
+         Status sig = VerifyGovSignature(ctx->request(), ctx->caller());
+         if (!sig.ok()) {
+           ctx->SetError(401, sig.message());
+           return;
+         }
+         auto params = ctx->Params();
+         if (!params.ok() || params->Get("proposal") == nullptr) {
+           ctx->SetError(400, "body must contain {proposal}");
+           return;
+         }
+         auto outcome = gov::ProposalManager::Submit(
+             &ctx->tx(), ctx->caller().id, *params->Get("proposal"),
+             ctx->request().body);
+         if (!outcome.ok()) {
+           ctx->SetError(400, outcome.status().message());
+           return;
+         }
+         json::Object out;
+         out["proposal_id"] = outcome->proposal_id;
+         out["state"] = gov::ProposalStateName(outcome->state);
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kMemberCert, /*read_only=*/false});
+
+  registry_.Install(
+      "POST", "/gov/vote",
+      {[this](EndpointContext* ctx) {
+         Status sig = VerifyGovSignature(ctx->request(), ctx->caller());
+         if (!sig.ok()) {
+           ctx->SetError(401, sig.message());
+           return;
+         }
+         auto params = ctx->Params();
+         if (!params.ok()) {
+           ctx->SetError(400, "bad body");
+           return;
+         }
+         auto outcome = gov::ProposalManager::Vote(
+             &ctx->tx(), ctx->caller().id,
+             params->GetString("proposal_id"), params->GetString("ballot"),
+             ctx->request().body);
+         if (!outcome.ok()) {
+           ctx->SetError(400, outcome.status().message());
+           return;
+         }
+         json::Object out;
+         out["proposal_id"] = outcome->proposal_id;
+         out["state"] = gov::ProposalStateName(outcome->state);
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kMemberCert, /*read_only=*/false});
+
+  registry_.Install(
+      "GET", "/gov/proposal",
+      {[this](EndpointContext* ctx) {
+         std::string id = ctx->request().GetHeader("x-query-id");
+         auto proposal = gov::ProposalManager::GetProposal(&ctx->tx(), id);
+         auto info = gov::ProposalManager::GetInfo(&ctx->tx(), id);
+         if (!proposal.ok() || !info.ok()) {
+           ctx->SetError(404, "no such proposal");
+           return;
+         }
+         json::Object out;
+         out["proposal"] = *proposal;
+         out["info"] = info->ToJson();
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kMemberCert, /*read_only=*/true});
+
+  // Disaster recovery share submission (paper §5.2).
+  registry_.Install(
+      "POST", "/gov/recovery_share",
+      {[this](EndpointContext* ctx) { HandleRecoveryShareSubmission(ctx); },
+       AuthPolicy::kMemberCert, /*read_only=*/false});
+
+  registry_.Install(
+      "GET", "/node/api",
+      {[this](EndpointContext* ctx) {
+         json::Array endpoints;
+         for (const std::string& key : registry_.List()) {
+           endpoints.emplace_back(key);
+         }
+         json::Object out;
+         out["endpoints"] = std::move(endpoints);
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+}
+
+Result<merkle::Receipt> Node::BuildReceipt(uint64_t seqno) {
+  if (raft_ == nullptr || seqno == 0 || seqno > raft_->commit_seqno()) {
+    return Status::NotFound("transaction is not committed");
+  }
+  if (seqno > tx_digests_.size()) {
+    return Status::NotFound("no digest recorded for seqno");
+  }
+  // Find the first committed signature transaction after seqno.
+  auto it = signed_roots_.upper_bound(seqno);
+  while (it != signed_roots_.end() && it->first > raft_->commit_seqno()) {
+    ++it;
+  }
+  if (it == signed_roots_.end()) {
+    return Status::Unavailable("no signature transaction covers this seqno");
+  }
+  const merkle::SignedRoot& sr = it->second;
+
+  merkle::Receipt receipt;
+  receipt.view = ViewAtSeqno(seqno);
+  receipt.seqno = seqno;
+  receipt.write_set_digest = tx_digests_[seqno - 1].write_set;
+  receipt.claims_digest = tx_digests_[seqno - 1].claims;
+  ASSIGN_OR_RETURN(receipt.proof, tree_.GetProof(seqno - 1, sr.seqno - 1));
+  receipt.signed_root = sr;
+  // The receipt carries the signing node's certificate. We may not be the
+  // signer; look its certificate up in the store.
+  if (sr.node_id == config_.node_id) {
+    receipt.node_cert = node_cert_;
+  } else {
+    auto raw = store_.GetStr(tables::kNodesInfo, sr.node_id);
+    if (!raw.has_value()) {
+      return Status::Unavailable("signer certificate unknown");
+    }
+    ASSIGN_OR_RETURN(json::Value j, json::Parse(*raw));
+    ASSIGN_OR_RETURN(gov::NodeInfo info, gov::NodeInfo::FromJson(j));
+    receipt.node_cert = info.cert;
+  }
+  return receipt;
+}
+
+// ------------------------------------------------------------------ join
+
+void Node::HandleJoinRequest(rpc::EndpointContext* ctx) {
+  auto params = ctx->Params();
+  if (!params.ok()) {
+    ctx->SetError(400, "bad join body");
+    return;
+  }
+  std::string joiner_id = params->GetString("node_id");
+  std::string host = params->GetString("host");
+  auto quote_bytes = HexDecode(params->GetString("quote"));
+  auto pub_bytes = HexDecode(params->GetString("public_key"));
+  if (joiner_id.empty() || !quote_bytes.ok() || !pub_bytes.ok() ||
+      pub_bytes->size() != crypto::kPublicKeySize) {
+    ctx->SetError(400, "join requires node_id, quote, public_key");
+    return;
+  }
+  auto quote = tee::Quote::Deserialize(*quote_bytes);
+  if (!quote.ok()) {
+    ctx->SetError(400, "malformed quote");
+    return;
+  }
+  // Attestation (paper §2): platform signature, report data binding, and
+  // code id governance check (Listing 1: add_node_code).
+  if (!tee::Platform::Global().VerifyQuote(*quote).ok()) {
+    ctx->SetError(401, "attestation failed: bad platform signature");
+    return;
+  }
+  crypto::PublicKeyBytes joiner_key{};
+  std::copy(pub_bytes->begin(), pub_bytes->end(), joiner_key.begin());
+  if (quote->report_data != tee::ReportDataForNodeKey(joiner_key)) {
+    ctx->SetError(401, "attestation failed: report data mismatch");
+    return;
+  }
+  if (!ctx->tx().Handle(tables::kNodesCodeIds)->HasStr(quote->code_id)) {
+    ctx->SetError(401, "attestation failed: code id not trusted");
+    return;
+  }
+  auto existing = ctx->tx().Handle(tables::kNodesInfo)->GetStr(joiner_id);
+  if (existing.has_value()) {
+    ctx->SetError(409, "node id already known");
+    return;
+  }
+  if (service_key_ == nullptr || encryptor_ == nullptr) {
+    ctx->SetError(503, "node holds no service secrets yet");
+    return;
+  }
+
+  // Issue the node certificate and record the node as PENDING (Figure 6);
+  // governance later transitions it to TRUSTED.
+  crypto::Certificate joiner_cert = crypto::IssueCertificate(
+      joiner_id, "node", joiner_key, *service_key_, "service");
+  gov::NodeInfo info;
+  info.node_id = joiner_id;
+  info.status = gov::NodeStatus::kPending;
+  info.cert = joiner_cert;
+  info.code_id = quote->code_id;
+  info.host = host;
+  gov::WriteRecord(ctx->tx().Handle(tables::kNodesInfo), joiner_id,
+                   info.ToJson());
+
+  // Service secrets and catch-up state, protected by the STLS session.
+  json::Object out;
+  out["node_cert"] = HexEncode(joiner_cert.Serialize());
+  out["service_cert"] = HexEncode(service_cert_.Serialize());
+  out["service_key_seed"] =
+      HexEncode(ByteSpan(service_key_->seed().data(), 32));
+  out["ledger_secret"] = HexEncode(ledger_secret_.key);
+
+  // Snapshot of committed state (paper §4.4: "nodes can begin from a
+  // snapshot"). Use the latest periodic snapshot or take one now.
+  kv::Snapshot snap;
+  std::vector<merkle::Digest> leaves;
+  std::vector<consensus::Configuration> configs;
+  if (latest_snapshot_.has_value()) {
+    snap = *latest_snapshot_;
+    leaves = snapshot_leaves_;
+    configs = snapshot_configs_;
+  } else {
+    snap = kv::TakeSnapshot(store_, ViewAtSeqno(store_.committed_seqno()));
+    for (uint64_t i = 0; i < snap.seqno; ++i) {
+      auto leaf = tree_.LeafAt(i);
+      if (leaf.ok()) leaves.push_back(*leaf);
+    }
+    configs = {raft_->active_configs().front()};
+  }
+  out["snapshot_seqno"] = snap.seqno;
+  out["snapshot_view"] = snap.view;
+  out["snapshot_data"] = HexEncode(snap.data);
+  Bytes leaves_flat;
+  for (const merkle::Digest& d : leaves) {
+    Append(&leaves_flat, ByteSpan(d.data(), d.size()));
+  }
+  out["tree_leaves"] = HexEncode(leaves_flat);
+  json::Array config_json;
+  for (const consensus::Configuration& cfg : configs) {
+    json::Object c;
+    c["seqno"] = cfg.seqno;
+    json::Array nodes;
+    for (const std::string& n : cfg.nodes) nodes.emplace_back(n);
+    c["nodes"] = std::move(nodes);
+    config_json.push_back(json::Value(std::move(c)));
+  }
+  out["configurations"] = std::move(config_json);
+  ctx->SetJsonResponse(200, json::Value(std::move(out)));
+}
+
+void Node::StartJoin(const std::string& target_node) {
+  join_pending_ = true;
+  join_target_ = target_node;
+  join_session_ = std::make_unique<rpc::ClientSession>(
+      service_identity_, nullptr, std::nullopt, &drbg_);
+  EnclaveSendNet(target_node,
+                 WrapWire(kSessionRecord, join_session_->Start()));
+}
+
+void Node::HandleJoinResponseRecord(ByteSpan record) {
+  auto out = join_session_->OnRecord(record);
+  if (!out.ok()) {
+    LOG_ERROR << config_.node_id << " join session failed: "
+              << out.status().ToString();
+    return;
+  }
+  if (out->established && !join_request_sent_) {
+    join_request_sent_ = true;
+    // Send the join request with our quote.
+    tee::Quote quote = tee::Platform::Global().GenerateQuote(
+        config_.code_id, tee::ReportDataForNodeKey(node_key_.public_key()));
+    json::Object body;
+    body["node_id"] = config_.node_id;
+    body["host"] = config_.host;
+    body["quote"] = HexEncode(quote.Serialize());
+    body["public_key"] = HexEncode(
+        ByteSpan(node_key_.public_key().data(), crypto::kPublicKeySize));
+    http::Request req;
+    req.method = "POST";
+    req.path = "/node/join";
+    req.body = ToBytes(json::Value(std::move(body)).Dump());
+    auto sealed = join_session_->Seal(req.Serialize());
+    if (sealed.ok()) {
+      EnclaveSendNet(join_target_, WrapWire(kSessionRecord, *sealed));
+    }
+    return;
+  }
+  for (const Bytes& data : out->app_data) {
+    join_parser_.Feed(data);
+  }
+  auto resp = join_parser_.Next();
+  if (!resp.ok() || !resp->has_value()) return;
+  if ((*resp)->status != 200) {
+    LOG_ERROR << config_.node_id << " join rejected: "
+              << ToString((*resp)->body);
+    return;
+  }
+  auto body = json::Parse(ToString((*resp)->body));
+  if (!body.ok()) return;
+  Status installed = InstallJoinResponse(*body);
+  if (!installed.ok()) {
+    LOG_ERROR << config_.node_id << " join install failed: "
+              << installed.ToString();
+  }
+}
+
+Status Node::InstallJoinResponse(const json::Value& body) {
+  ASSIGN_OR_RETURN(Bytes node_cert_bytes,
+                   HexDecode(body.GetString("node_cert")));
+  ASSIGN_OR_RETURN(node_cert_,
+                   crypto::Certificate::Deserialize(node_cert_bytes));
+  ASSIGN_OR_RETURN(Bytes service_cert_bytes,
+                   HexDecode(body.GetString("service_cert")));
+  ASSIGN_OR_RETURN(service_cert_,
+                   crypto::Certificate::Deserialize(service_cert_bytes));
+  ASSIGN_OR_RETURN(Bytes seed, HexDecode(body.GetString("service_key_seed")));
+  service_key_ = std::make_unique<crypto::KeyPair>(
+      crypto::KeyPair::FromSeed(seed));
+  if (service_key_->public_key() != service_identity_) {
+    return Status::PermissionDenied("join: service key does not match pin");
+  }
+  ASSIGN_OR_RETURN(Bytes secret, HexDecode(body.GetString("ledger_secret")));
+  ledger_secret_ = kv::LedgerSecret{secret};
+  encryptor_ = std::make_unique<kv::TxEncryptor>(ledger_secret_);
+
+  // Install the snapshot.
+  kv::Snapshot snap;
+  snap.seqno = static_cast<uint64_t>(body.GetInt("snapshot_seqno"));
+  snap.view = static_cast<uint64_t>(body.GetInt("snapshot_view"));
+  ASSIGN_OR_RETURN(snap.data, HexDecode(body.GetString("snapshot_data")));
+  RETURN_IF_ERROR(kv::InstallSnapshot(snap, &store_));
+
+  // Rebuild the Merkle tree from the provided leaves.
+  ASSIGN_OR_RETURN(Bytes leaves_flat, HexDecode(body.GetString("tree_leaves")));
+  if (leaves_flat.size() % crypto::kSha256DigestSize != 0 ||
+      leaves_flat.size() / crypto::kSha256DigestSize != snap.seqno) {
+    return Status::InvalidArgument("join: bad tree leaves");
+  }
+  tx_digests_.clear();
+  for (uint64_t i = 0; i < snap.seqno; ++i) {
+    merkle::Digest d;
+    std::copy(leaves_flat.begin() + i * crypto::kSha256DigestSize,
+              leaves_flat.begin() + (i + 1) * crypto::kSha256DigestSize,
+              d.begin());
+    tree_.AppendLeafHash(d);
+    tx_digests_.push_back({});  // digests for old entries are unknown
+  }
+
+  std::vector<consensus::Configuration> configs;
+  const json::Value* config_json = body.Get("configurations");
+  if (config_json != nullptr && config_json->is_array()) {
+    for (const json::Value& c : config_json->AsArray()) {
+      consensus::Configuration cfg;
+      cfg.seqno = static_cast<uint64_t>(c.GetInt("seqno"));
+      const json::Value* nodes = c.Get("nodes");
+      if (nodes != nullptr && nodes->is_array()) {
+        for (const json::Value& n : nodes->AsArray()) {
+          if (n.is_string()) cfg.nodes.insert(n.AsString());
+        }
+      }
+      configs.push_back(std::move(cfg));
+    }
+  }
+  if (configs.empty()) {
+    return Status::InvalidArgument("join: no configurations");
+  }
+
+  host_ledger_.SetBase(snap.seqno);
+  raft_ = std::make_unique<consensus::RaftNode>(consensus::RaftNode::Joiner(
+      config_.node_id, config_.raft, snap.view, snap.seqno, configs, this));
+  join_pending_ = false;
+  join_session_.reset();
+  LOG_INFO << config_.node_id << " joined at snapshot " << snap.seqno;
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- recovery
+
+void Node::InitRecovery(ledger::Ledger restored) {
+  recovery_pending_ = true;
+  // New service identity (paper §5.2: "the newly recovered service will
+  // have a new service identity, making it clear a recovery occurred").
+  service_key_ = std::make_unique<crypto::KeyPair>(
+      crypto::KeyPair::Generate(&drbg_));
+  service_identity_ = service_key_->public_key();
+  service_cert_ = crypto::IssueCertificate("service", "service",
+                                           service_identity_, *service_key_,
+                                           "");
+  node_cert_ = crypto::IssueCertificate(config_.node_id, "node",
+                                        node_key_.public_key(), *service_key_,
+                                        "service");
+
+  // Replay the public parts of the restored ledger (paper §5.2: "the
+  // public parts of transactions are restored").
+  host_ledger_ = std::move(restored);
+  for (const ledger::Entry& entry : host_ledger_.entries()) {
+    auto ws = kv::WriteSet::Parse(entry.public_ws, {});
+    if (ws.ok()) {
+      Status applied = store_.ApplyWriteSet(*ws, entry.seqno);
+      if (!applied.ok()) {
+        LOG_ERROR << "recovery replay failed at " << entry.seqno;
+        return;
+      }
+    }
+    AppendLeafFor(entry);
+  }
+  uint64_t base = host_ledger_.last_seqno();
+  uint64_t base_view = base > 0 ? host_ledger_.entries().back().view : 0;
+  // The recovered service is committed up to the restored ledger end.
+  Status compacted = store_.Compact(base);
+  if (!compacted.ok()) {
+    LOG_ERROR << "recovery compact failed: " << compacted.ToString();
+  }
+
+  raft_ = std::make_unique<consensus::RaftNode>(consensus::RaftNode::Joiner(
+      config_.node_id, config_.raft, base_view, base,
+      {consensus::Configuration{0, {config_.node_id}}}, this));
+  // A single-node configuration elects itself at the first timeout; the
+  // recovery-declaration transaction is emitted in OnRoleChange.
+}
+
+void Node::HandleRecoveryShareSubmission(rpc::EndpointContext* ctx) {
+  Status sig = VerifyGovSignature(ctx->request(), ctx->caller());
+  if (!sig.ok()) {
+    ctx->SetError(401, sig.message());
+    return;
+  }
+  if (!recovery_pending_) {
+    ctx->SetError(400, "service is not recovering");
+    return;
+  }
+  auto params = ctx->Params();
+  if (!params.ok()) {
+    ctx->SetError(400, "bad body");
+    return;
+  }
+  auto share = HexDecode(params->GetString("share"));
+  if (!share.ok()) {
+    ctx->SetError(400, "share must be hex");
+    return;
+  }
+  submitted_shares_[ctx->caller().id] = *share;
+
+  int threshold = gov::ShareManager::RecoveryThreshold(&ctx->tx());
+  json::Object out;
+  out["submitted"] = static_cast<int64_t>(submitted_shares_.size());
+  out["threshold"] = threshold;
+
+  if (static_cast<int>(submitted_shares_.size()) >= threshold) {
+    auto secret = gov::ShareManager::RecoverLedgerSecret(&ctx->tx(),
+                                                         submitted_shares_);
+    if (!secret.ok()) {
+      ctx->SetError(400, secret.status().message());
+      return;
+    }
+    CompleteRecovery(secret.take());
+    out["recovered"] = true;
+  } else {
+    out["recovered"] = false;
+  }
+  ctx->SetJsonResponse(200, json::Value(std::move(out)));
+}
+
+void Node::CompleteRecovery(kv::LedgerSecret secret) {
+  ledger_secret_ = std::move(secret);
+  encryptor_ = std::make_unique<kv::TxEncryptor>(ledger_secret_);
+
+  // Rebuild the store, now decrypting private writes (paper §5.2: "the
+  // previous ledger's private state decrypted").
+  kv::Store rebuilt;
+  for (const ledger::Entry& entry : host_ledger_.entries()) {
+    Bytes private_plain;
+    if (!entry.private_sealed.empty()) {
+      auto aad = crypto::Sha256::Hash(entry.public_ws);
+      auto opened = encryptor_->Open(entry.view, entry.seqno,
+                                     entry.private_sealed,
+                                     ByteSpan(aad.data(), aad.size()));
+      if (opened.ok()) {
+        private_plain = opened.take();
+      } else {
+        LOG_ERROR << "recovery: cannot decrypt entry " << entry.seqno;
+      }
+    }
+    auto ws = kv::WriteSet::Parse(entry.public_ws, private_plain);
+    if (!ws.ok()) continue;
+    Status applied = rebuilt.ApplyWriteSet(*ws, entry.seqno);
+    if (!applied.ok()) {
+      LOG_ERROR << "recovery rebuild failed at " << entry.seqno;
+      return;
+    }
+  }
+  Status compacted = rebuilt.Compact(raft_->commit_seqno());
+  if (!compacted.ok()) {
+    LOG_ERROR << "recovery rebuild compact failed";
+  }
+  store_ = std::move(rebuilt);
+  recovery_pending_ = false;
+  submitted_shares_.clear();
+
+  // Re-key the recovery shares under the new consortium state.
+  kv::Tx tx = store_.BeginTx();
+  Status reissued = gov::ShareManager::ReissueShares(&tx, ledger_secret_,
+                                                     &drbg_);
+  if (reissued.ok()) {
+    auto committed = CommitAndReplicate(&tx, ledger::EntryType::kInternal);
+    if (!committed.ok()) {
+      LOG_ERROR << "share reissue commit failed";
+    }
+  }
+  LOG_INFO << config_.node_id << " recovery complete; private state restored";
+}
+
+}  // namespace ccf::node

@@ -1,0 +1,40 @@
+#include "rpc/endpoints.h"
+
+namespace ccf::rpc {
+
+Result<json::Value> EndpointContext::Params() const {
+  if (request_->body.empty()) return json::Value(json::Object{});
+  return json::Parse(ToString(request_->body));
+}
+
+void EndpointContext::SetJsonResponse(int status, const json::Value& body) {
+  response_.status = status;
+  response_.headers["content-type"] = "application/json";
+  response_.body = ToBytes(body.Dump());
+}
+
+void EndpointContext::SetError(int status, const std::string& message) {
+  json::Object err;
+  err["error"] = message;
+  SetJsonResponse(status, json::Value(std::move(err)));
+}
+
+void EndpointRegistry::Install(const std::string& method,
+                               const std::string& path, EndpointSpec spec) {
+  endpoints_[method + " " + path] = std::move(spec);
+}
+
+const EndpointSpec* EndpointRegistry::Find(const std::string& method,
+                                           const std::string& path) const {
+  auto it = endpoints_.find(method + " " + path);
+  return it != endpoints_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> EndpointRegistry::List() const {
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [key, spec] : endpoints_) out.push_back(key);
+  return out;
+}
+
+}  // namespace ccf::rpc

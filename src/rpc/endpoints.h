@@ -1,0 +1,96 @@
+// Endpoint framework (paper §3.1).
+//
+// "Each CCF endpoint declares how callers should be authenticated. Each
+// invocation is first checked by CCF against these declared policies and
+// the application logic is only called if the caller passes the checks."
+//
+// Handlers execute inside a KV transaction; CCF commits the transaction
+// after the handler returns and attaches the transaction ID to the
+// response (§3.1). Read-only endpoints can be served by any node without
+// forwarding (§4.3).
+
+#ifndef CCF_RPC_ENDPOINTS_H_
+#define CCF_RPC_ENDPOINTS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/cert.h"
+#include "http/http.h"
+#include "json/json.h"
+#include "kv/store.h"
+
+namespace ccf::rpc {
+
+// Declarative caller-authentication policy (paper §3.1).
+enum class AuthPolicy {
+  kNoAuth,       // anyone, including anonymous sessions
+  kUserCert,     // session cert must be a registered user
+  kMemberCert,   // session cert must be a registered consortium member
+  kAnyCert,      // any registered user or member
+};
+
+struct CallerIdentity {
+  // Fingerprint of the session certificate ("" when anonymous).
+  std::string id;
+  std::optional<crypto::Certificate> cert;
+  bool is_user = false;
+  bool is_member = false;
+};
+
+class EndpointContext {
+ public:
+  EndpointContext(kv::Tx* tx, const http::Request* request,
+                  CallerIdentity caller)
+      : tx_(tx), request_(request), caller_(std::move(caller)) {}
+
+  kv::Tx& tx() { return *tx_; }
+  const http::Request& request() const { return *request_; }
+  const CallerIdentity& caller() const { return caller_; }
+
+  // Parses the request body as JSON (cached).
+  Result<json::Value> Params() const;
+
+  http::Response& response() { return response_; }
+  void SetJsonResponse(int status, const json::Value& body);
+  void SetError(int status, const std::string& message);
+
+  // Attaches application claims, covered by the receipt (paper §3.5).
+  void SetClaims(ByteSpan claims) { tx_->SetClaims({claims.begin(), claims.end()}); }
+
+ private:
+  kv::Tx* tx_;
+  const http::Request* request_;
+  CallerIdentity caller_;
+  http::Response response_;
+};
+
+using EndpointHandler = std::function<void(EndpointContext*)>;
+
+struct EndpointSpec {
+  EndpointHandler handler;
+  AuthPolicy auth = AuthPolicy::kNoAuth;
+  // Read-only endpoints execute locally on any node; others are forwarded
+  // to the primary (paper §4.3).
+  bool read_only = false;
+};
+
+class EndpointRegistry {
+ public:
+  void Install(const std::string& method, const std::string& path,
+               EndpointSpec spec);
+  const EndpointSpec* Find(const std::string& method,
+                           const std::string& path) const;
+
+  // Lists installed "METHOD path" keys (for the built-in /app/api listing).
+  std::vector<std::string> List() const;
+
+ private:
+  std::map<std::string, EndpointSpec> endpoints_;  // "METHOD path"
+};
+
+}  // namespace ccf::rpc
+
+#endif  // CCF_RPC_ENDPOINTS_H_

@@ -1,0 +1,239 @@
+#include "rpc/session.h"
+
+#include "common/buffer.h"
+#include "crypto/hmac.h"
+
+namespace ccf::rpc {
+
+namespace {
+
+Bytes TranscriptDigestBytes(ByteSpan client_hello, ByteSpan server_eph) {
+  BufWriter w;
+  w.Str("ccf.stls.transcript.v1");
+  w.Blob(client_hello);
+  w.Blob(server_eph);
+  auto d = crypto::Sha256::Hash(w.data());
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes ClientPossessionPayload(ByteSpan eph_pub) {
+  BufWriter w;
+  w.Str("ccf.stls.client-possession.v1");
+  w.Raw(eph_pub);
+  return w.Take();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Records
+
+Bytes MakeRecord(RecordType type, ByteSpan payload) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(type));
+  Append(&out, payload);
+  return out;
+}
+
+Result<std::pair<RecordType, Bytes>> ParseRecord(ByteSpan record) {
+  if (record.empty()) {
+    return Status::InvalidArgument("stls: empty record");
+  }
+  uint8_t t = record[0];
+  if (t < 1 || t > 4) {
+    return Status::InvalidArgument("stls: unknown record type");
+  }
+  return std::make_pair(static_cast<RecordType>(t),
+                        Bytes(record.begin() + 1, record.end()));
+}
+
+// ------------------------------------------------------- SessionCrypto
+
+void SessionCrypto::DeriveKeys(ByteSpan shared_secret, bool is_client) {
+  Bytes c2s = crypto::Hkdf(shared_secret, ToBytes("stls.salt"),
+                           ToBytes("client-to-server"), 32);
+  Bytes s2c = crypto::Hkdf(shared_secret, ToBytes("stls.salt"),
+                           ToBytes("server-to-client"), 32);
+  if (is_client) {
+    send_ = std::make_unique<crypto::AesGcm>(c2s);
+    recv_ = std::make_unique<crypto::AesGcm>(s2c);
+  } else {
+    send_ = std::make_unique<crypto::AesGcm>(s2c);
+    recv_ = std::make_unique<crypto::AesGcm>(c2s);
+  }
+}
+
+Bytes SessionCrypto::EncryptRecord(ByteSpan plaintext) {
+  BufWriter iv;
+  iv.U64(send_counter_++);
+  iv.U32(0);
+  uint8_t aad = static_cast<uint8_t>(RecordType::kData);
+  return send_->Seal(iv.data(), plaintext, ByteSpan(&aad, 1));
+}
+
+Result<Bytes> SessionCrypto::DecryptRecord(ByteSpan record_payload) {
+  BufWriter iv;
+  iv.U64(recv_counter_++);
+  iv.U32(0);
+  uint8_t aad = static_cast<uint8_t>(RecordType::kData);
+  return recv_->Open(iv.data(), record_payload, ByteSpan(&aad, 1));
+}
+
+// ------------------------------------------------------- ServerSession
+
+ServerSession::ServerSession(const crypto::KeyPair* node_key,
+                             crypto::Certificate node_cert,
+                             crypto::Drbg* drbg)
+    : node_key_(node_key), node_cert_(std::move(node_cert)), drbg_(drbg) {}
+
+Result<SessionOutput> ServerSession::OnRecord(ByteSpan record) {
+  ASSIGN_OR_RETURN(auto parsed, ParseRecord(record));
+  auto [type, payload] = std::move(parsed);
+  SessionOutput out;
+
+  if (type == RecordType::kClientHello) {
+    if (crypto_.established()) {
+      return Status::FailedPrecondition("stls: duplicate hello");
+    }
+    BufReader r(payload);
+    ASSIGN_OR_RETURN(Bytes client_eph, r.Raw(crypto::kPublicKeySize));
+    ASSIGN_OR_RETURN(bool has_cert, r.Bool());
+    if (has_cert) {
+      ASSIGN_OR_RETURN(Bytes cert_bytes, r.Blob());
+      ASSIGN_OR_RETURN(Bytes sig, r.Raw(crypto::kSignatureSize));
+      ASSIGN_OR_RETURN(crypto::Certificate cert,
+                       crypto::Certificate::Deserialize(cert_bytes));
+      // Proof of possession: signature over the ephemeral key under the
+      // certificate's key.
+      if (!crypto::Verify(cert.public_key,
+                          ClientPossessionPayload(client_eph), sig)) {
+        return Status::Unauthenticated("stls: client possession proof failed");
+      }
+      peer_cert_ = std::move(cert);
+    }
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("stls: trailing hello bytes");
+    }
+
+    crypto::KeyPair eph = crypto::KeyPair::Generate(drbg_);
+    ASSIGN_OR_RETURN(Bytes shared, eph.DeriveSharedSecret(client_eph));
+    crypto_.DeriveKeys(shared, /*is_client=*/false);
+
+    // ServerHello: eph pub || node cert || signature over transcript.
+    Bytes transcript = TranscriptDigestBytes(
+        payload, ByteSpan(eph.public_key().data(), crypto::kPublicKeySize));
+    crypto::SignatureBytes sig = node_key_->Sign(transcript);
+    BufWriter w;
+    w.Raw(ByteSpan(eph.public_key().data(), crypto::kPublicKeySize));
+    w.Blob(node_cert_.Serialize());
+    w.Raw(ByteSpan(sig.data(), sig.size()));
+    out.to_send = MakeRecord(RecordType::kServerHello, w.data());
+    out.established = true;
+    return out;
+  }
+
+  if (type == RecordType::kData) {
+    if (!crypto_.established()) {
+      return Status::FailedPrecondition("stls: data before handshake");
+    }
+    ASSIGN_OR_RETURN(Bytes plain, crypto_.DecryptRecord(payload));
+    out.app_data.push_back(std::move(plain));
+    out.established = true;
+    return out;
+  }
+
+  return Status::InvalidArgument("stls: unexpected record for server");
+}
+
+Result<Bytes> ServerSession::Seal(ByteSpan plaintext) {
+  if (!crypto_.established()) {
+    return Status::FailedPrecondition("stls: session not established");
+  }
+  return MakeRecord(RecordType::kData, crypto_.EncryptRecord(plaintext));
+}
+
+// ------------------------------------------------------- ClientSession
+
+ClientSession::ClientSession(crypto::PublicKeyBytes service_identity,
+                             const crypto::KeyPair* client_key,
+                             std::optional<crypto::Certificate> client_cert,
+                             crypto::Drbg* drbg)
+    : service_identity_(service_identity),
+      client_key_(client_key),
+      client_cert_(std::move(client_cert)),
+      drbg_(drbg) {}
+
+Bytes ClientSession::Start() {
+  ephemeral_ = std::make_unique<crypto::KeyPair>(
+      crypto::KeyPair::Generate(drbg_));
+  BufWriter w;
+  w.Raw(ByteSpan(ephemeral_->public_key().data(), crypto::kPublicKeySize));
+  bool has_cert = client_key_ != nullptr && client_cert_.has_value();
+  w.Bool(has_cert);
+  if (has_cert) {
+    w.Blob(client_cert_->Serialize());
+    crypto::SignatureBytes sig = client_key_->Sign(ClientPossessionPayload(
+        ByteSpan(ephemeral_->public_key().data(), crypto::kPublicKeySize)));
+    w.Raw(ByteSpan(sig.data(), sig.size()));
+  }
+  hello_payload_ = w.Take();
+  return MakeRecord(RecordType::kClientHello, hello_payload_);
+}
+
+Result<SessionOutput> ClientSession::OnRecord(ByteSpan record) {
+  ASSIGN_OR_RETURN(auto parsed, ParseRecord(record));
+  auto [type, payload] = std::move(parsed);
+  SessionOutput out;
+
+  if (type == RecordType::kServerHello) {
+    if (crypto_.established()) {
+      return Status::FailedPrecondition("stls: duplicate server hello");
+    }
+    BufReader r(payload);
+    ASSIGN_OR_RETURN(Bytes server_eph, r.Raw(crypto::kPublicKeySize));
+    ASSIGN_OR_RETURN(Bytes cert_bytes, r.Blob());
+    ASSIGN_OR_RETURN(Bytes sig, r.Raw(crypto::kSignatureSize));
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("stls: trailing server hello bytes");
+    }
+    ASSIGN_OR_RETURN(crypto::Certificate cert,
+                     crypto::Certificate::Deserialize(cert_bytes));
+    // The node certificate must chain to the pinned service identity
+    // (paper §6.1: TLS terminates in the TEE with the service cert as root
+    // of trust).
+    if (cert.role != "node") {
+      return Status::Unauthenticated("stls: server cert is not a node cert");
+    }
+    RETURN_IF_ERROR(crypto::VerifyCertificate(cert, service_identity_));
+    Bytes transcript = TranscriptDigestBytes(hello_payload_, server_eph);
+    if (!crypto::Verify(cert.public_key, transcript, sig)) {
+      return Status::Unauthenticated("stls: bad server transcript signature");
+    }
+    server_cert_ = std::move(cert);
+
+    ASSIGN_OR_RETURN(Bytes shared, ephemeral_->DeriveSharedSecret(server_eph));
+    crypto_.DeriveKeys(shared, /*is_client=*/true);
+    out.established = true;
+    return out;
+  }
+
+  if (type == RecordType::kData) {
+    if (!crypto_.established()) {
+      return Status::FailedPrecondition("stls: data before handshake");
+    }
+    ASSIGN_OR_RETURN(Bytes plain, crypto_.DecryptRecord(payload));
+    out.app_data.push_back(std::move(plain));
+    out.established = true;
+    return out;
+  }
+
+  return Status::InvalidArgument("stls: unexpected record for client");
+}
+
+Result<Bytes> ClientSession::Seal(ByteSpan plaintext) {
+  if (!crypto_.established()) {
+    return Status::FailedPrecondition("stls: session not established");
+  }
+  return MakeRecord(RecordType::kData, crypto_.EncryptRecord(plaintext));
+}
+
+}  // namespace ccf::rpc

@@ -1,0 +1,121 @@
+// STLS: the simulated TLS stand-in (substitution documented in DESIGN.md).
+//
+// Properties preserved from the paper's TLS usage (§3.1, §6.1):
+//   - sessions terminate inside the enclave,
+//   - the server authenticates with a node certificate chaining to the
+//     service identity (Table 1),
+//   - clients may authenticate with their own certificate, proving key
+//     possession by signing the handshake transcript,
+//   - all application data is AEAD-protected with fresh per-session keys.
+//
+// Handshake: ClientHello{eph_pub, cert?, sig?} -> ServerHello{eph_pub,
+// node_cert, sig(transcript)}; both sides derive directional AES-256-GCM
+// keys from the ephemeral ECDH secret.
+
+#ifndef CCF_RPC_SESSION_H_
+#define CCF_RPC_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/cert.h"
+#include "crypto/gcm.h"
+
+namespace ccf::rpc {
+
+enum class RecordType : uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kData = 3,
+  kAlert = 4,
+};
+
+// Common encrypted-record machinery once keys are established.
+class SessionCrypto {
+ public:
+  void DeriveKeys(ByteSpan shared_secret, bool is_client);
+  bool established() const { return send_ != nullptr; }
+
+  Bytes EncryptRecord(ByteSpan plaintext);
+  Result<Bytes> DecryptRecord(ByteSpan record_payload);
+
+ private:
+  std::unique_ptr<crypto::AesGcm> send_;
+  std::unique_ptr<crypto::AesGcm> recv_;
+  uint64_t send_counter_ = 0;
+  uint64_t recv_counter_ = 0;
+};
+
+// Wire framing helpers: u8 type || payload.
+Bytes MakeRecord(RecordType type, ByteSpan payload);
+Result<std::pair<RecordType, Bytes>> ParseRecord(ByteSpan record);
+
+struct SessionOutput {
+  Bytes to_send;                 // handshake reply or empty
+  std::vector<Bytes> app_data;   // decrypted application bytes
+  bool established = false;
+};
+
+class ServerSession {
+ public:
+  // `node_key` signs the handshake; `node_cert` is the node's certificate
+  // endorsed by the service identity.
+  ServerSession(const crypto::KeyPair* node_key,
+                crypto::Certificate node_cert, crypto::Drbg* drbg);
+
+  // Processes one inbound record.
+  Result<SessionOutput> OnRecord(ByteSpan record);
+  // Encrypts application data into a record to send.
+  Result<Bytes> Seal(ByteSpan plaintext);
+
+  // The certificate presented (and possession-proven) by the client, if any.
+  const std::optional<crypto::Certificate>& peer_cert() const {
+    return peer_cert_;
+  }
+  bool established() const { return crypto_.established(); }
+
+ private:
+  const crypto::KeyPair* node_key_;
+  crypto::Certificate node_cert_;
+  crypto::Drbg* drbg_;
+  SessionCrypto crypto_;
+  std::optional<crypto::Certificate> peer_cert_;
+};
+
+class ClientSession {
+ public:
+  // `service_identity` pins the expected service public key. An empty
+  // client key pair means anonymous.
+  ClientSession(crypto::PublicKeyBytes service_identity,
+                const crypto::KeyPair* client_key,
+                std::optional<crypto::Certificate> client_cert,
+                crypto::Drbg* drbg);
+
+  // First record to send.
+  Bytes Start();
+  Result<SessionOutput> OnRecord(ByteSpan record);
+  Result<Bytes> Seal(ByteSpan plaintext);
+
+  bool established() const { return crypto_.established(); }
+  // The node certificate the server presented.
+  const std::optional<crypto::Certificate>& server_cert() const {
+    return server_cert_;
+  }
+
+ private:
+  crypto::PublicKeyBytes service_identity_;
+  const crypto::KeyPair* client_key_;  // may be null
+  std::optional<crypto::Certificate> client_cert_;
+  crypto::Drbg* drbg_;
+  SessionCrypto crypto_;
+  std::unique_ptr<crypto::KeyPair> ephemeral_;
+  Bytes hello_payload_;  // transcript part 1
+  std::optional<crypto::Certificate> server_cert_;
+};
+
+}  // namespace ccf::rpc
+
+#endif  // CCF_RPC_SESSION_H_

@@ -1,0 +1,277 @@
+// AST for CCL. Produced by the parser, walked by the interpreter.
+
+#ifndef CCF_SCRIPT_AST_H_
+#define CCF_SCRIPT_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "script/value.h"
+
+namespace ccf::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kIdent,
+    kUnary,
+    kBinary,
+    kLogical,
+    kTernary,
+    kAssign,
+    kCall,
+    kMember,
+    kIndex,
+    kArrayLit,
+    kObjectLit,
+    kFunction,
+  };
+
+  explicit Expr(Kind kind, int line) : kind(kind), line(line) {}
+  virtual ~Expr() = default;
+
+  Kind kind;
+  int line;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,
+    kLet,
+    kFunction,
+    kIf,
+    kWhile,
+    kFor,
+    kForOf,
+    kReturn,
+    kBreak,
+    kContinue,
+    kBlock,
+  };
+
+  explicit Stmt(Kind kind, int line) : kind(kind), line(line) {}
+  virtual ~Stmt() = default;
+
+  Kind kind;
+  int line;
+};
+
+// ------------------------------------------------------------ Functions
+
+struct BlockStmt;
+
+struct FunctionDecl {
+  std::string name;  // empty for anonymous function expressions
+  std::vector<std::string> params;
+  std::unique_ptr<BlockStmt> body;
+  int line = 0;
+};
+
+// --------------------------------------------------------- Expressions
+
+struct LiteralExpr : Expr {
+  LiteralExpr(Value v, int line)
+      : Expr(Kind::kLiteral, line), value(std::move(v)) {}
+  Value value;
+};
+
+struct IdentExpr : Expr {
+  IdentExpr(std::string n, int line)
+      : Expr(Kind::kIdent, line), name(std::move(n)) {}
+  std::string name;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(char op, ExprPtr operand, int line)
+      : Expr(Kind::kUnary, line), op(op), operand(std::move(operand)) {}
+  char op;  // '!' or '-'
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(std::string op, ExprPtr lhs, ExprPtr rhs, int line)
+      : Expr(Kind::kBinary, line),
+        op(std::move(op)),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  std::string op;  // + - * / % == != < <= > >=
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct LogicalExpr : Expr {
+  LogicalExpr(bool is_and, ExprPtr lhs, ExprPtr rhs, int line)
+      : Expr(Kind::kLogical, line),
+        is_and(is_and),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  bool is_and;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct TernaryExpr : Expr {
+  TernaryExpr(ExprPtr cond, ExprPtr then_e, ExprPtr else_e, int line)
+      : Expr(Kind::kTernary, line),
+        cond(std::move(cond)),
+        then_expr(std::move(then_e)),
+        else_expr(std::move(else_e)) {}
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+struct AssignExpr : Expr {
+  AssignExpr(ExprPtr target, ExprPtr value, std::string op, int line)
+      : Expr(Kind::kAssign, line),
+        target(std::move(target)),
+        value(std::move(value)),
+        op(std::move(op)) {}
+  ExprPtr target;  // IdentExpr, MemberExpr, or IndexExpr
+  ExprPtr value;
+  std::string op;  // "" for plain '=', else "+", "-", "*", "/"
+};
+
+struct CallExpr : Expr {
+  CallExpr(ExprPtr callee, std::vector<ExprPtr> args, int line)
+      : Expr(Kind::kCall, line),
+        callee(std::move(callee)),
+        args(std::move(args)) {}
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+
+struct MemberExpr : Expr {
+  MemberExpr(ExprPtr object, std::string name, int line)
+      : Expr(Kind::kMember, line),
+        object(std::move(object)),
+        name(std::move(name)) {}
+  ExprPtr object;
+  std::string name;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr object, ExprPtr index, int line)
+      : Expr(Kind::kIndex, line),
+        object(std::move(object)),
+        index(std::move(index)) {}
+  ExprPtr object;
+  ExprPtr index;
+};
+
+struct ArrayLitExpr : Expr {
+  ArrayLitExpr(std::vector<ExprPtr> elements, int line)
+      : Expr(Kind::kArrayLit, line), elements(std::move(elements)) {}
+  std::vector<ExprPtr> elements;
+};
+
+struct ObjectLitExpr : Expr {
+  ObjectLitExpr(std::vector<std::pair<std::string, ExprPtr>> props, int line)
+      : Expr(Kind::kObjectLit, line), props(std::move(props)) {}
+  std::vector<std::pair<std::string, ExprPtr>> props;
+};
+
+struct FunctionExpr : Expr {
+  FunctionExpr(FunctionDecl decl, int line)
+      : Expr(Kind::kFunction, line), decl(std::move(decl)) {}
+  FunctionDecl decl;
+};
+
+// ---------------------------------------------------------- Statements
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr expr, int line)
+      : Stmt(Kind::kExpr, line), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+struct LetStmt : Stmt {
+  LetStmt(std::string name, ExprPtr init, int line)
+      : Stmt(Kind::kLet, line), name(std::move(name)), init(std::move(init)) {}
+  std::string name;
+  ExprPtr init;  // may be null
+};
+
+struct FunctionStmt : Stmt {
+  FunctionStmt(FunctionDecl decl, int line)
+      : Stmt(Kind::kFunction, line), decl(std::move(decl)) {}
+  FunctionDecl decl;
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt(std::vector<StmtPtr> stmts, int line)
+      : Stmt(Kind::kBlock, line), stmts(std::move(stmts)) {}
+  std::vector<StmtPtr> stmts;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr cond, StmtPtr then_s, StmtPtr else_s, int line)
+      : Stmt(Kind::kIf, line),
+        cond(std::move(cond)),
+        then_stmt(std::move(then_s)),
+        else_stmt(std::move(else_s)) {}
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // may be null
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr cond, StmtPtr body, int line)
+      : Stmt(Kind::kWhile, line), cond(std::move(cond)), body(std::move(body)) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct ForStmt : Stmt {
+  ForStmt(StmtPtr init, ExprPtr cond, ExprPtr step, StmtPtr body, int line)
+      : Stmt(Kind::kFor, line),
+        init(std::move(init)),
+        cond(std::move(cond)),
+        step(std::move(step)),
+        body(std::move(body)) {}
+  StmtPtr init;  // LetStmt or ExprStmt, may be null
+  ExprPtr cond;  // may be null (infinite)
+  ExprPtr step;  // may be null
+  StmtPtr body;
+};
+
+// for (let x of collection) body — arrays iterate values, objects keys.
+struct ForOfStmt : Stmt {
+  ForOfStmt(std::string var, ExprPtr iterable, StmtPtr body, int line)
+      : Stmt(Kind::kForOf, line),
+        var(std::move(var)),
+        iterable(std::move(iterable)),
+        body(std::move(body)) {}
+  std::string var;
+  ExprPtr iterable;
+  StmtPtr body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr expr, int line)
+      : Stmt(Kind::kReturn, line), expr(std::move(expr)) {}
+  ExprPtr expr;  // may be null
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(int line) : Stmt(Kind::kBreak, line) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(int line) : Stmt(Kind::kContinue, line) {}
+};
+
+// A parsed CCL program. Owns the whole AST.
+struct Program {
+  std::vector<StmtPtr> stmts;
+};
+
+}  // namespace ccf::script
+
+#endif  // CCF_SCRIPT_AST_H_

@@ -1,0 +1,145 @@
+#include "script/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <set>
+
+namespace ccf::script {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "let",    "function", "if",   "else",  "while", "for",      "of",
+      "return", "break",    "continue", "true", "false", "null"};
+  return kw;
+}
+
+// Multi-character operators, longest first.
+const char* kPuncts[] = {"===", "!==", "==", "!=", "<=", ">=", "&&", "||",
+                         "+=",  "-=",  "*=", "/=", "(",  ")",  "{",  "}",
+                         "[",   "]",   ",",  ";",  ":",  ".",  "?",  "+",
+                         "-",   "*",   "/",  "%",  "<",  ">",  "=",  "!"};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument("ccl:" + std::to_string(line) + ": " + msg);
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) return err("unterminated block comment");
+      i += 2;
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string_view num = src.substr(start, i - start);
+      double v = 0;
+      auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (ec != std::errc() || ptr != num.data() + num.size()) {
+        return err("invalid number literal '" + std::string(num) + "'");
+      }
+      tokens.push_back({Token::Kind::kNumber, std::string(num), v, line});
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_' || src[i] == '$')) {
+        ++i;
+      }
+      std::string word(src.substr(start, i - start));
+      Token::Kind kind = Keywords().count(word) > 0 ? Token::Kind::kKeyword
+                                                    : Token::Kind::kIdent;
+      tokens.push_back({kind, std::move(word), 0, line});
+      continue;
+    }
+    // Strings.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string out;
+      while (i < src.size() && src[i] != quote) {
+        char s = src[i];
+        if (s == '\n') return err("unterminated string");
+        if (s == '\\') {
+          ++i;
+          if (i >= src.size()) return err("unterminated escape");
+          char e = src[i];
+          switch (e) {
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            case '\\': out.push_back('\\'); break;
+            case '"': out.push_back('"'); break;
+            case '\'': out.push_back('\''); break;
+            default: return err(std::string("unknown escape \\") + e);
+          }
+          ++i;
+        } else {
+          out.push_back(s);
+          ++i;
+        }
+      }
+      if (i >= src.size()) return err("unterminated string");
+      ++i;  // closing quote
+      tokens.push_back({Token::Kind::kString, std::move(out), 0, line});
+      continue;
+    }
+    // Punctuation / operators.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = std::char_traits<char>::length(p);
+      if (src.substr(i, len) == p) {
+        tokens.push_back({Token::Kind::kPunct, std::string(p), 0, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  tokens.push_back({Token::Kind::kEof, "", 0, line});
+  return tokens;
+}
+
+}  // namespace ccf::script

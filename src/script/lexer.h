@@ -1,0 +1,40 @@
+// Tokenizer for CCL.
+
+#ifndef CCF_SCRIPT_LEXER_H_
+#define CCF_SCRIPT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ccf::script {
+
+struct Token {
+  enum class Kind {
+    kNumber,
+    kString,
+    kIdent,
+    kKeyword,   // let function if else while for of return break continue
+                // true false null
+    kPunct,     // operators and punctuation
+    kEof,
+  };
+
+  Kind kind;
+  std::string text;   // identifier / keyword / punct spelling / string value
+  double number = 0;  // for kNumber
+  int line = 1;
+
+  bool Is(Kind k, std::string_view t) const { return kind == k && text == t; }
+  bool IsPunct(std::string_view t) const { return Is(Kind::kPunct, t); }
+  bool IsKeyword(std::string_view t) const { return Is(Kind::kKeyword, t); }
+};
+
+// Tokenizes CCL source. Supports // and /* */ comments, decimal number
+// literals, and single- or double-quoted strings with escapes.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace ccf::script
+
+#endif  // CCF_SCRIPT_LEXER_H_

@@ -1,0 +1,429 @@
+#include "script/parser.h"
+
+#include "script/lexer.h"
+
+namespace ccf::script {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<const Program>> ParseProgram() {
+    auto prog = std::make_shared<Program>();
+    while (!At(Token::Kind::kEof)) {
+      ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      prog->stmts.push_back(std::move(s));
+    }
+    return std::shared_ptr<const Program>(std::move(prog));
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool At(Token::Kind k) const { return Peek().kind == k; }
+  bool AtPunct(std::string_view p) const { return Peek().IsPunct(p); }
+  bool AtKeyword(std::string_view k) const { return Peek().IsKeyword(k); }
+
+  bool Eat(std::string_view punct) {
+    if (AtPunct(punct)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatKeyword(std::string_view kw) {
+    if (AtKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("ccl:" + std::to_string(Peek().line) +
+                                   ": " + msg + " (found '" + Peek().text +
+                                   "')");
+  }
+
+  Status Expect(std::string_view punct) {
+    if (!Eat(punct)) return Err("expected '" + std::string(punct) + "'");
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (!At(Token::Kind::kIdent)) return Err("expected identifier");
+    return Advance().text;
+  }
+
+  // ------------------------------------------------------- statements
+
+  Result<StmtPtr> ParseStatement() {
+    int line = Peek().line;
+    if (EatKeyword("let")) {
+      ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      ExprPtr init;
+      if (Eat("=")) {
+        ASSIGN_OR_RETURN(init, ParseExpr());
+      }
+      RETURN_IF_ERROR(Expect(";"));
+      return StmtPtr(new LetStmt(std::move(name), std::move(init), line));
+    }
+    if (AtKeyword("function") && Peek(1).kind == Token::Kind::kIdent) {
+      ++pos_;
+      ASSIGN_OR_RETURN(FunctionDecl decl, ParseFunctionRest(/*named=*/true));
+      return StmtPtr(new FunctionStmt(std::move(decl), line));
+    }
+    if (EatKeyword("if")) {
+      RETURN_IF_ERROR(Expect("("));
+      ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      RETURN_IF_ERROR(Expect(")"));
+      ASSIGN_OR_RETURN(StmtPtr then_s, ParseStatement());
+      StmtPtr else_s;
+      if (EatKeyword("else")) {
+        ASSIGN_OR_RETURN(else_s, ParseStatement());
+      }
+      return StmtPtr(new IfStmt(std::move(cond), std::move(then_s),
+                                std::move(else_s), line));
+    }
+    if (EatKeyword("while")) {
+      RETURN_IF_ERROR(Expect("("));
+      ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      RETURN_IF_ERROR(Expect(")"));
+      ASSIGN_OR_RETURN(StmtPtr body, ParseStatement());
+      return StmtPtr(new WhileStmt(std::move(cond), std::move(body), line));
+    }
+    if (EatKeyword("for")) {
+      RETURN_IF_ERROR(Expect("("));
+      // for (let x of expr)
+      if (AtKeyword("let") && Peek(1).kind == Token::Kind::kIdent &&
+          Peek(2).IsKeyword("of")) {
+        pos_ += 1;  // let
+        std::string var = Advance().text;
+        pos_ += 1;  // of
+        ASSIGN_OR_RETURN(ExprPtr iterable, ParseExpr());
+        RETURN_IF_ERROR(Expect(")"));
+        ASSIGN_OR_RETURN(StmtPtr body, ParseStatement());
+        return StmtPtr(new ForOfStmt(std::move(var), std::move(iterable),
+                                     std::move(body), line));
+      }
+      // Classic for (init; cond; step).
+      StmtPtr init;
+      if (!Eat(";")) {
+        if (AtKeyword("let")) {
+          ++pos_;
+          ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+          ExprPtr iexpr;
+          if (Eat("=")) {
+            ASSIGN_OR_RETURN(iexpr, ParseExpr());
+          }
+          init = StmtPtr(new LetStmt(std::move(name), std::move(iexpr), line));
+        } else {
+          ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          init = StmtPtr(new ExprStmt(std::move(e), line));
+        }
+        RETURN_IF_ERROR(Expect(";"));
+      }
+      ExprPtr cond;
+      if (!AtPunct(";")) {
+        ASSIGN_OR_RETURN(cond, ParseExpr());
+      }
+      RETURN_IF_ERROR(Expect(";"));
+      ExprPtr step;
+      if (!AtPunct(")")) {
+        ASSIGN_OR_RETURN(step, ParseExpr());
+      }
+      RETURN_IF_ERROR(Expect(")"));
+      ASSIGN_OR_RETURN(StmtPtr body, ParseStatement());
+      return StmtPtr(new ForStmt(std::move(init), std::move(cond),
+                                 std::move(step), std::move(body), line));
+    }
+    if (EatKeyword("return")) {
+      ExprPtr expr;
+      if (!AtPunct(";")) {
+        ASSIGN_OR_RETURN(expr, ParseExpr());
+      }
+      RETURN_IF_ERROR(Expect(";"));
+      return StmtPtr(new ReturnStmt(std::move(expr), line));
+    }
+    if (EatKeyword("break")) {
+      RETURN_IF_ERROR(Expect(";"));
+      return StmtPtr(new BreakStmt(line));
+    }
+    if (EatKeyword("continue")) {
+      RETURN_IF_ERROR(Expect(";"));
+      return StmtPtr(new ContinueStmt(line));
+    }
+    if (AtPunct("{")) return ParseBlock();
+
+    ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    RETURN_IF_ERROR(Expect(";"));
+    return StmtPtr(new ExprStmt(std::move(expr), line));
+  }
+
+  Result<StmtPtr> ParseBlock() {
+    int line = Peek().line;
+    RETURN_IF_ERROR(Expect("{"));
+    std::vector<StmtPtr> stmts;
+    while (!AtPunct("}") && !At(Token::Kind::kEof)) {
+      ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      stmts.push_back(std::move(s));
+    }
+    RETURN_IF_ERROR(Expect("}"));
+    return StmtPtr(new BlockStmt(std::move(stmts), line));
+  }
+
+  Result<FunctionDecl> ParseFunctionRest(bool named) {
+    FunctionDecl decl;
+    decl.line = Peek().line;
+    if (named) {
+      ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    }
+    RETURN_IF_ERROR(Expect("("));
+    if (!AtPunct(")")) {
+      while (true) {
+        ASSIGN_OR_RETURN(std::string p, ExpectIdent());
+        decl.params.push_back(std::move(p));
+        if (!Eat(",")) break;
+      }
+    }
+    RETURN_IF_ERROR(Expect(")"));
+    ASSIGN_OR_RETURN(StmtPtr body, ParseBlock());
+    decl.body.reset(static_cast<BlockStmt*>(body.release()));
+    return decl;
+  }
+
+  // ------------------------------------------------------ expressions
+
+  Result<ExprPtr> ParseExpr() { return ParseAssignment(); }
+
+  Result<ExprPtr> ParseAssignment() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseTernary());
+    int line = Peek().line;
+    std::string op;
+    if (AtPunct("=")) {
+      op = "";
+    } else if (AtPunct("+=")) {
+      op = "+";
+    } else if (AtPunct("-=")) {
+      op = "-";
+    } else if (AtPunct("*=")) {
+      op = "*";
+    } else if (AtPunct("/=")) {
+      op = "/";
+    } else {
+      return lhs;
+    }
+    ++pos_;
+    if (lhs->kind != Expr::Kind::kIdent && lhs->kind != Expr::Kind::kMember &&
+        lhs->kind != Expr::Kind::kIndex) {
+      return Err("invalid assignment target");
+    }
+    ASSIGN_OR_RETURN(ExprPtr value, ParseAssignment());
+    return ExprPtr(
+        new AssignExpr(std::move(lhs), std::move(value), op, line));
+  }
+
+  Result<ExprPtr> ParseTernary() {
+    ASSIGN_OR_RETURN(ExprPtr cond, ParseOr());
+    if (!Eat("?")) return cond;
+    int line = Peek().line;
+    ASSIGN_OR_RETURN(ExprPtr then_e, ParseExpr());
+    RETURN_IF_ERROR(Expect(":"));
+    ASSIGN_OR_RETURN(ExprPtr else_e, ParseExpr());
+    return ExprPtr(new TernaryExpr(std::move(cond), std::move(then_e),
+                                   std::move(else_e), line));
+  }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AtPunct("||")) {
+      int line = Advance().line;
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = ExprPtr(
+          new LogicalExpr(false, std::move(lhs), std::move(rhs), line));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseEquality());
+    while (AtPunct("&&")) {
+      int line = Advance().line;
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseEquality());
+      lhs =
+          ExprPtr(new LogicalExpr(true, std::move(lhs), std::move(rhs), line));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseEquality() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (AtPunct("==") || AtPunct("!=") || AtPunct("===") ||
+           AtPunct("!==")) {
+      Token t = Advance();
+      std::string op = (t.text == "===") ? "==" :
+                       (t.text == "!==") ? "!=" : t.text;
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = ExprPtr(new BinaryExpr(op, std::move(lhs), std::move(rhs),
+                                   t.line));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (AtPunct("<") || AtPunct("<=") || AtPunct(">") || AtPunct(">=")) {
+      Token t = Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = ExprPtr(
+          new BinaryExpr(t.text, std::move(lhs), std::move(rhs), t.line));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (AtPunct("+") || AtPunct("-")) {
+      Token t = Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = ExprPtr(
+          new BinaryExpr(t.text, std::move(lhs), std::move(rhs), t.line));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (AtPunct("*") || AtPunct("/") || AtPunct("%")) {
+      Token t = Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = ExprPtr(
+          new BinaryExpr(t.text, std::move(lhs), std::move(rhs), t.line));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AtPunct("!") || AtPunct("-")) {
+      Token t = Advance();
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(new UnaryExpr(t.text[0], std::move(operand), t.line));
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    while (true) {
+      int line = Peek().line;
+      if (Eat("(")) {
+        std::vector<ExprPtr> args;
+        if (!AtPunct(")")) {
+          while (true) {
+            ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+            if (!Eat(",")) break;
+          }
+        }
+        RETURN_IF_ERROR(Expect(")"));
+        expr = ExprPtr(new CallExpr(std::move(expr), std::move(args), line));
+      } else if (Eat(".")) {
+        if (!At(Token::Kind::kIdent) && !At(Token::Kind::kKeyword)) {
+          return Err("expected property name");
+        }
+        std::string name = Advance().text;
+        expr = ExprPtr(new MemberExpr(std::move(expr), std::move(name), line));
+      } else if (Eat("[")) {
+        ASSIGN_OR_RETURN(ExprPtr index, ParseExpr());
+        RETURN_IF_ERROR(Expect("]"));
+        expr = ExprPtr(new IndexExpr(std::move(expr), std::move(index), line));
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    int line = t.line;
+    if (t.kind == Token::Kind::kNumber) {
+      ++pos_;
+      return ExprPtr(new LiteralExpr(Value(t.number), line));
+    }
+    if (t.kind == Token::Kind::kString) {
+      ++pos_;
+      return ExprPtr(new LiteralExpr(Value(t.text), line));
+    }
+    if (EatKeyword("true")) return ExprPtr(new LiteralExpr(Value(true), line));
+    if (EatKeyword("false")) {
+      return ExprPtr(new LiteralExpr(Value(false), line));
+    }
+    if (EatKeyword("null")) return ExprPtr(new LiteralExpr(Value(), line));
+    if (AtKeyword("function")) {
+      ++pos_;
+      ASSIGN_OR_RETURN(FunctionDecl decl, ParseFunctionRest(/*named=*/false));
+      return ExprPtr(new FunctionExpr(std::move(decl), line));
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      ++pos_;
+      return ExprPtr(new IdentExpr(t.text, line));
+    }
+    if (Eat("(")) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    if (Eat("[")) {
+      std::vector<ExprPtr> elements;
+      if (!AtPunct("]")) {
+        while (true) {
+          ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          elements.push_back(std::move(e));
+          if (!Eat(",")) break;
+        }
+      }
+      RETURN_IF_ERROR(Expect("]"));
+      return ExprPtr(new ArrayLitExpr(std::move(elements), line));
+    }
+    if (Eat("{")) {
+      std::vector<std::pair<std::string, ExprPtr>> props;
+      if (!AtPunct("}")) {
+        while (true) {
+          std::string key;
+          if (At(Token::Kind::kIdent) || At(Token::Kind::kKeyword)) {
+            key = Advance().text;
+          } else if (At(Token::Kind::kString)) {
+            key = Advance().text;
+          } else {
+            return Err("expected property key");
+          }
+          RETURN_IF_ERROR(Expect(":"));
+          ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+          props.emplace_back(std::move(key), std::move(v));
+          if (!Eat(",")) break;
+        }
+      }
+      RETURN_IF_ERROR(Expect("}"));
+      return ExprPtr(new ObjectLitExpr(std::move(props), line));
+    }
+    return Err("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const Program>> Compile(std::string_view source) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseProgram();
+}
+
+}  // namespace ccf::script

@@ -1,0 +1,19 @@
+// Recursive-descent parser for CCL.
+
+#ifndef CCF_SCRIPT_PARSER_H_
+#define CCF_SCRIPT_PARSER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "script/ast.h"
+
+namespace ccf::script {
+
+// Parses CCL source into a Program. The shared_ptr keeps the AST alive for
+// closures created during execution.
+Result<std::shared_ptr<const Program>> Compile(std::string_view source);
+
+}  // namespace ccf::script
+
+#endif  // CCF_SCRIPT_PARSER_H_

@@ -1,0 +1,140 @@
+#include "script/value.h"
+
+#include <cmath>
+
+namespace ccf::script {
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case Type::kNull: return false;
+    case Type::kBool: return AsBool();
+    case Type::kNumber: return AsNumber() != 0.0 && !std::isnan(AsNumber());
+    case Type::kString: return !AsString().empty();
+    default: return true;
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case Type::kNull: return true;
+    case Type::kBool: return AsBool() == other.AsBool();
+    case Type::kNumber: return AsNumber() == other.AsNumber();
+    case Type::kString: return AsString() == other.AsString();
+    case Type::kArray: {
+      const auto& a = *AsArray();
+      const auto& b = *other.AsArray();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].Equals(b[i])) return false;
+      }
+      return true;
+    }
+    case Type::kObject: {
+      const auto& a = *AsObject();
+      const auto& b = *other.AsObject();
+      if (a.size() != b.size()) return false;
+      for (const auto& [k, v] : a) {
+        auto it = b.find(k);
+        if (it == b.end() || !v.Equals(it->second)) return false;
+      }
+      return true;
+    }
+    case Type::kClosure: return AsClosure() == other.AsClosure();
+    case Type::kNative: return false;
+  }
+  return false;
+}
+
+const char* Value::TypeName() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+    case Type::kClosure: return "function";
+    case Type::kNative: return "native function";
+  }
+  return "?";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return AsBool() ? "true" : "false";
+    case Type::kNumber: {
+      double d = AsNumber();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        return std::to_string(static_cast<int64_t>(d));
+      }
+      return std::to_string(d);
+    }
+    case Type::kString: return AsString();
+    case Type::kArray:
+    case Type::kObject: {
+      auto j = ToJson();
+      return j.ok() ? j->Dump() : std::string("<unrepresentable>");
+    }
+    case Type::kClosure: return "<function>";
+    case Type::kNative: return "<native>";
+  }
+  return "?";
+}
+
+Result<json::Value> Value::ToJson() const {
+  switch (type()) {
+    case Type::kNull: return json::Value(nullptr);
+    case Type::kBool: return json::Value(AsBool());
+    case Type::kNumber: {
+      double d = AsNumber();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        return json::Value(static_cast<int64_t>(d));
+      }
+      return json::Value(d);
+    }
+    case Type::kString: return json::Value(AsString());
+    case Type::kArray: {
+      json::Array out;
+      for (const Value& v : *AsArray()) {
+        ASSIGN_OR_RETURN(json::Value j, v.ToJson());
+        out.push_back(std::move(j));
+      }
+      return json::Value(std::move(out));
+    }
+    case Type::kObject: {
+      json::Object out;
+      for (const auto& [k, v] : *AsObject()) {
+        ASSIGN_OR_RETURN(json::Value j, v.ToJson());
+        out[k] = std::move(j);
+      }
+      return json::Value(std::move(out));
+    }
+    default:
+      return Status::InvalidArgument("script: function not JSON-representable");
+  }
+}
+
+Value Value::FromJson(const json::Value& j) {
+  switch (j.type()) {
+    case json::Value::Type::kNull: return Value();
+    case json::Value::Type::kBool: return Value(j.AsBool());
+    case json::Value::Type::kInt: return Value(static_cast<double>(j.AsInt()));
+    case json::Value::Type::kDouble: return Value(j.AsDouble());
+    case json::Value::Type::kString: return Value(j.AsString());
+    case json::Value::Type::kArray: {
+      Array out;
+      for (const json::Value& e : j.AsArray()) out.push_back(FromJson(e));
+      return Value(std::move(out));
+    }
+    case json::Value::Type::kObject: {
+      Object out;
+      for (const auto& [k, v] : j.AsObject()) out[k] = FromJson(v);
+      return Value(std::move(out));
+    }
+  }
+  return Value();
+}
+
+}  // namespace ccf::script

@@ -1,0 +1,104 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+
+namespace ccf::sim {
+
+Environment::Environment(EnvOptions options)
+    : options_(options), rng_("sim-env", options.seed) {}
+
+void Environment::Register(const std::string& id, Handler handler,
+                           Ticker ticker) {
+  processes_[id] = Process{std::move(handler), std::move(ticker), true};
+}
+
+void Environment::Unregister(const std::string& id) { processes_.erase(id); }
+
+void Environment::SetUp(const std::string& id, bool up) {
+  auto it = processes_.find(id);
+  if (it != processes_.end()) it->second.up = up;
+}
+
+bool Environment::IsUp(const std::string& id) const {
+  auto it = processes_.find(id);
+  return it != processes_.end() && it->second.up;
+}
+
+void Environment::SetPartitioned(const std::string& a, const std::string& b,
+                                 bool partitioned) {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (partitioned) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+void Environment::Isolate(const std::string& id, bool isolated) {
+  for (const auto& [other, process] : processes_) {
+    if (other != id) SetPartitioned(id, other, isolated);
+  }
+}
+
+bool Environment::Blocked(const std::string& a, const std::string& b) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return partitions_.count(key) > 0;
+}
+
+void Environment::Send(const std::string& from, const std::string& to,
+                       Bytes payload) {
+  ++messages_sent_;
+  if (options_.drop_probability > 0.0) {
+    // Deterministic Bernoulli draw from the seeded DRBG.
+    double draw = static_cast<double>(rng_.Uniform(1u << 30)) /
+                  static_cast<double>(1u << 30);
+    if (draw < options_.drop_probability) return;
+  }
+  uint64_t span = options_.max_latency_ms - options_.min_latency_ms;
+  uint64_t latency =
+      options_.min_latency_ms + (span > 0 ? rng_.Uniform(span + 1) : 0);
+  Pending p;
+  p.deliver_at_ms = now_ms_ + std::max<uint64_t>(latency, 1);
+  // FIFO per directed link: never deliver before an earlier message on
+  // the same (from, to) pair.
+  uint64_t& last = last_delivery_[{from, to}];
+  p.deliver_at_ms = std::max(p.deliver_at_ms, last);
+  last = p.deliver_at_ms;
+  p.sequence = next_sequence_++;
+  p.from = from;
+  p.to = to;
+  p.payload = std::move(payload);
+  queue_.emplace(std::make_pair(p.deliver_at_ms, p.sequence), std::move(p));
+}
+
+void Environment::Step(uint64_t ms) {
+  for (uint64_t i = 0; i < ms; ++i) {
+    ++now_ms_;
+    // Deliver everything due at or before now.
+    while (!queue_.empty() && queue_.begin()->first.first <= now_ms_) {
+      Pending p = std::move(queue_.begin()->second);
+      queue_.erase(queue_.begin());
+      auto it = processes_.find(p.to);
+      if (it == processes_.end() || !it->second.up) continue;
+      if (Blocked(p.from, p.to)) continue;
+      ++messages_delivered_;
+      it->second.handler(p.from, p.payload);
+    }
+    // Tick live processes (deterministic order: map is sorted by id).
+    for (auto& [id, process] : processes_) {
+      if (process.up) process.ticker(now_ms_);
+    }
+  }
+}
+
+bool Environment::RunUntil(const std::function<bool()>& predicate,
+                           uint64_t timeout_ms) {
+  uint64_t deadline = now_ms_ + timeout_ms;
+  while (now_ms_ < deadline) {
+    if (predicate()) return true;
+    Step(1);
+  }
+  return predicate();
+}
+
+}  // namespace ccf::sim

@@ -1,0 +1,72 @@
+#include "tee/attestation.h"
+
+#include <cstring>
+
+#include "common/buffer.h"
+
+namespace ccf::tee {
+
+Bytes Quote::SignedPayload() const {
+  BufWriter w;
+  w.Str("ccf.quote.v1");
+  w.Str(code_id);
+  w.Raw(ByteSpan(report_data.data(), report_data.size()));
+  return w.Take();
+}
+
+Bytes Quote::Serialize() const {
+  BufWriter w;
+  w.Str(code_id);
+  w.Raw(ByteSpan(report_data.data(), report_data.size()));
+  w.Raw(ByteSpan(platform_signature.data(), platform_signature.size()));
+  return w.Take();
+}
+
+Result<Quote> Quote::Deserialize(ByteSpan data) {
+  BufReader r(data);
+  Quote q;
+  ASSIGN_OR_RETURN(q.code_id, r.Str());
+  ASSIGN_OR_RETURN(Bytes rd, r.Raw(crypto::kSha256DigestSize));
+  std::copy(rd.begin(), rd.end(), q.report_data.begin());
+  ASSIGN_OR_RETURN(Bytes sig, r.Raw(crypto::kSignatureSize));
+  std::copy(sig.begin(), sig.end(), q.platform_signature.begin());
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("quote: trailing bytes");
+  }
+  return q;
+}
+
+Platform::Platform()
+    : key_(crypto::KeyPair::FromSeed(ToBytes("ccf.simulated.platform"))) {}
+
+const Platform& Platform::Global() {
+  static const Platform platform;
+  return platform;
+}
+
+Quote Platform::GenerateQuote(const CodeId& code_id,
+                              const crypto::Sha256Digest& report_data) const {
+  Quote q;
+  q.code_id = code_id;
+  q.report_data = report_data;
+  q.platform_signature = key_.Sign(q.SignedPayload());
+  return q;
+}
+
+Status Platform::VerifyQuote(const Quote& quote) const {
+  if (!crypto::Verify(key_.public_key(), quote.SignedPayload(),
+                      ByteSpan(quote.platform_signature.data(),
+                               quote.platform_signature.size()))) {
+    return Status::PermissionDenied("quote: bad platform signature");
+  }
+  return Status::Ok();
+}
+
+crypto::Sha256Digest ReportDataForNodeKey(const crypto::PublicKeyBytes& key) {
+  BufWriter w;
+  w.Str("ccf.report-data.node-key.v1");
+  w.Raw(ByteSpan(key.data(), key.size()));
+  return crypto::Sha256::Hash(w.data());
+}
+
+}  // namespace ccf::tee

@@ -1,0 +1,65 @@
+// Simulated remote attestation (paper §2, §3; substitution documented in
+// DESIGN.md §1).
+//
+// A quote binds a code measurement (code id) and enclave-chosen report
+// data (here: the digest of the node's identity public key) under a
+// platform signature. Verification checks the platform signature; whether
+// the code id is trusted is decided by governance against the
+// nodes.code_ids map (paper Listing 1: add_node_code).
+//
+// The "platform" stands in for the hardware manufacturer root of trust:
+// a process-wide signing key that every simulated enclave can reach.
+
+#ifndef CCF_TEE_ATTESTATION_H_
+#define CCF_TEE_ATTESTATION_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/sign.h"
+
+namespace ccf::tee {
+
+// Hex string measuring the code running inside an enclave.
+using CodeId = std::string;
+
+struct Quote {
+  CodeId code_id;
+  crypto::Sha256Digest report_data{};
+  crypto::SignatureBytes platform_signature{};
+
+  Bytes SignedPayload() const;
+  Bytes Serialize() const;
+  static Result<Quote> Deserialize(ByteSpan data);
+};
+
+class Platform {
+ public:
+  // The simulated hardware vendor for this process.
+  static const Platform& Global();
+
+  const crypto::PublicKeyBytes& public_key() const {
+    return key_.public_key();
+  }
+
+  // Enclave side: produce a quote over (code_id, report_data).
+  Quote GenerateQuote(const CodeId& code_id,
+                      const crypto::Sha256Digest& report_data) const;
+
+  // Verifier side: check the platform signature. Code-id trust is a
+  // separate, governance-level decision.
+  Status VerifyQuote(const Quote& quote) const;
+
+ private:
+  Platform();
+  crypto::KeyPair key_;
+};
+
+// Report data convention: digest of the node identity public key, so a
+// quote cannot be replayed for a different node key.
+crypto::Sha256Digest ReportDataForNodeKey(const crypto::PublicKeyBytes& key);
+
+}  // namespace ccf::tee
+
+#endif  // CCF_TEE_ATTESTATION_H_

@@ -1,0 +1,77 @@
+#include "tee/boundary.h"
+
+#include "common/buffer.h"
+
+namespace ccf::tee {
+
+EnclaveBoundary::EnclaveBoundary(TeeMode mode, size_t buffer_capacity)
+    : mode_(mode),
+      host_to_enclave_(buffer_capacity),
+      enclave_to_host_(buffer_capacity) {
+  if (mode_ == TeeMode::kSgxSim) {
+    Bytes key(crypto::kAes256KeySize, 0x42);
+    seal_ = std::make_unique<crypto::AesGcm>(key);
+  }
+}
+
+bool EnclaveBoundary::Send(ds::RingBuffer* rb,
+                           std::atomic<uint64_t>* counter, uint32_t type,
+                           ByteSpan payload) {
+  if (mode_ == TeeMode::kVirtual) {
+    bool ok = rb->TryWrite(type, payload);
+    if (ok) counter->fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  }
+  // SGX-sim: seal the payload across the boundary.
+  uint64_t n = seal_counter_.fetch_add(1, std::memory_order_relaxed);
+  BufWriter ivw;
+  ivw.U64(n);
+  ivw.U32(type);
+  Bytes iv = ivw.Take();  // 12 bytes
+  Bytes sealed = seal_->Seal(iv, payload, {});
+  BufWriter w;
+  w.U64(n);
+  w.Raw(sealed);
+  bool ok = rb->TryWrite(type, w.data());
+  if (ok) counter->fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+bool EnclaveBoundary::Receive(ds::RingBuffer* rb, uint32_t* type,
+                              Bytes* payload) {
+  if (mode_ == TeeMode::kVirtual) {
+    return rb->TryRead(type, payload);
+  }
+  Bytes sealed_msg;
+  if (!rb->TryRead(type, &sealed_msg)) return false;
+  BufReader r(sealed_msg);
+  auto n = r.U64();
+  if (!n.ok()) return false;
+  auto sealed = r.Raw(r.remaining());
+  if (!sealed.ok()) return false;
+  BufWriter ivw;
+  ivw.U64(*n);
+  ivw.U32(*type);
+  auto opened = seal_->Open(ivw.data(), *sealed, {});
+  if (!opened.ok()) return false;
+  *payload = opened.take();
+  return true;
+}
+
+bool EnclaveBoundary::HostSend(uint32_t type, ByteSpan payload) {
+  return Send(&host_to_enclave_, &h2e_count_, type, payload);
+}
+
+bool EnclaveBoundary::HostReceive(uint32_t* type, Bytes* payload) {
+  return Receive(&enclave_to_host_, type, payload);
+}
+
+bool EnclaveBoundary::EnclaveSend(uint32_t type, ByteSpan payload) {
+  return Send(&enclave_to_host_, &e2h_count_, type, payload);
+}
+
+bool EnclaveBoundary::EnclaveReceive(uint32_t* type, Bytes* payload) {
+  return Receive(&host_to_enclave_, type, payload);
+}
+
+}  // namespace ccf::tee

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "common/status.h"
+
+namespace ccf {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(Status::CodeName(Status::Code::kCorruption), "CORRUPTION");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kAborted), "ABORTED");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInternal);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status s = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(HexTest, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff");
+  auto back = HexDecode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(HexTest, DecodeUppercase) {
+  auto r = HexDecode("ABFF");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xab, 0xff}));
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(HexTest, RejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, ByteSpan(a.data(), 2)));
+}
+
+TEST(BufferTest, IntegerRoundTrip) {
+  BufWriter w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-17);
+  w.Bool(true);
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.U8().value(), 0xab);
+  EXPECT_EQ(r.U16().value(), 0x1234);
+  EXPECT_EQ(r.U32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64().value(), -17);
+  EXPECT_EQ(r.Bool().value(), true);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, BlobAndStr) {
+  BufWriter w;
+  w.Blob(Bytes{9, 8, 7});
+  w.Str("hello");
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.Blob().value(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.Str().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, UnderflowFails) {
+  BufWriter w;
+  w.U16(7);
+  BufReader r(w.data());
+  EXPECT_FALSE(r.U32().ok());
+}
+
+TEST(BufferTest, BlobLengthBeyondBufferFails) {
+  BufWriter w;
+  w.U64(1000);  // claims a 1000-byte blob
+  w.U8(1);
+  BufReader r(w.data());
+  EXPECT_FALSE(r.Blob().ok());
+}
+
+TEST(BufferTest, LittleEndianLayout) {
+  BufWriter w;
+  w.U32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+}  // namespace
+}  // namespace ccf

@@ -1,0 +1,331 @@
+// Atomic reconfiguration and node retirement tests (paper §4.4, §4.5).
+
+#include <gtest/gtest.h>
+
+#include "consensus/raft.h"
+#include "tests/raft_harness.h"
+
+namespace ccf::testing {
+namespace {
+
+std::set<NodeId> Names(std::initializer_list<int> idx) {
+  std::set<NodeId> s;
+  for (int i : idx) s.insert(RaftCluster::Name(i));
+  return s;
+}
+
+// Adds node n<i> to the cluster as a joiner with an empty log.
+RaftTestNode* AddJoiner(RaftCluster* cluster, int i,
+                        std::vector<Configuration> configs) {
+  NodeId id = RaftCluster::Name(i);
+  auto node = std::make_unique<RaftTestNode>(
+      id, FastRaftConfig(100 + i), /*base_view=*/0, /*base_seqno=*/0,
+      std::move(configs), &cluster->env());
+  RaftTestNode* ptr = node.get();
+  cluster->AddNode(id, std::move(node));
+  return ptr;
+}
+
+TEST(Reconfiguration, AddOneNode) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary->ReplicateUser("before").ok());
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno()));
+
+  // Joiner starts with the initial configuration (it is not in it yet).
+  RaftTestNode* joiner =
+      AddJoiner(&cluster, 3, {Configuration{0, Names({0, 1, 2})}});
+
+  // One reconfiguration transaction adds it (paper: single-transaction
+  // reconfiguration).
+  ASSERT_TRUE(primary->ReplicateReconfig(Names({0, 1, 2, 3})).ok());
+  uint64_t target = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(target, 10000));
+
+  // The joiner caught up and the old configuration was retired.
+  EXPECT_GE(joiner->raft().commit_seqno(), target);
+  ASSERT_EQ(primary->raft().active_configs().size(), 1u);
+  EXPECT_EQ(primary->raft().active_configs()[0].nodes, Names({0, 1, 2, 3}));
+  EXPECT_TRUE(joiner->raft().InActiveConfig());
+
+  // The 4-node service keeps working and tolerates one fault.
+  cluster.env().SetUp(RaftCluster::Name(1), false);
+  RaftTestNode* p = cluster.WaitForPrimary(10000);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->ReplicateUser("after-add").ok());
+  ASSERT_TRUE(p->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return p->raft().commit_seqno() >= p->raft().last_seqno(); },
+      10000));
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+TEST(Reconfiguration, RemoveBackup) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  // Remove a backup.
+  NodeId removed;
+  for (int i = 0; i < 3; ++i) {
+    if (RaftCluster::Name(i) != primary->id()) {
+      removed = RaftCluster::Name(i);
+      break;
+    }
+  }
+  std::set<NodeId> remaining = Names({0, 1, 2});
+  remaining.erase(removed);
+  ASSERT_TRUE(primary->ReplicateReconfig(remaining).ok());
+  uint64_t target = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return primary->raft().commit_seqno() >= target; }, 5000));
+  ASSERT_EQ(primary->raft().active_configs().size(), 1u);
+  EXPECT_EQ(primary->raft().active_configs()[0].nodes, remaining);
+
+  // The removed node no longer counts toward quorums: the 2-node service
+  // still commits with both remaining nodes.
+  cluster.env().SetUp(removed, false);
+  ASSERT_TRUE(primary->ReplicateUser("still-works").ok());
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] {
+        return primary->raft().commit_seqno() >= primary->raft().last_seqno();
+      },
+      5000));
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+TEST(Reconfiguration, PrimaryRetiresItself) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  std::set<NodeId> remaining = Names({0, 1, 2});
+  remaining.erase(primary->id());
+
+  ASSERT_TRUE(primary->ReplicateReconfig(remaining).ok());
+  uint64_t target = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return primary->raft().commit_seqno() >= target; }, 5000));
+
+  // Paper §4.5: once its removal commits, the primary steps down, and one
+  // of the remaining nodes takes over.
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return !primary->raft().IsPrimary(); }, 5000));
+  RaftTestNode* np = nullptr;
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] {
+        for (const NodeId& id : remaining) {
+          if (cluster.node(id).raft().IsPrimary()) {
+            np = &cluster.node(id);
+            return true;
+          }
+        }
+        return false;
+      },
+      10000));
+  ASSERT_TRUE(np->ReplicateUser("new regime").ok());
+  ASSERT_TRUE(np->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return np->raft().commit_seqno() >= np->raft().last_seqno(); },
+      5000));
+  // The retired node never starts elections (it is outside every config).
+  EXPECT_FALSE(primary->raft().InActiveConfig());
+  EXPECT_NE(primary->raft().role(), Role::kCandidate);
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+TEST(Reconfiguration, ArbitraryWholesaleReplacement) {
+  // {n0,n1,n2} -> {n2,n3,n4} in a single reconfiguration transaction
+  // (paper §4.4: "an arbitrary transition from any node configuration to
+  // any other").
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary->ReplicateUser("old world").ok());
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno()));
+
+  std::vector<Configuration> initial_cfg = {
+      Configuration{0, Names({0, 1, 2})}};
+  AddJoiner(&cluster, 3, initial_cfg);
+  AddJoiner(&cluster, 4, initial_cfg);
+
+  ASSERT_TRUE(primary->ReplicateReconfig(Names({2, 3, 4})).ok());
+  uint64_t target = primary->raft().last_seqno();
+  // Commit requires majorities in BOTH configurations while pending.
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] {
+        RaftTestNode* p = cluster.GetPrimary();
+        return p != nullptr && p->raft().commit_seqno() >= target;
+      },
+      10000));
+
+  // Shut down the old nodes; the new configuration must be self-sufficient.
+  cluster.env().SetUp(RaftCluster::Name(0), false);
+  cluster.env().SetUp(RaftCluster::Name(1), false);
+  RaftTestNode* np = cluster.WaitForPrimary(10000);
+  ASSERT_NE(np, nullptr);
+  EXPECT_TRUE(Names({2, 3, 4}).count(np->id()) > 0);
+  ASSERT_TRUE(np->ReplicateUser("new world").ok());
+  ASSERT_TRUE(np->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return np->raft().commit_seqno() >= np->raft().last_seqno(); },
+      10000));
+  // Old committed data is preserved in the new world's logs.
+  EXPECT_TRUE(cluster.CommittedPrefixesAgree());
+  EXPECT_TRUE(cluster.LogsMatch());
+}
+
+TEST(Reconfiguration, CommitStallsWithoutNewConfigQuorum) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno()));
+  uint64_t committed_before = primary->raft().commit_seqno();
+
+  // New config {primary, n3, n4} where n3, n4 do not exist yet: no
+  // majority in the new configuration is reachable.
+  std::set<NodeId> unreachable = {primary->id(), "n3", "n4"};
+  ASSERT_TRUE(primary->ReplicateReconfig(unreachable).ok());
+  cluster.env().Step(500);
+  EXPECT_EQ(primary->raft().commit_seqno(), committed_before);
+  // Both configurations are still active.
+  EXPECT_EQ(primary->raft().active_configs().size(), 2u);
+}
+
+TEST(Reconfiguration, RolledBackReconfigIsRemoved) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno()));
+
+  // Isolate the primary, then append a reconfiguration that can never
+  // commit.
+  cluster.env().Isolate(primary->id(), true);
+  ASSERT_TRUE(primary->ReplicateReconfig(Names({0, 1, 2, 3, 4})).ok());
+  EXPECT_EQ(primary->raft().active_configs().size(), 2u);
+
+  // Majority side elects a new primary and moves on.
+  RaftTestNode* np = nullptr;
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] {
+        for (auto& [id, node] : cluster.nodes()) {
+          if (id != primary->id() && node->raft().IsPrimary() &&
+              node->raft().view() > primary->raft().view()) {
+            np = node.get();
+            return true;
+          }
+        }
+        return false;
+      },
+      5000));
+  ASSERT_TRUE(np->ReplicateUser("moved on").ok());
+  ASSERT_TRUE(np->ReplicateSignature().ok());
+  uint64_t target = np->raft().last_seqno();
+
+  // Heal: the rolled-back reconfiguration disappears from the old
+  // primary's active configurations (paper §4.4).
+  cluster.env().Isolate(primary->id(), false);
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return primary->raft().commit_seqno() >= target; }, 5000));
+  EXPECT_EQ(primary->raft().active_configs().size(), 1u);
+  EXPECT_EQ(primary->raft().active_configs()[0].nodes, Names({0, 1, 2}));
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+TEST(Reconfiguration, JoinerFromSnapshotBase) {
+  // A joiner starting from a snapshot base only needs the log suffix.
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(primary->ReplicateUser("old" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  uint64_t snap_seqno = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(snap_seqno));
+
+  // Joiner pretends it installed a snapshot at (view, snap_seqno).
+  NodeId id = RaftCluster::Name(3);
+  auto joiner_node = std::make_unique<RaftTestNode>(
+      id, FastRaftConfig(103), primary->raft().view(), snap_seqno,
+      std::vector<Configuration>{Configuration{0, Names({0, 1, 2})}},
+      &cluster.env());
+  RaftTestNode* joiner = joiner_node.get();
+  cluster.AddNode(id, std::move(joiner_node));
+
+  ASSERT_TRUE(primary->ReplicateReconfig(Names({0, 1, 2, 3})).ok());
+  ASSERT_TRUE(primary->ReplicateUser("suffix").ok());
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  uint64_t target = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return joiner->raft().commit_seqno() >= target; }, 10000));
+  // The joiner never replayed entries at or below its base.
+  EXPECT_EQ(joiner->raft().GetLogEntry(snap_seqno), nullptr);
+  EXPECT_NE(joiner->raft().GetLogEntry(target), nullptr);
+}
+
+TEST(Reconfiguration, FaultToleranceRestoredAfterReplacement) {
+  // Paper §6.3: five nodes tolerate two faults; after one fails,
+  // reconfiguring it out and a fresh node in restores tolerance to two.
+  RaftCluster cluster(5);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno()));
+
+  // One backup fails.
+  NodeId dead;
+  for (int i = 0; i < 5; ++i) {
+    if (RaftCluster::Name(i) != primary->id()) {
+      dead = RaftCluster::Name(i);
+      break;
+    }
+  }
+  cluster.env().SetUp(dead, false);
+
+  // Replace it with a fresh node n5.
+  NodeId fresh = "n5";
+  std::set<NodeId> new_config;
+  for (int i = 0; i < 5; ++i) new_config.insert(RaftCluster::Name(i));
+  new_config.erase(dead);
+  new_config.insert(fresh);
+  auto joiner = std::make_unique<RaftTestNode>(
+      fresh, FastRaftConfig(105), /*base_view=*/0, /*base_seqno=*/0,
+      std::vector<Configuration>{
+          Configuration{0, {"n0", "n1", "n2", "n3", "n4"}}},
+      &cluster.env());
+  cluster.AddNode(fresh, std::move(joiner));
+  ASSERT_TRUE(primary->ReplicateReconfig(new_config).ok());
+  uint64_t target = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] {
+        RaftTestNode* p = cluster.GetPrimary();
+        return p != nullptr && p->raft().commit_seqno() >= target;
+      },
+      10000));
+
+  // Two more failures are now tolerable again.
+  int killed = 0;
+  for (const NodeId& id : new_config) {
+    if (killed == 2) break;
+    if (id != cluster.GetPrimary()->id() && id != fresh) {
+      cluster.env().SetUp(id, false);
+      ++killed;
+    }
+  }
+  RaftTestNode* p = cluster.WaitForPrimary(10000);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->ReplicateUser("resilient").ok());
+  ASSERT_TRUE(p->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return p->raft().commit_seqno() >= p->raft().last_seqno(); },
+      10000));
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+}  // namespace
+}  // namespace ccf::testing

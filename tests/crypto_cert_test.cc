@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "crypto/cert.h"
+
+namespace ccf::crypto {
+namespace {
+
+TEST(Certificate, SelfSignedVerifies) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("service-key"));
+  Certificate cert =
+      IssueCertificate("service", "service", kp.public_key(), kp, "");
+  EXPECT_TRUE(VerifyCertificate(cert, kp.public_key()).ok());
+}
+
+TEST(Certificate, IssuedCertChainsToIssuer) {
+  KeyPair service = KeyPair::FromSeed(ToBytes("service-key"));
+  KeyPair node = KeyPair::FromSeed(ToBytes("node-key"));
+  Certificate cert = IssueCertificate("node-1", "node", node.public_key(),
+                                      service, "service");
+  EXPECT_TRUE(VerifyCertificate(cert, service.public_key()).ok());
+  // Not under a different key.
+  EXPECT_FALSE(VerifyCertificate(cert, node.public_key()).ok());
+}
+
+TEST(Certificate, SerializationRoundTrip) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("rt-key"));
+  Certificate cert =
+      IssueCertificate("member0", "member", kp.public_key(), kp, "", 10, 20);
+  Bytes ser = cert.Serialize();
+  auto back = Certificate::Deserialize(ser);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->subject, "member0");
+  EXPECT_EQ(back->role, "member");
+  EXPECT_EQ(back->public_key, kp.public_key());
+  EXPECT_EQ(back->valid_from, 10u);
+  EXPECT_EQ(back->valid_to, 20u);
+  EXPECT_EQ(back->signature, cert.signature);
+  EXPECT_EQ(back->Fingerprint(), cert.Fingerprint());
+}
+
+TEST(Certificate, TamperedFieldFailsVerification) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("tamper-key"));
+  Certificate cert =
+      IssueCertificate("user1", "user", kp.public_key(), kp, "");
+  cert.subject = "user2";
+  EXPECT_FALSE(VerifyCertificate(cert, kp.public_key()).ok());
+}
+
+TEST(Certificate, ValidityWindowEnforced) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("window-key"));
+  Certificate cert =
+      IssueCertificate("u", "user", kp.public_key(), kp, "", 100, 200);
+  EXPECT_FALSE(VerifyCertificate(cert, kp.public_key(), 99).ok());
+  EXPECT_TRUE(VerifyCertificate(cert, kp.public_key(), 100).ok());
+  EXPECT_TRUE(VerifyCertificate(cert, kp.public_key(), 199).ok());
+  EXPECT_FALSE(VerifyCertificate(cert, kp.public_key(), 200).ok());
+}
+
+TEST(Certificate, FingerprintUniquePerCert) {
+  KeyPair a = KeyPair::FromSeed(ToBytes("fp-a"));
+  KeyPair b = KeyPair::FromSeed(ToBytes("fp-b"));
+  Certificate ca = IssueCertificate("x", "user", a.public_key(), a, "");
+  Certificate cb = IssueCertificate("x", "user", b.public_key(), b, "");
+  EXPECT_NE(ca.Fingerprint(), cb.Fingerprint());
+}
+
+TEST(Certificate, DeserializeRejectsTruncation) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("trunc-key"));
+  Certificate cert = IssueCertificate("u", "user", kp.public_key(), kp, "");
+  Bytes ser = cert.Serialize();
+  ser.pop_back();
+  EXPECT_FALSE(Certificate::Deserialize(ser).ok());
+  Bytes extended = cert.Serialize();
+  extended.push_back(0);
+  EXPECT_FALSE(Certificate::Deserialize(extended).ok());
+}
+
+}  // namespace
+}  // namespace ccf::crypto

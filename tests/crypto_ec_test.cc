@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/ec25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sign.h"
+
+namespace ccf::crypto {
+namespace {
+
+using ec::Fe;
+using ec::Point;
+using ec::Scalar;
+
+Fe RandomFe(Drbg* drbg) {
+  uint8_t bytes[32];
+  drbg->Generate(bytes, 32);
+  bytes[31] &= 0x7f;
+  return ec::FeFromBytes(bytes);
+}
+
+Scalar RandomScalar(Drbg* drbg) {
+  Bytes b = drbg->Generate(64);
+  return ec::ScalarReduce(b);
+}
+
+TEST(Fe25519, BytesRoundTrip) {
+  Drbg drbg("fe-bytes", 0);
+  for (int i = 0; i < 20; ++i) {
+    Fe a = RandomFe(&drbg);
+    auto bytes = ec::FeToBytes(a);
+    Fe b = ec::FeFromBytes(bytes.data());
+    EXPECT_TRUE(ec::FeEqual(a, b));
+  }
+}
+
+TEST(Fe25519, CanonicalEncodingOfPMinusOne) {
+  // p - 1 = 2^255 - 20 must encode canonically (not wrap).
+  uint8_t bytes[32];
+  memset(bytes, 0xff, 32);
+  bytes[0] = 0xec;  // p-1 little-endian low byte: 0xed - 1
+  bytes[31] = 0x7f;
+  Fe a = ec::FeFromBytes(bytes);
+  auto enc = ec::FeToBytes(a);
+  EXPECT_EQ(Bytes(enc.begin(), enc.end()), Bytes(bytes, bytes + 32));
+}
+
+TEST(Fe25519, NonCanonicalReduces) {
+  // p itself must encode as zero.
+  uint8_t bytes[32];
+  memset(bytes, 0xff, 32);
+  bytes[0] = 0xed;
+  bytes[31] = 0x7f;
+  Fe a = ec::FeFromBytes(bytes);
+  EXPECT_TRUE(ec::FeIsZero(a));
+}
+
+TEST(Fe25519, FieldAxioms) {
+  Drbg drbg("fe-axioms", 0);
+  for (int i = 0; i < 10; ++i) {
+    Fe a = RandomFe(&drbg), b = RandomFe(&drbg), c = RandomFe(&drbg);
+    // Commutativity and associativity of mul.
+    EXPECT_TRUE(ec::FeEqual(ec::FeMul(a, b), ec::FeMul(b, a)));
+    EXPECT_TRUE(ec::FeEqual(ec::FeMul(ec::FeMul(a, b), c),
+                            ec::FeMul(a, ec::FeMul(b, c))));
+    // Distributivity.
+    EXPECT_TRUE(ec::FeEqual(ec::FeMul(a, ec::FeAdd(b, c)),
+                            ec::FeAdd(ec::FeMul(a, b), ec::FeMul(a, c))));
+    // Sub inverts add.
+    EXPECT_TRUE(ec::FeEqual(ec::FeSub(ec::FeAdd(a, b), b), a));
+    // Square matches mul.
+    EXPECT_TRUE(ec::FeEqual(ec::FeSquare(a), ec::FeMul(a, a)));
+  }
+}
+
+TEST(Fe25519, Inversion) {
+  Drbg drbg("fe-inv", 0);
+  for (int i = 0; i < 10; ++i) {
+    Fe a = RandomFe(&drbg);
+    if (ec::FeIsZero(a)) continue;
+    Fe inv = ec::FeInvert(a);
+    EXPECT_TRUE(ec::FeEqual(ec::FeMul(a, inv), ec::FeOne()));
+  }
+  EXPECT_TRUE(ec::FeIsZero(ec::FeInvert(ec::FeZero())));
+}
+
+TEST(Fe25519, SqrtOfSquares) {
+  Drbg drbg("fe-sqrt", 0);
+  for (int i = 0; i < 10; ++i) {
+    Fe a = RandomFe(&drbg);
+    Fe a2 = ec::FeSquare(a);
+    Fe r;
+    ASSERT_TRUE(ec::FeSqrt(a2, &r));
+    EXPECT_TRUE(ec::FeEqual(ec::FeSquare(r), a2));
+  }
+}
+
+TEST(Fe25519, NonResidueRejected) {
+  // p = 2^255-19 is 1 mod 4, so -1 is a quadratic residue...
+  Fe minus_one = ec::FeNeg(ec::FeOne());
+  Fe r;
+  ASSERT_TRUE(ec::FeSqrt(minus_one, &r));
+  EXPECT_TRUE(ec::FeEqual(ec::FeSquare(r), minus_one));
+  // ...and p is 5 mod 8, so 2 is a non-residue; so is -2 (= residue * 2).
+  Fe two = ec::FeFromU64(2);
+  EXPECT_FALSE(ec::FeSqrt(two, &r));
+  EXPECT_FALSE(ec::FeSqrt(ec::FeNeg(two), &r));
+}
+
+TEST(Ec25519, BasePointOnCurve) {
+  EXPECT_TRUE(ec::IsOnCurve(ec::BasePoint()));
+  EXPECT_TRUE(ec::IsOnCurve(ec::Identity()));
+}
+
+TEST(Ec25519, BasePointMatchesRfc8032) {
+  // The standard encoding of the ed25519 base point.
+  auto enc = ec::Encode(ec::BasePoint());
+  EXPECT_EQ(HexEncode(ByteSpan(enc.data(), enc.size())),
+            "5866666666666666666666666666666666666666666666666666666666666666");
+}
+
+TEST(Ec25519, BasePointHasOrderL) {
+  // l * B == identity validates both the scalar order constant and the
+  // group arithmetic against each other.
+  Scalar l_minus_1{};
+  // l - 1: reduce(-1 mod l) computed as l + (-1) -> use ScalarReduce of
+  // (l-1) bytes directly: build from reduce of large value: 0 - 1 isn't
+  // representable, so compute (l-1) = reduce(2*l - 1) via bytes of l.
+  // Simpler: s = reduce(big) where big = l-1 little-endian.
+  uint8_t lm1[32] = {0xec, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                     0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                     0,    0,    0,    0,    0,    0,    0,    0,
+                     0,    0,    0,    0,    0,    0,    0,    0x10};
+  memcpy(l_minus_1.data(), lm1, 32);
+  ASSERT_TRUE(ec::ScalarIsCanonical(l_minus_1));
+  Point p = ec::ScalarMultBase(l_minus_1);
+  // (l-1)*B + B == identity.
+  Point sum = ec::Add(p, ec::BasePoint());
+  EXPECT_TRUE(ec::IsIdentity(sum));
+  // And (l-1)*B == -B.
+  EXPECT_TRUE(ec::PointEqual(p, ec::Negate(ec::BasePoint())));
+}
+
+TEST(Ec25519, GroupLaws) {
+  Drbg drbg("group-laws", 0);
+  for (int i = 0; i < 5; ++i) {
+    Point p = ec::ScalarMultBase(RandomScalar(&drbg));
+    Point q = ec::ScalarMultBase(RandomScalar(&drbg));
+    Point r = ec::ScalarMultBase(RandomScalar(&drbg));
+    // Commutativity.
+    EXPECT_TRUE(ec::PointEqual(ec::Add(p, q), ec::Add(q, p)));
+    // Associativity.
+    EXPECT_TRUE(ec::PointEqual(ec::Add(ec::Add(p, q), r),
+                               ec::Add(p, ec::Add(q, r))));
+    // Identity.
+    EXPECT_TRUE(ec::PointEqual(ec::Add(p, ec::Identity()), p));
+    // Inverse.
+    EXPECT_TRUE(ec::IsIdentity(ec::Add(p, ec::Negate(p))));
+    // Unified add doubles correctly.
+    EXPECT_TRUE(ec::PointEqual(ec::Add(p, p), ec::Double(p)));
+    // Results stay on the curve.
+    EXPECT_TRUE(ec::IsOnCurve(ec::Add(p, q)));
+  }
+}
+
+TEST(Ec25519, ScalarMultDistributes) {
+  Drbg drbg("scalar-dist", 0);
+  Scalar a = RandomScalar(&drbg);
+  Scalar b = RandomScalar(&drbg);
+  Scalar zero{};
+  // (a+b)*B == a*B + b*B; a+b computed via MulAdd(a, 1, b).
+  Scalar one{};
+  one[0] = 1;
+  Scalar a_plus_b = ec::ScalarMulAdd(a, one, b);
+  Point lhs = ec::ScalarMultBase(a_plus_b);
+  Point rhs = ec::Add(ec::ScalarMultBase(a), ec::ScalarMultBase(b));
+  EXPECT_TRUE(ec::PointEqual(lhs, rhs));
+  EXPECT_TRUE(ec::IsIdentity(ec::ScalarMultBase(zero)));
+}
+
+TEST(Ec25519, EncodeDecodeRoundTrip) {
+  Drbg drbg("pt-encode", 0);
+  for (int i = 0; i < 10; ++i) {
+    Point p = ec::ScalarMultBase(RandomScalar(&drbg));
+    auto enc = ec::Encode(p);
+    auto dec = ec::Decode(ByteSpan(enc.data(), enc.size()));
+    ASSERT_TRUE(dec.ok());
+    EXPECT_TRUE(ec::PointEqual(p, *dec));
+    EXPECT_EQ(ec::Encode(*dec), enc);
+  }
+}
+
+TEST(Ec25519, DecodeRejectsGarbage) {
+  // Wrong length.
+  EXPECT_FALSE(ec::Decode(Bytes(31, 0)).ok());
+  // Mostly-random encodings: about half of y values are off-curve; check
+  // we never crash and reject at least some.
+  Drbg drbg("pt-garbage", 0);
+  int rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    Bytes b = drbg.Generate(32);
+    auto dec = ec::Decode(b);
+    if (!dec.ok()) {
+      ++rejected;
+    } else {
+      EXPECT_TRUE(ec::IsOnCurve(*dec));
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Ec25519, DecodeRejectsNonCanonicalY) {
+  // Encoding of p (all ones pattern for y >= p) must be rejected.
+  Bytes enc(32, 0xff);
+  enc[0] = 0xed;
+  enc[31] = 0x7f;
+  EXPECT_FALSE(ec::Decode(enc).ok());
+}
+
+TEST(Scalar25519, ReduceIsCanonical) {
+  Drbg drbg("scalar-reduce", 0);
+  for (int i = 0; i < 20; ++i) {
+    Bytes b = drbg.Generate(64);
+    Scalar s = ec::ScalarReduce(b);
+    EXPECT_TRUE(ec::ScalarIsCanonical(s));
+  }
+}
+
+TEST(Scalar25519, MulAddMatchesRepeatedAdd) {
+  Scalar two{}, three{}, five{};
+  two[0] = 2;
+  three[0] = 3;
+  five[0] = 5;
+  Scalar r = ec::ScalarMulAdd(two, three, five);  // 2*3+5 = 11
+  Scalar eleven{};
+  eleven[0] = 11;
+  EXPECT_EQ(r, eleven);
+}
+
+// ------------------------------------------------------------- Signatures
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("seed-alpha"));
+  Bytes msg = ToBytes("state machine replication");
+  auto sig = kp.Sign(msg);
+  EXPECT_TRUE(Verify(kp.public_key(), msg, sig));
+}
+
+TEST(Schnorr, DeterministicSignature) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("seed-alpha"));
+  auto s1 = kp.Sign(ToBytes("m"));
+  auto s2 = kp.Sign(ToBytes("m"));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("seed-alpha"));
+  auto sig = kp.Sign(ToBytes("message-1"));
+  EXPECT_FALSE(Verify(kp.public_key(), ToBytes("message-2"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  KeyPair a = KeyPair::FromSeed(ToBytes("seed-a"));
+  KeyPair b = KeyPair::FromSeed(ToBytes("seed-b"));
+  auto sig = a.Sign(ToBytes("msg"));
+  EXPECT_FALSE(Verify(b.public_key(), ToBytes("msg"), sig));
+}
+
+TEST(Schnorr, RejectsBitFlips) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("seed-flip"));
+  Bytes msg = ToBytes("flip me");
+  auto sig = kp.Sign(msg);
+  for (size_t i = 0; i < sig.size(); i += 7) {
+    auto bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(Verify(kp.public_key(), msg, bad)) << "byte " << i;
+  }
+}
+
+TEST(Schnorr, RejectsNonCanonicalS) {
+  KeyPair kp = KeyPair::FromSeed(ToBytes("seed-canon"));
+  Bytes msg = ToBytes("msg");
+  auto sig = kp.Sign(msg);
+  // Set s >= l by forcing high bits.
+  auto bad = sig;
+  bad[63] = 0xff;
+  EXPECT_FALSE(Verify(kp.public_key(), msg, bad));
+}
+
+TEST(Schnorr, DifferentSeedsDifferentKeys) {
+  KeyPair a = KeyPair::FromSeed(ToBytes("s1"));
+  KeyPair b = KeyPair::FromSeed(ToBytes("s2"));
+  EXPECT_NE(a.public_key(), b.public_key());
+}
+
+TEST(Ecdh, SharedSecretAgreement) {
+  KeyPair a = KeyPair::FromSeed(ToBytes("dh-a"));
+  KeyPair b = KeyPair::FromSeed(ToBytes("dh-b"));
+  auto sa = a.DeriveSharedSecret(b.public_key());
+  auto sb = b.DeriveSharedSecret(a.public_key());
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(*sa, *sb);
+  EXPECT_EQ(sa->size(), 32u);
+}
+
+TEST(Ecdh, DistinctPeersDistinctSecrets) {
+  KeyPair a = KeyPair::FromSeed(ToBytes("dh-a"));
+  KeyPair b = KeyPair::FromSeed(ToBytes("dh-b"));
+  KeyPair c = KeyPair::FromSeed(ToBytes("dh-c"));
+  EXPECT_NE(*a.DeriveSharedSecret(b.public_key()),
+            *a.DeriveSharedSecret(c.public_key()));
+}
+
+TEST(Ecies, SealOpenRoundTrip) {
+  Drbg drbg("ecies", 0);
+  KeyPair recipient = KeyPair::FromSeed(ToBytes("recipient"));
+  Bytes msg = ToBytes("recovery share payload");
+  auto sealed = EciesSeal(recipient.public_key(), msg, &drbg);
+  ASSERT_TRUE(sealed.ok());
+  auto opened = recipient.EciesOpen(*sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(Ecies, WrongRecipientFails) {
+  Drbg drbg("ecies-wrong", 0);
+  KeyPair r1 = KeyPair::FromSeed(ToBytes("r1"));
+  KeyPair r2 = KeyPair::FromSeed(ToBytes("r2"));
+  auto sealed = EciesSeal(r1.public_key(), ToBytes("secret"), &drbg);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(r2.EciesOpen(*sealed).ok());
+}
+
+TEST(Ecies, TamperedBlobFails) {
+  Drbg drbg("ecies-tamper", 0);
+  KeyPair r = KeyPair::FromSeed(ToBytes("r"));
+  auto sealed = EciesSeal(r.public_key(), ToBytes("secret"), &drbg);
+  ASSERT_TRUE(sealed.ok());
+  Bytes bad = *sealed;
+  bad[40] ^= 1;
+  EXPECT_FALSE(r.EciesOpen(bad).ok());
+}
+
+}  // namespace
+}  // namespace ccf::crypto

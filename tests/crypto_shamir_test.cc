@@ -1,0 +1,131 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "crypto/shamir.h"
+
+namespace ccf::crypto {
+namespace {
+
+TEST(Shamir, SplitCombineRoundTrip) {
+  Drbg drbg("shamir-1", 0);
+  Bytes secret = drbg.Generate(32);
+  auto shares = ShamirSplit(secret, 3, 5, &drbg);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares->size(), 5u);
+  auto recovered = ShamirCombine(*shares, 3);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, secret);
+}
+
+TEST(Shamir, AnySubsetOfKSharesSuffices) {
+  Drbg drbg("shamir-2", 0);
+  Bytes secret = drbg.Generate(16);
+  auto shares = ShamirSplit(secret, 2, 4, &drbg).take();
+  // Try every 2-subset.
+  for (size_t i = 0; i < shares.size(); ++i) {
+    for (size_t j = i + 1; j < shares.size(); ++j) {
+      std::vector<Share> subset = {shares[i], shares[j]};
+      auto rec = ShamirCombine(subset, 2);
+      ASSERT_TRUE(rec.ok());
+      EXPECT_EQ(*rec, secret) << i << "," << j;
+    }
+  }
+}
+
+TEST(Shamir, ShuffledSharesStillRecover) {
+  Drbg drbg("shamir-3", 0);
+  Bytes secret = drbg.Generate(24);
+  auto shares = ShamirSplit(secret, 4, 7, &drbg).take();
+  std::reverse(shares.begin(), shares.end());
+  auto rec = ShamirCombine(shares, 4);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, secret);
+}
+
+TEST(Shamir, FewerThanKSharesGivesWrongSecret) {
+  Drbg drbg("shamir-4", 0);
+  Bytes secret = drbg.Generate(32);
+  auto shares = ShamirSplit(secret, 3, 5, &drbg).take();
+  // Combining with k=2 from a k=3 split must not reveal the secret.
+  std::vector<Share> two = {shares[0], shares[1]};
+  auto rec = ShamirCombine(two, 2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NE(*rec, secret);
+}
+
+TEST(Shamir, KEqualsOneIsTheSecret) {
+  Drbg drbg("shamir-5", 0);
+  Bytes secret = drbg.Generate(8);
+  auto shares = ShamirSplit(secret, 1, 3, &drbg).take();
+  for (const Share& s : shares) {
+    auto rec = ShamirCombine({s}, 1);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(*rec, secret);
+  }
+}
+
+TEST(Shamir, KEqualsN) {
+  Drbg drbg("shamir-6", 0);
+  Bytes secret = drbg.Generate(10);
+  auto shares = ShamirSplit(secret, 5, 5, &drbg).take();
+  auto rec = ShamirCombine(shares, 5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, secret);
+}
+
+TEST(Shamir, InvalidParametersRejected) {
+  Drbg drbg("shamir-7", 0);
+  Bytes secret = drbg.Generate(4);
+  EXPECT_FALSE(ShamirSplit(secret, 0, 3, &drbg).ok());
+  EXPECT_FALSE(ShamirSplit(secret, 4, 3, &drbg).ok());
+  EXPECT_FALSE(ShamirSplit(secret, 1, 256, &drbg).ok());
+}
+
+TEST(Shamir, CombineValidation) {
+  Drbg drbg("shamir-8", 0);
+  Bytes secret = drbg.Generate(4);
+  auto shares = ShamirSplit(secret, 2, 3, &drbg).take();
+  // Not enough shares.
+  EXPECT_FALSE(ShamirCombine({shares[0]}, 2).ok());
+  // Duplicate index.
+  EXPECT_FALSE(ShamirCombine({shares[0], shares[0]}, 2).ok());
+  // Inconsistent lengths.
+  auto bad = shares;
+  bad[1].data.pop_back();
+  EXPECT_FALSE(ShamirCombine({bad[0], bad[1]}, 2).ok());
+  // Index zero.
+  bad = shares;
+  bad[0].index = 0;
+  EXPECT_FALSE(ShamirCombine({bad[0], bad[1]}, 2).ok());
+}
+
+TEST(Shamir, EmptySecret) {
+  Drbg drbg("shamir-9", 0);
+  auto shares = ShamirSplit(Bytes{}, 2, 3, &drbg).take();
+  auto rec = ShamirCombine(shares, 2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->empty());
+}
+
+// Property sweep across thresholds.
+class ShamirParamTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShamirParamTest, RoundTrip) {
+  auto [k, n] = GetParam();
+  Drbg drbg("shamir-param", static_cast<uint64_t>(k * 1000 + n));
+  Bytes secret = drbg.Generate(32);
+  auto shares = ShamirSplit(secret, k, n, &drbg);
+  ASSERT_TRUE(shares.ok());
+  auto rec = ShamirCombine(*shares, k);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ShamirParamTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 5}, std::pair{2, 3},
+                      std::pair{3, 5}, std::pair{5, 9}, std::pair{7, 10},
+                      std::pair{10, 20}, std::pair{17, 31}));
+
+}  // namespace
+}  // namespace ccf::crypto

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "crypto/hmac.h"
+#include "ds/champ.h"
+
+namespace ccf::ds {
+namespace {
+
+using Map = ChampMap<std::string, int>;
+
+TEST(Champ, EmptyMap) {
+  Map m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Get("a"), nullptr);
+  EXPECT_FALSE(m.Contains("a"));
+}
+
+TEST(Champ, PutGet) {
+  Map m;
+  Map m2 = m.Put("a", 1);
+  EXPECT_EQ(m.size(), 0u);  // original untouched
+  EXPECT_EQ(m2.size(), 1u);
+  ASSERT_NE(m2.Get("a"), nullptr);
+  EXPECT_EQ(*m2.Get("a"), 1);
+}
+
+TEST(Champ, PutReplaces) {
+  Map m = Map().Put("k", 1).Put("k", 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.Get("k"), 2);
+}
+
+TEST(Champ, RemoveExisting) {
+  Map m = Map().Put("a", 1).Put("b", 2);
+  Map m2 = m.Remove("a");
+  EXPECT_EQ(m2.size(), 1u);
+  EXPECT_EQ(m2.Get("a"), nullptr);
+  EXPECT_EQ(*m2.Get("b"), 2);
+  // Original unchanged.
+  EXPECT_EQ(*m.Get("a"), 1);
+}
+
+TEST(Champ, RemoveAbsentIsNoop) {
+  Map m = Map().Put("a", 1);
+  Map m2 = m.Remove("zzz");
+  EXPECT_EQ(m2.size(), 1u);
+  EXPECT_EQ(*m2.Get("a"), 1);
+}
+
+TEST(Champ, PersistentVersions) {
+  // Each version must see exactly its own state — this is what KV rollback
+  // relies on.
+  std::vector<Map> versions;
+  Map m;
+  versions.push_back(m);
+  for (int i = 0; i < 100; ++i) {
+    m = m.Put("key" + std::to_string(i), i);
+    versions.push_back(m);
+  }
+  for (int v = 0; v <= 100; ++v) {
+    EXPECT_EQ(versions[v].size(), static_cast<size_t>(v));
+    for (int i = 0; i < 100; ++i) {
+      const int* got = versions[v].Get("key" + std::to_string(i));
+      if (i < v) {
+        ASSERT_NE(got, nullptr) << "v=" << v << " i=" << i;
+        EXPECT_EQ(*got, i);
+      } else {
+        EXPECT_EQ(got, nullptr) << "v=" << v << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Champ, ForEachVisitsAll) {
+  Map m;
+  for (int i = 0; i < 50; ++i) m = m.Put("k" + std::to_string(i), i);
+  std::map<std::string, int> seen;
+  m.ForEach([&](const std::string& k, const int& v) {
+    seen[k] = v;
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(seen["k" + std::to_string(i)], i);
+  }
+}
+
+TEST(Champ, ForEachEarlyStop) {
+  Map m;
+  for (int i = 0; i < 50; ++i) m = m.Put("k" + std::to_string(i), i);
+  int count = 0;
+  m.ForEach([&](const std::string&, const int&) {
+    ++count;
+    return count < 10;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+// Force hash collisions to exercise collision nodes.
+struct CollidingOps {
+  static uint64_t Hash(const std::string& k) {
+    // Only two buckets, and identical across all trie levels.
+    return k.size() % 2 == 0 ? 0 : ~uint64_t{0};
+  }
+  static bool Equal(const std::string& a, const std::string& b) {
+    return a == b;
+  }
+};
+
+TEST(Champ, HashCollisionsHandled) {
+  ChampMap<std::string, int, CollidingOps> m;
+  for (int i = 0; i < 40; ++i) {
+    m = m.Put("key" + std::to_string(i), i);
+  }
+  EXPECT_EQ(m.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    const int* got = m.Get("key" + std::to_string(i));
+    ASSERT_NE(got, nullptr) << i;
+    EXPECT_EQ(*got, i);
+  }
+  // Remove half.
+  for (int i = 0; i < 40; i += 2) {
+    m = m.Remove("key" + std::to_string(i));
+  }
+  EXPECT_EQ(m.size(), 20u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(m.Get("key" + std::to_string(i)) != nullptr, i % 2 == 1) << i;
+  }
+}
+
+TEST(Champ, CollisionReplace) {
+  ChampMap<std::string, int, CollidingOps> m;
+  m = m.Put("aa", 1).Put("bb", 2).Put("aa", 3);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.Get("aa"), 3);
+}
+
+// Model-based property test: random Put/Remove mirrored against std::map.
+TEST(Champ, MatchesStdMapModel) {
+  crypto::Drbg drbg("champ-model", 0);
+  Map champ;
+  std::map<std::string, int> model;
+  for (int step = 0; step < 5000; ++step) {
+    std::string key = "k" + std::to_string(drbg.Uniform(400));
+    int op = static_cast<int>(drbg.Uniform(3));
+    if (op < 2) {
+      int value = static_cast<int>(drbg.Uniform(1000));
+      champ = champ.Put(key, value);
+      model[key] = value;
+    } else {
+      champ = champ.Remove(key);
+      model.erase(key);
+    }
+    ASSERT_EQ(champ.size(), model.size()) << "step " << step;
+    // Spot-check a few keys per step.
+    for (int probe = 0; probe < 4; ++probe) {
+      std::string pk = "k" + std::to_string(drbg.Uniform(400));
+      auto it = model.find(pk);
+      const int* got = champ.Get(pk);
+      if (it == model.end()) {
+        ASSERT_EQ(got, nullptr) << "step " << step << " key " << pk;
+      } else {
+        ASSERT_NE(got, nullptr) << "step " << step << " key " << pk;
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  // Final full comparison.
+  std::map<std::string, int> dumped;
+  champ.ForEach([&](const std::string& k, const int& v) {
+    dumped[k] = v;
+    return true;
+  });
+  EXPECT_EQ(dumped, model);
+}
+
+TEST(Champ, LargeScale) {
+  Map m;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) m = m.Put(std::to_string(i), i);
+  EXPECT_EQ(m.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; i += 97) {
+    ASSERT_NE(m.Get(std::to_string(i)), nullptr);
+    EXPECT_EQ(*m.Get(std::to_string(i)), i);
+  }
+  for (int i = 0; i < kN; ++i) m = m.Remove(std::to_string(i));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Champ, BytesKeys) {
+  ChampMap<Bytes, Bytes> m;
+  m = m.Put(Bytes{1, 2, 3}, Bytes{4, 5});
+  m = m.Put(Bytes{}, Bytes{9});
+  ASSERT_NE(m.Get(Bytes{1, 2, 3}), nullptr);
+  EXPECT_EQ(*m.Get(Bytes{1, 2, 3}), (Bytes{4, 5}));
+  ASSERT_NE(m.Get(Bytes{}), nullptr);
+  EXPECT_EQ(m.Get(Bytes{1, 2}), nullptr);
+}
+
+}  // namespace
+}  // namespace ccf::ds

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "gov/constitution.h"
+#include "gov/proposals.h"
+#include "gov/records.h"
+#include "gov/shares.h"
+#include "kv/tables.h"
+
+namespace ccf::gov {
+namespace {
+
+namespace tables = kv::tables;
+
+// A store bootstrapped with three members and the default constitution.
+struct GovFixture {
+  kv::Store store;
+  crypto::KeyPair member_keys[3] = {
+      crypto::KeyPair::FromSeed(ToBytes("m0")),
+      crypto::KeyPair::FromSeed(ToBytes("m1")),
+      crypto::KeyPair::FromSeed(ToBytes("m2")),
+  };
+  std::string member_ids[3];
+  crypto::Drbg drbg{"gov-fixture", 0};
+
+  GovFixture() {
+    kv::Tx tx = store.BeginTx();
+    tx.Handle(tables::kConstitution)
+        ->PutStr(tables::kCurrentKey, DefaultConstitution());
+    for (int i = 0; i < 3; ++i) {
+      member_ids[i] = "member" + std::to_string(i);
+      MemberInfo info;
+      crypto::Certificate cert = crypto::IssueCertificate(
+          member_ids[i], "member", member_keys[i].public_key(),
+          member_keys[i], "");
+      info.cert = cert.Serialize();
+      info.encryption_key = member_keys[i].public_key();
+      WriteRecord(tx.Handle(tables::kMembersCerts), member_ids[i],
+                  info.ToJson());
+    }
+    ServiceInfo service;
+    service.status = ServiceStatus::kOpening;
+    service.cert = ToBytes("placeholder");
+    WriteRecord(tx.Handle(tables::kServiceInfo), tables::kCurrentKey,
+                service.ToJson());
+    auto r = store.CommitTx(&tx);
+    assert(r.ok());
+  }
+
+  json::Value MakeProposal(const std::string& action_name,
+                           json::Object args) {
+    json::Object action;
+    action["name"] = action_name;
+    action["args"] = std::move(args);
+    json::Object proposal;
+    proposal["actions"] = json::Array{json::Value(std::move(action))};
+    return json::Value(std::move(proposal));
+  }
+};
+
+const char kVoteYes[] = "function vote(proposal, proposer_id) { return true; }";
+const char kVoteNo[] = "function vote(proposal, proposer_id) { return false; }";
+
+TEST(Governance, ProposalAcceptedByMajority) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("code-v2")}});
+
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("signed-req-0"));
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  EXPECT_EQ(submitted->state, ProposalState::kOpen);
+  std::string pid = submitted->proposal_id;
+
+  // First yes vote: 1 of 3 < majority.
+  auto v1 = ProposalManager::Vote(&tx, f.member_ids[0], pid, kVoteYes,
+                                  ToBytes("signed-ballot-0"));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->state, ProposalState::kOpen);
+  // Not yet applied.
+  EXPECT_FALSE(tx.Handle(tables::kNodesCodeIds)->HasStr("code-v2"));
+
+  // Second yes vote: 2 of 3 = strict majority -> accepted and applied.
+  auto v2 = ProposalManager::Vote(&tx, f.member_ids[1], pid, kVoteYes,
+                                  ToBytes("signed-ballot-1"));
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->state, ProposalState::kAccepted);
+  EXPECT_EQ(tx.Handle(tables::kNodesCodeIds)->GetStr("code-v2"),
+            "AllowedToJoin");
+
+  // Info records final votes (paper Listing 2).
+  auto info = ProposalManager::GetInfo(&tx, pid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProposalState::kAccepted);
+  EXPECT_EQ(info->final_votes.size(), 2u);
+  EXPECT_TRUE(info->final_votes.at(f.member_ids[0]));
+}
+
+TEST(Governance, ProposalRejectedByMajorityAgainst) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("bad")}});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("sr"));
+  ASSERT_TRUE(submitted.ok());
+  std::string pid = submitted->proposal_id;
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[1], pid, kVoteNo,
+                                    ToBytes("b1")).ok());
+  auto v2 = ProposalManager::Vote(&tx, f.member_ids[2], pid, kVoteNo,
+                                  ToBytes("b2"));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->state, ProposalState::kRejected);
+  EXPECT_FALSE(tx.Handle(tables::kNodesCodeIds)->HasStr("bad"));
+  // No further votes accepted.
+  EXPECT_FALSE(ProposalManager::Vote(&tx, f.member_ids[0], pid, kVoteYes,
+                                     ToBytes("late")).ok());
+}
+
+TEST(Governance, NonMemberRejected) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("x")}});
+  EXPECT_FALSE(
+      ProposalManager::Submit(&tx, "stranger", proposal, ToBytes("sr")).ok());
+}
+
+TEST(Governance, ValidateRejectsMalformedProposal) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  // code_id must be a string per the default constitution's validate.
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value(42)}});
+  auto r = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                   ToBytes("sr"));
+  EXPECT_FALSE(r.ok());
+  // Unknown action fails at apply time.
+  json::Value unknown = f.MakeProposal("frobnicate", {});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], unknown,
+                                           ToBytes("sr2"));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[0],
+                                    submitted->proposal_id, kVoteYes,
+                                    ToBytes("b")).ok());
+  auto v = ProposalManager::Vote(&tx, f.member_ids[1], submitted->proposal_id,
+                                 kVoteYes, ToBytes("b2"));
+  EXPECT_FALSE(v.ok());  // apply fails on unknown action
+}
+
+TEST(Governance, ConditionalBallotReadsState) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  // Ballot votes yes only if the code id is not yet present (checks KV).
+  const char kConditional[] = R"(
+    function vote(proposal, proposer_id) {
+      let existing = kv_get('public:ccf.gov.nodes.code_ids',
+                            proposal.actions[0].args.code_id);
+      return existing == null;
+    }
+  )";
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("cond")}});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("sr"));
+  ASSERT_TRUE(submitted.ok());
+  std::string pid = submitted->proposal_id;
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[0], pid, kConditional,
+                                    ToBytes("b0")).ok());
+  auto v = ProposalManager::Vote(&tx, f.member_ids[1], pid, kConditional,
+                                 ToBytes("b1"));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->state, ProposalState::kAccepted);
+}
+
+TEST(Governance, WithdrawProposal) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("w")}});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("sr"));
+  ASSERT_TRUE(submitted.ok());
+  // Only the proposer may withdraw.
+  EXPECT_FALSE(ProposalManager::Withdraw(&tx, f.member_ids[1],
+                                         submitted->proposal_id).ok());
+  EXPECT_TRUE(ProposalManager::Withdraw(&tx, f.member_ids[0],
+                                        submitted->proposal_id).ok());
+  auto info = ProposalManager::GetInfo(&tx, submitted->proposal_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, ProposalState::kDropped);
+}
+
+TEST(Governance, TransitionServiceToOpen) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal = f.MakeProposal("transition_service_to_open", {});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("sr"));
+  ASSERT_TRUE(submitted.ok());
+  std::string pid = submitted->proposal_id;
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[0], pid, kVoteYes,
+                                    ToBytes("b0")).ok());
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[1], pid, kVoteYes,
+                                    ToBytes("b1")).ok());
+  auto record = ReadRecord(tx.Handle(tables::kServiceInfo),
+                           tables::kCurrentKey);
+  ASSERT_TRUE(record.ok());
+  auto info = ServiceInfo::FromJson(*record);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->status, ServiceStatus::kOpen);
+}
+
+TEST(Governance, SetConstitutionChangesRules) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  // New constitution: any single vote accepts ("dictatorship of whoever
+  // votes first") — demonstrates programmability (paper §5.1).
+  const char kLooseConstitution[] = R"(
+    function resolve(proposal, proposer_id, votes) {
+      for (let m of votes) { if (votes[m]) { return 'Accepted'; } }
+      return 'Open';
+    }
+    function apply(proposal, proposal_id) {
+      for (let action of proposal.actions) {
+        if (action.name == 'add_node_code') {
+          kv_put('public:ccf.gov.nodes.code_ids', action.args.code_id,
+                 'AllowedToJoin');
+        }
+      }
+      return true;
+    }
+  )";
+  json::Value proposal = f.MakeProposal(
+      "set_constitution", {{"constitution", json::Value(kLooseConstitution)}});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("sr"));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[0],
+                                    submitted->proposal_id, kVoteYes,
+                                    ToBytes("b0")).ok());
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[1],
+                                    submitted->proposal_id, kVoteYes,
+                                    ToBytes("b1")).ok());
+
+  // Under the new constitution one vote suffices.
+  json::Value p2 =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("quick")}});
+  auto s2 = ProposalManager::Submit(&tx, f.member_ids[2], p2, ToBytes("sr2"));
+  ASSERT_TRUE(s2.ok());
+  auto v = ProposalManager::Vote(&tx, f.member_ids[2], s2->proposal_id,
+                                 kVoteYes, ToBytes("b"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->state, ProposalState::kAccepted);
+  EXPECT_TRUE(tx.Handle(tables::kNodesCodeIds)->HasStr("quick"));
+}
+
+TEST(Governance, HistoryRecordsSignedRequests) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal =
+      f.MakeProposal("add_node_code", {{"code_id", json::Value("h")}});
+  ASSERT_TRUE(ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                      ToBytes("the-signed-request")).ok());
+  size_t entries = tx.Handle(tables::kGovHistory)->Size();
+  EXPECT_EQ(entries, 1u);
+}
+
+// ----------------------------------------------------- Recovery shares
+
+TEST(Shares, ReissueAndRecover) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  kv::LedgerSecret secret = kv::LedgerSecret::Generate(&f.drbg);
+  ASSERT_TRUE(ShareManager::ReissueShares(&tx, secret, &f.drbg).ok());
+  // Threshold defaults to majority of 3 = 2.
+  EXPECT_EQ(ShareManager::RecoveryThreshold(&tx), 2);
+
+  // Each member decrypts their own share.
+  std::map<std::string, Bytes> submitted;
+  for (int i = 0; i < 2; ++i) {
+    auto share = ShareManager::ExtractMemberShare(&tx, f.member_ids[i],
+                                                  f.member_keys[i]);
+    ASSERT_TRUE(share.ok()) << share.status().ToString();
+    submitted[f.member_ids[i]] = *share;
+  }
+  auto recovered = ShareManager::RecoverLedgerSecret(&tx, submitted);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->key, secret.key);
+}
+
+TEST(Shares, InsufficientSharesFail) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  kv::LedgerSecret secret = kv::LedgerSecret::Generate(&f.drbg);
+  ASSERT_TRUE(ShareManager::ReissueShares(&tx, secret, &f.drbg).ok());
+  std::map<std::string, Bytes> submitted;
+  auto share = ShareManager::ExtractMemberShare(&tx, f.member_ids[0],
+                                                f.member_keys[0]);
+  ASSERT_TRUE(share.ok());
+  submitted[f.member_ids[0]] = *share;
+  EXPECT_FALSE(ShareManager::RecoverLedgerSecret(&tx, submitted).ok());
+}
+
+TEST(Shares, WrongMemberCannotDecryptShare) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  kv::LedgerSecret secret = kv::LedgerSecret::Generate(&f.drbg);
+  ASSERT_TRUE(ShareManager::ReissueShares(&tx, secret, &f.drbg).ok());
+  // member1's key cannot open member0's share.
+  EXPECT_FALSE(ShareManager::ExtractMemberShare(&tx, f.member_ids[0],
+                                                f.member_keys[1]).ok());
+}
+
+TEST(Shares, CorruptedSharesDetected) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  kv::LedgerSecret secret = kv::LedgerSecret::Generate(&f.drbg);
+  ASSERT_TRUE(ShareManager::ReissueShares(&tx, secret, &f.drbg).ok());
+  std::map<std::string, Bytes> submitted;
+  for (int i = 0; i < 2; ++i) {
+    auto share = ShareManager::ExtractMemberShare(&tx, f.member_ids[i],
+                                                  f.member_keys[i]);
+    ASSERT_TRUE(share.ok());
+    submitted[f.member_ids[i]] = *share;
+  }
+  // Corrupt one share: GCM unwrap must fail (no silent wrong secret).
+  submitted[f.member_ids[0]][3] ^= 1;
+  EXPECT_FALSE(ShareManager::RecoverLedgerSecret(&tx, submitted).ok());
+}
+
+TEST(Shares, ThresholdChangeViaGovernance) {
+  GovFixture f;
+  kv::Tx tx = f.store.BeginTx();
+  json::Value proposal = f.MakeProposal(
+      "set_recovery_threshold", {{"threshold", json::Value(3)}});
+  auto submitted = ProposalManager::Submit(&tx, f.member_ids[0], proposal,
+                                           ToBytes("sr"));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[0],
+                                    submitted->proposal_id, kVoteYes,
+                                    ToBytes("b0")).ok());
+  ASSERT_TRUE(ProposalManager::Vote(&tx, f.member_ids[1],
+                                    submitted->proposal_id, kVoteYes,
+                                    ToBytes("b1")).ok());
+  EXPECT_EQ(ShareManager::RecoveryThreshold(&tx), 3);
+
+  // Reissue with the new threshold: now 2 shares are not enough.
+  kv::LedgerSecret secret = kv::LedgerSecret::Generate(&f.drbg);
+  ASSERT_TRUE(ShareManager::ReissueShares(&tx, secret, &f.drbg).ok());
+  std::map<std::string, Bytes> submitted_shares;
+  for (int i = 0; i < 2; ++i) {
+    auto share = ShareManager::ExtractMemberShare(&tx, f.member_ids[i],
+                                                  f.member_keys[i]);
+    ASSERT_TRUE(share.ok());
+    submitted_shares[f.member_ids[i]] = *share;
+  }
+  EXPECT_FALSE(ShareManager::RecoverLedgerSecret(&tx, submitted_shares).ok());
+  auto share2 = ShareManager::ExtractMemberShare(&tx, f.member_ids[2],
+                                                 f.member_keys[2]);
+  ASSERT_TRUE(share2.ok());
+  submitted_shares[f.member_ids[2]] = *share2;
+  auto recovered = ShareManager::RecoverLedgerSecret(&tx, submitted_shares);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->key, secret.key);
+}
+
+// ---------------------------------------------------------- Records
+
+TEST(Records, NodeInfoRoundTrip) {
+  crypto::KeyPair k = crypto::KeyPair::FromSeed(ToBytes("n"));
+  NodeInfo info;
+  info.node_id = "n3";
+  info.status = NodeStatus::kRetiring;
+  info.cert = crypto::IssueCertificate("n3", "node", k.public_key(), k, "");
+  info.code_id = "code-1";
+  info.host = "10.0.0.3";
+  auto back = NodeInfo::FromJson(info.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->node_id, "n3");
+  EXPECT_EQ(back->status, NodeStatus::kRetiring);
+  EXPECT_EQ(back->cert.Fingerprint(), info.cert.Fingerprint());
+  EXPECT_EQ(back->code_id, "code-1");
+}
+
+TEST(Records, StatusNamesMatchPaper) {
+  // Figure 6 state names.
+  EXPECT_STREQ(NodeStatusName(NodeStatus::kPending), "Pending");
+  EXPECT_STREQ(NodeStatusName(NodeStatus::kTrusted), "Trusted");
+  EXPECT_STREQ(NodeStatusName(NodeStatus::kRetiring), "Retiring");
+  EXPECT_STREQ(NodeStatusName(NodeStatus::kRetired), "Retired");
+  EXPECT_FALSE(NodeStatusFromName("Bogus").ok());
+}
+
+TEST(Records, ProposalInfoRoundTrip) {
+  ProposalInfo info;
+  info.proposer_id = "m0";
+  info.state = ProposalState::kAccepted;
+  info.ballots["m0"] = kVoteYes;
+  info.ballots["m1"] = kVoteYes;
+  info.final_votes["m0"] = true;
+  info.final_votes["m1"] = true;
+  auto back = ProposalInfo::FromJson(info.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->state, ProposalState::kAccepted);
+  EXPECT_EQ(back->ballots.size(), 2u);
+  EXPECT_EQ(back->final_votes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ccf::gov

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "http/http.h"
+
+namespace ccf::http {
+namespace {
+
+TEST(Http, RequestRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.path = "/app/log";
+  req.headers["x-custom"] = "abc";
+  req.body = ToBytes(R"({"id": 1, "msg": "hello"})");
+
+  RequestParser parser;
+  parser.Feed(req.Serialize());
+  auto parsed = parser.Next();
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->has_value());
+  EXPECT_EQ((*parsed)->method, "POST");
+  EXPECT_EQ((*parsed)->path, "/app/log");
+  EXPECT_EQ((*parsed)->GetHeader("x-custom"), "abc");
+  EXPECT_EQ((*parsed)->body, req.body);
+  // No second message.
+  auto next = parser.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+TEST(Http, ResponseRoundTrip) {
+  Response resp;
+  resp.status = 404;
+  resp.headers[kTxIdHeader] = "2.17";
+  resp.body = ToBytes("{\"error\":\"nope\"}");
+
+  ResponseParser parser;
+  parser.Feed(resp.Serialize());
+  auto parsed = parser.Next();
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->has_value());
+  EXPECT_EQ((*parsed)->status, 404);
+  EXPECT_EQ((*parsed)->GetHeader(kTxIdHeader), "2.17");
+  EXPECT_EQ((*parsed)->body, resp.body);
+}
+
+TEST(Http, IncrementalFeed) {
+  Request req;
+  req.method = "GET";
+  req.path = "/app/messages";
+  req.body = ToBytes("0123456789");
+  Bytes wire = req.Serialize();
+
+  RequestParser parser;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    parser.Feed(ByteSpan(&wire[i], 1));
+    auto r = parser.Next();
+    ASSERT_TRUE(r.ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(r->has_value()) << "completed early at byte " << i;
+    } else {
+      ASSERT_TRUE(r->has_value());
+      EXPECT_EQ((*r)->body, req.body);
+    }
+  }
+}
+
+TEST(Http, PipelinedRequests) {
+  Request a;
+  a.method = "GET";
+  a.path = "/one";
+  Request b;
+  b.method = "POST";
+  b.path = "/two";
+  b.body = ToBytes("body2");
+
+  RequestParser parser;
+  Bytes wire = a.Serialize();
+  Append(&wire, b.Serialize());
+  parser.Feed(wire);
+
+  auto first = parser.Next();
+  ASSERT_TRUE(first.ok() && first->has_value());
+  EXPECT_EQ((*first)->path, "/one");
+  auto second = parser.Next();
+  ASSERT_TRUE(second.ok() && second->has_value());
+  EXPECT_EQ((*second)->path, "/two");
+  EXPECT_EQ(ToString((*second)->body), "body2");
+}
+
+TEST(Http, HeaderNamesCaseInsensitive) {
+  RequestParser parser;
+  parser.Feed(ToBytes("GET /x HTTP/1.1\r\nX-CCF-Thing: Value\r\n"
+                      "Content-Length: 0\r\n\r\n"));
+  auto r = parser.Next();
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_EQ((*r)->GetHeader("x-ccf-thing"), "Value");
+}
+
+TEST(Http, MalformedInputsRejected) {
+  {
+    RequestParser p;
+    p.Feed(ToBytes("NOT-HTTP\r\n\r\n"));
+    EXPECT_FALSE(p.Next().ok());
+  }
+  {
+    RequestParser p;
+    p.Feed(ToBytes("GET /x HTTP/2.0\r\n\r\n"));
+    EXPECT_FALSE(p.Next().ok());
+  }
+  {
+    RequestParser p;
+    p.Feed(ToBytes("GET /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n"));
+    EXPECT_FALSE(p.Next().ok());
+  }
+  {
+    RequestParser p;
+    p.Feed(ToBytes("GET /x HTTP/1.1\r\nbadheader\r\n\r\n"));
+    EXPECT_FALSE(p.Next().ok());
+  }
+  {
+    ResponseParser p;
+    p.Feed(ToBytes("HTTP/1.1 9999 Nope\r\n\r\n"));
+    EXPECT_FALSE(p.Next().ok());
+  }
+}
+
+TEST(Http, EmptyBody) {
+  Request req;
+  req.method = "GET";
+  req.path = "/";
+  RequestParser parser;
+  parser.Feed(req.Serialize());
+  auto r = parser.Next();
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_TRUE((*r)->body.empty());
+}
+
+TEST(Http, ReasonPhrases) {
+  EXPECT_STREQ(ReasonPhrase(200), "OK");
+  EXPECT_STREQ(ReasonPhrase(503), "Service Unavailable");
+  EXPECT_STREQ(ReasonPhrase(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace ccf::http

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace ccf::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->AsBool(), true);
+  EXPECT_EQ(Parse("false")->AsBool(), false);
+  EXPECT_EQ(Parse("42")->AsInt(), 42);
+  EXPECT_EQ(Parse("-7")->AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Parse("3.5")->AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParse, IntegerStaysInt) {
+  auto v = Parse("9007199254740993");  // not representable as double
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_int());
+  EXPECT_EQ(v->AsInt(), 9007199254740993LL);
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto v = Parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  ASSERT_TRUE(v.ok());
+  const Value* a = v->Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray()[0].AsInt(), 1);
+  EXPECT_TRUE(a->AsArray()[2].Get("b")->AsBool());
+  EXPECT_TRUE(v->Get("c")->Get("d")->is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = Parse(R"("a\"b\\c\nd\tA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonParse, UnicodeSurrogatePair) {
+  auto v = Parse(R"("😀")");  // 😀
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, Whitespace) {
+  auto v = Parse("  {\n\t\"k\" :  1 , \"l\":[ ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetInt("k"), 1);
+  EXPECT_TRUE(v->Get("l")->AsArray().empty());
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("{'a':1}").ok());
+  EXPECT_FALSE(Parse("-").ok());
+}
+
+TEST(JsonParse, DeepNestingRejected) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonDump, RoundTrip) {
+  const char* docs[] = {
+      R"(null)",
+      R"(true)",
+      R"(-12)",
+      R"("x\ny")",
+      R"([1,2,3])",
+      R"({"a":1,"b":[true,null],"c":{"d":"e"}})",
+  };
+  for (const char* doc : docs) {
+    auto v = Parse(doc);
+    ASSERT_TRUE(v.ok()) << doc;
+    auto v2 = Parse(v->Dump());
+    ASSERT_TRUE(v2.ok()) << v->Dump();
+    EXPECT_EQ(*v, *v2) << doc;
+  }
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  auto v = Parse(R"({"b":1,"a":2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Dump(), R"({"a":2,"b":1})");
+}
+
+TEST(JsonDump, ControlCharactersEscaped) {
+  Value v(std::string("\x01x"));
+  EXPECT_EQ(v.Dump(), "\"\\u0001x\"");
+}
+
+TEST(JsonDump, PrettyParsesBack) {
+  auto v = Parse(R"({"a":[1,{"b":2}],"c":null})");
+  ASSERT_TRUE(v.ok());
+  auto v2 = Parse(v->DumpPretty());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v, *v2);
+}
+
+TEST(JsonValue, BuildersAndAccessors) {
+  Value obj;
+  obj["name"] = "ledger";
+  obj["count"] = 3;
+  obj["ok"] = true;
+  obj["items"] = Array{1, "two", nullptr};
+  EXPECT_EQ(obj.GetString("name"), "ledger");
+  EXPECT_EQ(obj.GetInt("count"), 3);
+  EXPECT_TRUE(obj.GetBool("ok"));
+  EXPECT_EQ(obj.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(obj.Get("items")->AsArray().size(), 3u);
+}
+
+TEST(JsonValue, Equality) {
+  EXPECT_EQ(*Parse("{\"a\":[1,2]}"), *Parse("{ \"a\" : [1, 2] }"));
+  EXPECT_NE(*Parse("1"), *Parse("2"));
+}
+
+}  // namespace
+}  // namespace ccf::json

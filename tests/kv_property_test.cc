@@ -1,0 +1,137 @@
+// Model-based property tests for the KV store: random sequences of
+// commits, replicated applies, rollbacks, and compactions are mirrored
+// against a simple reference model; the store must agree at every step.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "kv/snapshot.h"
+#include "kv/store.h"
+
+namespace ccf::kv {
+namespace {
+
+using Model = std::map<std::string, std::map<std::string, std::string>>;
+
+Model ModelOf(const State& state) {
+  Model m;
+  state.maps.ForEach([&](const std::string& name, const MapEntry& entry) {
+    auto& dst = m[name];
+    entry.data.ForEach([&](const Bytes& k, const VersionedValue& v) {
+      dst[ToString(k)] = ToString(v.value);
+      return true;
+    });
+    return true;
+  });
+  // Normalize away empty maps.
+  for (auto it = m.begin(); it != m.end();) {
+    it = it->second.empty() ? m.erase(it) : std::next(it);
+  }
+  return m;
+}
+
+class KvChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvChaosTest, StoreMatchesModelUnderRandomOps) {
+  crypto::Drbg rng("kv-chaos", GetParam());
+  Store store;
+  // Reference: model per version seqno (for rollback), plus committed mark.
+  std::vector<Model> versions = {{}};  // versions[s] = model at seqno s
+  uint64_t committed = 0;
+
+  const std::vector<std::string> maps = {"public:a", "private:b", "private:c"};
+
+  for (int step = 0; step < 2000; ++step) {
+    uint64_t action = rng.Uniform(100);
+    if (action < 70) {
+      // Commit a transaction with 1-3 random writes/removes.
+      Tx tx = store.BeginTx();
+      Model next = versions.back();
+      int writes = 1 + static_cast<int>(rng.Uniform(3));
+      for (int w = 0; w < writes; ++w) {
+        const std::string& map = maps[rng.Uniform(maps.size())];
+        std::string key = "k" + std::to_string(rng.Uniform(30));
+        if (rng.Uniform(5) == 0) {
+          tx.Handle(map)->RemoveStr(key);
+          next[map].erase(key);
+          if (next[map].empty()) next.erase(map);
+        } else {
+          std::string value = "v" + std::to_string(step);
+          tx.Handle(map)->PutStr(key, value);
+          next[map][key] = value;
+        }
+      }
+      auto result = store.CommitTx(&tx);
+      ASSERT_TRUE(result.ok()) << step;
+      ASSERT_EQ(result->seqno, versions.size()) << step;
+      versions.push_back(std::move(next));
+    } else if (action < 85 && store.current_seqno() > committed) {
+      // Rollback to a random uncommitted-but-valid point.
+      uint64_t target =
+          committed + rng.Uniform(store.current_seqno() - committed + 1);
+      ASSERT_TRUE(store.Rollback(target).ok()) << step;
+      versions.resize(target + 1);
+    } else if (store.current_seqno() > committed) {
+      // Compact (commit) up to a random point.
+      uint64_t target =
+          committed + 1 + rng.Uniform(store.current_seqno() - committed);
+      ASSERT_TRUE(store.Compact(target).ok()) << step;
+      committed = target;
+    }
+
+    ASSERT_EQ(store.current_seqno() + 1, versions.size()) << step;
+    ASSERT_EQ(store.committed_seqno(), committed) << step;
+    if (step % 50 == 0) {
+      ASSERT_EQ(ModelOf(store.current_state()), versions.back()) << step;
+    }
+  }
+  EXPECT_EQ(ModelOf(store.current_state()), versions.back());
+  // Snapshot of the committed state matches the committed model.
+  EXPECT_EQ(ModelOf(store.committed_state()), versions[committed]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvChaosTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Replicated path: a backup applying the primary's write sets stays
+// byte-identical through random rollbacks mirrored on both sides.
+TEST(KvReplicaProperty, BackupMirrorsThroughRollbacks) {
+  crypto::Drbg rng("kv-replica", 3);
+  Store primary, backup;
+  uint64_t committed = 0;
+  for (int step = 0; step < 800; ++step) {
+    uint64_t action = rng.Uniform(10);
+    if (action < 7) {
+      Tx tx = primary.BeginTx();
+      tx.Handle("private:data")
+          ->PutStr("k" + std::to_string(rng.Uniform(20)),
+                   "v" + std::to_string(step));
+      auto result = primary.CommitTx(&tx);
+      ASSERT_TRUE(result.ok());
+      ASSERT_TRUE(backup.ApplyWriteSet(result->write_set, result->seqno).ok());
+    } else if (action < 8 && primary.current_seqno() > committed) {
+      uint64_t target =
+          committed + rng.Uniform(primary.current_seqno() - committed + 1);
+      ASSERT_TRUE(primary.Rollback(target).ok());
+      ASSERT_TRUE(backup.Rollback(target).ok());
+    } else if (primary.current_seqno() > committed) {
+      committed = primary.current_seqno();
+      ASSERT_TRUE(primary.Compact(committed).ok());
+      ASSERT_TRUE(backup.Compact(committed).ok());
+    }
+    if (step % 100 == 0) {
+      ASSERT_EQ(SerializeState(primary.current_state()),
+                SerializeState(backup.current_state()))
+          << step;
+    }
+  }
+  EXPECT_EQ(SerializeState(primary.current_state()),
+            SerializeState(backup.current_state()));
+}
+
+}  // namespace
+}  // namespace ccf::kv

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "crypto/hmac.h"
+#include "ledger/ledger.h"
+
+namespace ccf::ledger {
+namespace {
+
+Entry MakeEntry(uint64_t view, uint64_t seqno,
+                EntryType type = EntryType::kUser) {
+  Entry e;
+  e.view = view;
+  e.seqno = seqno;
+  e.type = type;
+  e.public_ws = ToBytes("pub-" + std::to_string(seqno));
+  e.private_sealed = ToBytes("priv-" + std::to_string(seqno));
+  return e;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ccf_ledger_test_" + std::to_string(counter_++) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST(LedgerEntry, SerializationRoundTrip) {
+  Entry e = MakeEntry(3, 17, EntryType::kSignature);
+  e.claims_digest = crypto::Sha256::Hash(ToBytes("claims"));
+  Bytes ser = e.Serialize();
+  auto back = Entry::Deserialize(ser);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->view, 3u);
+  EXPECT_EQ(back->seqno, 17u);
+  EXPECT_EQ(back->type, EntryType::kSignature);
+  EXPECT_EQ(back->public_ws, e.public_ws);
+  EXPECT_EQ(back->private_sealed, e.private_sealed);
+  EXPECT_EQ(back->claims_digest, e.claims_digest);
+}
+
+TEST(LedgerEntry, DeserializeRejectsCorruption) {
+  Entry e = MakeEntry(1, 1);
+  Bytes ser = e.Serialize();
+  Bytes truncated(ser.begin(), ser.end() - 1);
+  EXPECT_FALSE(Entry::Deserialize(truncated).ok());
+  Bytes extended = ser;
+  extended.push_back(0);
+  EXPECT_FALSE(Entry::Deserialize(extended).ok());
+  Bytes bad_type = ser;
+  bad_type[16] = 99;  // type byte
+  EXPECT_FALSE(Entry::Deserialize(bad_type).ok());
+}
+
+TEST(LedgerEntry, WriteSetDigestDependsOnContent) {
+  Entry a = MakeEntry(1, 1);
+  Entry b = MakeEntry(1, 1);
+  b.public_ws.push_back(0xFF);
+  EXPECT_NE(a.WriteSetDigest(), b.WriteSetDigest());
+  Entry c = MakeEntry(1, 1);
+  c.type = EntryType::kSignature;
+  EXPECT_NE(a.WriteSetDigest(), c.WriteSetDigest());
+}
+
+TEST(Ledger, AppendContiguous) {
+  Ledger ledger;
+  EXPECT_TRUE(ledger.Append(MakeEntry(1, 1)).ok());
+  EXPECT_TRUE(ledger.Append(MakeEntry(1, 2)).ok());
+  EXPECT_FALSE(ledger.Append(MakeEntry(1, 4)).ok());  // gap
+  EXPECT_FALSE(ledger.Append(MakeEntry(1, 2)).ok());  // duplicate
+  EXPECT_EQ(ledger.last_seqno(), 2u);
+}
+
+TEST(Ledger, GetBounds) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeEntry(1, 1)).ok());
+  EXPECT_TRUE(ledger.Get(1).ok());
+  EXPECT_FALSE(ledger.Get(0).ok());
+  EXPECT_FALSE(ledger.Get(2).ok());
+  EXPECT_EQ((*ledger.Get(1))->seqno, 1u);
+}
+
+TEST(Ledger, TruncateDropsSuffix) {
+  Ledger ledger;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+  }
+  ledger.Truncate(6);
+  EXPECT_EQ(ledger.last_seqno(), 6u);
+  EXPECT_FALSE(ledger.Get(7).ok());
+  // Re-append with new content (view change scenario).
+  EXPECT_TRUE(ledger.Append(MakeEntry(2, 7)).ok());
+  EXPECT_EQ((*ledger.Get(7))->view, 2u);
+}
+
+TEST(LedgerFiles, SaveLoadRoundTrip) {
+  TempDir dir;
+  Ledger ledger;
+  // 12 entries with signatures at 5 and 10 -> chunks [1-5], [6-10],
+  // partial [11-12].
+  for (uint64_t i = 1; i <= 12; ++i) {
+    EntryType type =
+        (i % 5 == 0) ? EntryType::kSignature : EntryType::kUser;
+    ASSERT_TRUE(ledger.Append(MakeEntry(2, i, type)).ok());
+  }
+  ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
+
+  // Chunk layout on disk matches the paper: files terminate at signatures.
+  std::vector<std::string> names;
+  for (const auto& de : std::filesystem::directory_iterator(dir.path())) {
+    names.push_back(de.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "ledger_1-5.chunk");
+  EXPECT_EQ(names[1], "ledger_11-12.partial");
+  EXPECT_EQ(names[2], "ledger_6-10.chunk");
+
+  auto loaded = LoadFromDir(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->last_seqno(), 12u);
+  for (uint64_t i = 1; i <= 12; ++i) {
+    EXPECT_EQ((*loaded->Get(i))->Serialize(), (*ledger.Get(i))->Serialize());
+  }
+}
+
+TEST(LedgerFiles, SaveOverwritesStaleChunks) {
+  TempDir dir;
+  Ledger long_ledger;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(long_ledger
+                    .Append(MakeEntry(1, i,
+                                      i % 3 == 0 ? EntryType::kSignature
+                                                 : EntryType::kUser))
+                    .ok());
+  }
+  ASSERT_TRUE(SaveToDir(long_ledger, dir.path()).ok());
+
+  Ledger short_ledger;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(short_ledger
+                    .Append(MakeEntry(2, i,
+                                      i == 4 ? EntryType::kSignature
+                                             : EntryType::kUser))
+                    .ok());
+  }
+  ASSERT_TRUE(SaveToDir(short_ledger, dir.path()).ok());
+  auto loaded = LoadFromDir(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->last_seqno(), 4u);
+  EXPECT_EQ((*loaded->Get(1))->view, 2u);
+}
+
+TEST(LedgerFiles, LoadRejectsCorruptMagic) {
+  TempDir dir;
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeEntry(1, 1, EntryType::kSignature)).ok());
+  ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
+  // Corrupt the magic of the chunk file.
+  std::string path = dir.path() + "/ledger_1-1.chunk";
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(0);
+  f.write("XXXX", 4);
+  f.close();
+  EXPECT_FALSE(LoadFromDir(dir.path()).ok());
+}
+
+TEST(LedgerFiles, LoadRejectsTruncatedFrame) {
+  TempDir dir;
+  Ledger ledger;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+  }
+  ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
+  std::string path = dir.path() + "/ledger_1-3.partial";
+  // Chop off the last few bytes.
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+  EXPECT_FALSE(LoadFromDir(dir.path()).ok());
+}
+
+TEST(LedgerFiles, LoadMissingDirFails) {
+  EXPECT_FALSE(LoadFromDir("/nonexistent/ccf/dir").ok());
+}
+
+TEST(LedgerFiles, EmptyLedgerRoundTrip) {
+  TempDir dir;
+  Ledger ledger;
+  ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
+  auto loaded = LoadFromDir(dir.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->last_seqno(), 0u);
+}
+
+}  // namespace
+}  // namespace ccf::ledger

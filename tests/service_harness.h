@@ -1,0 +1,284 @@
+// End-to-end test harness: builds full CCF services (genesis + joiners +
+// consortium + users) in the deterministic simulation.
+
+#ifndef CCF_TESTS_SERVICE_HARNESS_H_
+#define CCF_TESTS_SERVICE_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gov/records.h"
+#include "node/client.h"
+#include "node/logging_app.h"
+#include "node/node.h"
+
+namespace ccf::testing {
+
+inline node::NodeConfig FastNodeConfig(const std::string& id,
+                                       uint64_t seed = 0) {
+  node::NodeConfig cfg;
+  cfg.node_id = id;
+  cfg.seed = seed;
+  cfg.raft.election_timeout_min_ms = 50;
+  cfg.raft.election_timeout_max_ms = 100;
+  cfg.raft.heartbeat_interval_ms = 10;
+  cfg.raft.primary_quiesce_timeout_ms = 300;
+  cfg.raft.seed = seed;
+  cfg.signature_interval_txs = 5;
+  cfg.signature_interval_ms = 30;
+  cfg.snapshot_interval_txs = 50;
+  return cfg;
+}
+
+struct Consortium {
+  struct Member {
+    std::string id;
+    crypto::KeyPair key;
+    crypto::Certificate cert;
+  };
+  std::vector<Member> members;
+
+  explicit Consortium(int n) {
+    for (int i = 0; i < n; ++i) {
+      std::string id = "member" + std::to_string(i);
+      crypto::KeyPair key =
+          crypto::KeyPair::FromSeed(ToBytes("member-key-" + std::to_string(i)));
+      crypto::Certificate cert =
+          crypto::IssueCertificate(id, "member", key.public_key(), key, "");
+      members.push_back({id, std::move(key), std::move(cert)});
+    }
+  }
+
+  std::vector<node::MemberIdentity> Identities() const {
+    std::vector<node::MemberIdentity> out;
+    for (const Member& m : members) {
+      out.push_back({m.id, m.cert.Serialize(), m.key.public_key()});
+    }
+    return out;
+  }
+};
+
+struct TestUser {
+  std::string id;
+  crypto::KeyPair key;
+  crypto::Certificate cert;
+
+  explicit TestUser(const std::string& id)
+      : id(id),
+        key(crypto::KeyPair::FromSeed(ToBytes("user-key-" + id))),
+        cert(crypto::IssueCertificate(id, "user", key.public_key(), key, "")) {
+  }
+};
+
+// A full service under simulation: nodes, consortium, users, clients.
+class ServiceHarness {
+ public:
+  explicit ServiceHarness(sim::EnvOptions env_options = {},
+                          int num_members = 3)
+      : env_(env_options), consortium_(num_members) {}
+
+  sim::Environment& env() { return env_; }
+  Consortium& consortium() { return consortium_; }
+
+  // Benchmarks tweak node configs (TEE mode, signature cadence) before
+  // nodes start.
+  void SetConfigTweak(std::function<void(node::NodeConfig*)> tweak) {
+    config_tweak_ = std::move(tweak);
+  }
+
+  // Starts the genesis node (n0) with the logging app.
+  node::Node* StartGenesis(bool open_immediately = true,
+                           node::Application* app = nullptr) {
+    node::ServiceInit init;
+    init.members = consortium_.Identities();
+    init.open_immediately = open_immediately;
+    for (auto& [id, user] : users_) {
+      init.initial_users.emplace_back(id, user->cert.Serialize());
+    }
+    node::NodeConfig cfg = FastNodeConfig("n0");
+    if (config_tweak_) config_tweak_(&cfg);
+    auto n = node::Node::CreateGenesis(cfg, init,
+                                       app != nullptr ? app : &logging_app_,
+                                       &env_);
+    node::Node* ptr = n.get();
+    nodes_["n0"] = std::move(n);
+    env_.Step(5);
+    return ptr;
+  }
+
+  // Adds a user before genesis.
+  TestUser* AddUser(const std::string& id) {
+    users_[id] = std::make_unique<TestUser>(id);
+    return users_[id].get();
+  }
+
+  // Starts node `id` as a joiner and drives governance to trust it.
+  node::Node* JoinAndTrust(const std::string& id, uint64_t timeout_ms = 8000,
+                           node::Application* app = nullptr) {
+    node::Node* joiner = Join(id, app);
+    if (joiner == nullptr) return nullptr;
+    if (!env_.RunUntil([&] { return joiner->has_joined(); }, timeout_ms)) {
+      return nullptr;
+    }
+    if (!TrustNode(id, timeout_ms)) return nullptr;
+    return joiner;
+  }
+
+  node::Node* Join(const std::string& id, node::Application* app = nullptr) {
+    node::NodeConfig cfg =
+        FastNodeConfig(id, std::hash<std::string>{}(id) % 1000);
+    if (config_tweak_) config_tweak_(&cfg);
+    auto n = node::Node::CreateJoiner(
+        cfg, nodes_["n0"]->service_identity(), "n0",
+        app != nullptr ? app : &logging_app_, &env_);
+    node::Node* ptr = n.get();
+    nodes_[id] = std::move(n);
+    return ptr;
+  }
+
+  // Proposes transition_node_to_trusted and votes it through.
+  bool TrustNode(const std::string& id, uint64_t timeout_ms = 8000) {
+    json::Object args;
+    args["node_id"] = id;
+    auto outcome = RunProposal("transition_node_to_trusted",
+                               json::Value(std::move(args)), timeout_ms);
+    if (!outcome) return false;
+    // Wait until the node participates (its reconfiguration committed).
+    return env_.RunUntil(
+        [&] {
+          node::Node* n = node(id);
+          return n != nullptr && n->has_joined() &&
+                 n->raft().InActiveConfig();
+        },
+        timeout_ms);
+  }
+
+  // Submits {actions: [{name, args}]} and votes yes with a majority.
+  // Returns true if accepted.
+  bool RunProposal(const std::string& action, json::Value args,
+                   uint64_t timeout_ms = 8000) {
+    json::Object act;
+    act["name"] = action;
+    act["args"] = std::move(args);
+    json::Object proposal;
+    proposal["actions"] = json::Array{json::Value(std::move(act))};
+    json::Object body;
+    body["proposal"] = std::move(proposal);
+
+    node::Client* m0 = MemberClient(0);
+    auto resp = m0->PostJsonSigned("/gov/propose", json::Value(body),
+                                   timeout_ms);
+    if (!resp.ok() || resp->status != 200) return false;
+    auto parsed = json::Parse(ToString(resp->body));
+    if (!parsed.ok()) return false;
+    std::string pid = parsed->GetString("proposal_id");
+    std::string state = parsed->GetString("state");
+
+    // Vote with members until accepted.
+    for (size_t i = 0; i < consortium_.members.size() && state == "Open";
+         ++i) {
+      json::Object ballot;
+      ballot["proposal_id"] = pid;
+      ballot["ballot"] =
+          "function vote(proposal, proposer_id) { return true; }";
+      auto vresp = MemberClient(i)->PostJsonSigned(
+          "/gov/vote", json::Value(std::move(ballot)), timeout_ms);
+      if (!vresp.ok() || vresp->status != 200) return false;
+      auto vparsed = json::Parse(ToString(vresp->body));
+      if (!vparsed.ok()) return false;
+      state = vparsed->GetString("state");
+    }
+    return state == "Accepted";
+  }
+
+  node::Node* node(const std::string& id) {
+    auto it = nodes_.find(id);
+    return it != nodes_.end() ? it->second.get() : nullptr;
+  }
+  std::map<std::string, std::unique_ptr<node::Node>>& nodes() {
+    return nodes_;
+  }
+
+  node::Node* Primary() {
+    node::Node* best = nullptr;
+    for (auto& [id, n] : nodes_) {
+      if (!env_.IsUp(id)) continue;
+      if (n->IsPrimary() && (best == nullptr || n->view() > best->view())) {
+        best = n.get();
+      }
+    }
+    return best;
+  }
+
+  // A client for user `id`, connected to `node_id`.
+  node::Client* UserClient(const std::string& user_id,
+                           const std::string& node_id = "n0") {
+    std::string key = "client-" + user_id + "@" + node_id;
+    auto it = clients_.find(key);
+    if (it == clients_.end()) {
+      TestUser* user = users_.at(user_id).get();
+      auto client = std::make_unique<node::Client>(
+          key, &env_, nodes_.at("n0")->service_identity(), &user->key,
+          user->cert);
+      client->Connect(node_id);
+      it = clients_.emplace(key, std::move(client)).first;
+    }
+    return it->second.get();
+  }
+
+  node::Client* MemberClient(size_t idx, const std::string& node_id = "n0") {
+    auto& m = consortium_.members.at(idx);
+    std::string key = "client-" + m.id + "@" + node_id;
+    auto it = clients_.find(key);
+    if (it == clients_.end()) {
+      auto client = std::make_unique<node::Client>(
+          key, &env_, nodes_.at("n0")->service_identity(), &m.key, m.cert);
+      client->Connect(node_id);
+      it = clients_.emplace(key, std::move(client)).first;
+    }
+    return it->second.get();
+  }
+
+  node::Client* AnonymousClient(const std::string& node_id = "n0") {
+    std::string key = "client-anon@" + node_id;
+    auto it = clients_.find(key);
+    if (it == clients_.end()) {
+      auto client = std::make_unique<node::Client>(
+          key, &env_, nodes_.at("n0")->service_identity());
+      client->Connect(node_id);
+      it = clients_.emplace(key, std::move(client)).first;
+    }
+    return it->second.get();
+  }
+
+  void DropClients() { clients_.clear(); }
+
+  // Waits until `seqno` is committed on all live, joined nodes.
+  bool WaitForCommitEverywhere(uint64_t seqno, uint64_t timeout_ms = 8000) {
+    return env_.RunUntil(
+        [&] {
+          for (auto& [id, n] : nodes_) {
+            if (!env_.IsUp(id) || !n->has_joined()) continue;
+            if (!n->raft().InActiveConfig()) continue;
+            if (n->commit_seqno() < seqno) return false;
+          }
+          return true;
+        },
+        timeout_ms);
+  }
+
+ private:
+  sim::Environment env_;
+  Consortium consortium_;
+  std::function<void(node::NodeConfig*)> config_tweak_;
+  node::LoggingApp logging_app_;
+  std::map<std::string, std::unique_ptr<node::Node>> nodes_;
+  std::map<std::string, std::unique_ptr<TestUser>> users_;
+  std::map<std::string, std::unique_ptr<node::Client>> clients_;
+};
+
+}  // namespace ccf::testing
+
+#endif  // CCF_TESTS_SERVICE_HARNESS_H_

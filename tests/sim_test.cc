@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/environment.h"
+
+namespace ccf::sim {
+namespace {
+
+struct Recorder {
+  std::vector<std::pair<std::string, std::string>> received;  // (from, msg)
+  uint64_t ticks = 0;
+
+  void Register(Environment* env, const std::string& id) {
+    env->Register(
+        id,
+        [this](const std::string& from, ByteSpan data) {
+          received.emplace_back(from, ToString(data));
+        },
+        [this](uint64_t) { ++ticks; });
+  }
+};
+
+TEST(SimEnvironment, DeliversWithinLatencyBounds) {
+  EnvOptions opts;
+  opts.min_latency_ms = 2;
+  opts.max_latency_ms = 5;
+  Environment env(opts);
+  Recorder a, b;
+  a.Register(&env, "a");
+  b.Register(&env, "b");
+
+  env.Send("a", "b", ToBytes("hello"));
+  env.Step(1);
+  EXPECT_TRUE(b.received.empty());  // min latency 2ms
+  env.Step(5);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, "a");
+  EXPECT_EQ(b.received[0].second, "hello");
+}
+
+TEST(SimEnvironment, FifoPerDirectedLink) {
+  // STLS records rely on in-order delivery per (from, to) pair.
+  EnvOptions opts;
+  opts.min_latency_ms = 1;
+  opts.max_latency_ms = 10;  // lots of jitter
+  Environment env(opts);
+  Recorder a, b;
+  a.Register(&env, "a");
+  b.Register(&env, "b");
+  for (int i = 0; i < 50; ++i) {
+    env.Send("a", "b", ToBytes(std::to_string(i)));
+  }
+  env.Step(50);
+  ASSERT_EQ(b.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.received[i].second, std::to_string(i)) << i;
+  }
+}
+
+TEST(SimEnvironment, CrashedProcessDropsMessagesAndTicks) {
+  Environment env;
+  Recorder a, b;
+  a.Register(&env, "a");
+  b.Register(&env, "b");
+  env.SetUp("b", false);
+  env.Send("a", "b", ToBytes("lost"));
+  env.Step(20);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(b.ticks, 0u);
+  // Restart: future messages arrive, old ones are gone.
+  env.SetUp("b", true);
+  env.Send("a", "b", ToBytes("found"));
+  env.Step(20);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, "found");
+  EXPECT_GT(b.ticks, 0u);
+}
+
+TEST(SimEnvironment, PartitionsAreSymmetricAndRevocable) {
+  Environment env;
+  Recorder a, b;
+  a.Register(&env, "a");
+  b.Register(&env, "b");
+  env.SetPartitioned("a", "b", true);
+  env.Send("a", "b", ToBytes("blocked"));
+  env.Send("b", "a", ToBytes("blocked"));
+  env.Step(20);
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  env.SetPartitioned("a", "b", false);
+  env.Send("a", "b", ToBytes("open"));
+  env.Step(20);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimEnvironment, IsolateBlocksAllPeers) {
+  Environment env;
+  Recorder a, b, c;
+  a.Register(&env, "a");
+  b.Register(&env, "b");
+  c.Register(&env, "c");
+  env.Isolate("a", true);
+  env.Send("b", "a", ToBytes("x"));
+  env.Send("c", "a", ToBytes("y"));
+  env.Send("b", "c", ToBytes("z"));
+  env.Step(20);
+  EXPECT_TRUE(a.received.empty());
+  ASSERT_EQ(c.received.size(), 1u);  // unrelated pair unaffected
+}
+
+TEST(SimEnvironment, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    EnvOptions opts;
+    opts.seed = seed;
+    opts.min_latency_ms = 1;
+    opts.max_latency_ms = 7;
+    opts.drop_probability = 0.2;
+    Environment env(opts);
+    Recorder a, b;
+    a.Register(&env, "a");
+    b.Register(&env, "b");
+    std::vector<std::string> log;
+    env.Register(
+        "probe",
+        [&log](const std::string& from, ByteSpan data) {
+          log.push_back(from + ":" + ToString(data));
+        },
+        [](uint64_t) {});
+    for (int i = 0; i < 100; ++i) {
+      env.Send("a", "probe", ToBytes("m" + std::to_string(i)));
+      env.Step(1);
+    }
+    env.Step(20);
+    return log;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // different seed, different drops/latencies
+}
+
+TEST(SimEnvironment, DropProbabilityDropsSome) {
+  EnvOptions opts;
+  opts.drop_probability = 0.5;
+  Environment env(opts);
+  Recorder a, b;
+  a.Register(&env, "a");
+  b.Register(&env, "b");
+  for (int i = 0; i < 200; ++i) env.Send("a", "b", ToBytes("m"));
+  env.Step(30);
+  EXPECT_GT(b.received.size(), 20u);
+  EXPECT_LT(b.received.size(), 180u);
+}
+
+TEST(SimEnvironment, RunUntilStopsEarlyOrTimesOut) {
+  Environment env;
+  Recorder a;
+  a.Register(&env, "a");
+  uint64_t start = env.now_ms();
+  bool hit = env.RunUntil([&] { return env.now_ms() >= start + 5; }, 100);
+  EXPECT_TRUE(hit);
+  EXPECT_LT(env.now_ms(), start + 20);
+  bool never = env.RunUntil([] { return false; }, 50);
+  EXPECT_FALSE(never);
+}
+
+}  // namespace
+}  // namespace ccf::sim
