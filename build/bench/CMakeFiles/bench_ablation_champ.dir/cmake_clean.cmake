@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_champ.dir/bench_ablation_champ.cc.o"
+  "CMakeFiles/bench_ablation_champ.dir/bench_ablation_champ.cc.o.d"
+  "bench_ablation_champ"
+  "bench_ablation_champ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_champ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

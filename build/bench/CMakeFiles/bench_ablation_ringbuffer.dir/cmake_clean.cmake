@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ringbuffer.dir/bench_ablation_ringbuffer.cc.o"
+  "CMakeFiles/bench_ablation_ringbuffer.dir/bench_ablation_ringbuffer.cc.o.d"
+  "bench_ablation_ringbuffer"
+  "bench_ablation_ringbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ringbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

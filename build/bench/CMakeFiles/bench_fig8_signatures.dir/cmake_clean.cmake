@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_signatures.dir/bench_fig8_signatures.cc.o"
+  "CMakeFiles/bench_fig8_signatures.dir/bench_fig8_signatures.cc.o.d"
+  "bench_fig8_signatures"
+  "bench_fig8_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

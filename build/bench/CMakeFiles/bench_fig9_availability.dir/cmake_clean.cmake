@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_availability.dir/bench_fig9_availability.cc.o"
+  "CMakeFiles/bench_fig9_availability.dir/bench_fig9_availability.cc.o.d"
+  "bench_fig9_availability"
+  "bench_fig9_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governance_recovery.dir/governance_recovery.cpp.o"
+  "CMakeFiles/governance_recovery.dir/governance_recovery.cpp.o.d"
+  "governance_recovery"
+  "governance_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governance_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

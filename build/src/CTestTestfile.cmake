@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("crypto")
+subdirs("ds")
+subdirs("merkle")
+subdirs("kv")
+subdirs("ledger")
+subdirs("consensus")
+subdirs("sim")
+subdirs("script")
+subdirs("tee")
+subdirs("http")
+subdirs("rpc")
+subdirs("gov")
+subdirs("node")

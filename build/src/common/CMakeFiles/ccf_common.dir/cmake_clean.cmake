@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_common.dir/hex.cc.o"
+  "CMakeFiles/ccf_common.dir/hex.cc.o.d"
+  "CMakeFiles/ccf_common.dir/logging.cc.o"
+  "CMakeFiles/ccf_common.dir/logging.cc.o.d"
+  "libccf_common.a"
+  "libccf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_consensus.dir/raft.cc.o"
+  "CMakeFiles/ccf_consensus.dir/raft.cc.o.d"
+  "CMakeFiles/ccf_consensus.dir/types.cc.o"
+  "CMakeFiles/ccf_consensus.dir/types.cc.o.d"
+  "libccf_consensus.a"
+  "libccf_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/cert.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/cert.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/cert.cc.o.d"
+  "/root/repo/src/crypto/ec25519.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/ec25519.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/ec25519.cc.o.d"
+  "/root/repo/src/crypto/gcm.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/gcm.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/gcm.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/sha512.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/sha512.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/sha512.cc.o.d"
+  "/root/repo/src/crypto/shamir.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/shamir.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/shamir.cc.o.d"
+  "/root/repo/src/crypto/sign.cc" "src/crypto/CMakeFiles/ccf_crypto.dir/sign.cc.o" "gcc" "src/crypto/CMakeFiles/ccf_crypto.dir/sign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_crypto.dir/aes.cc.o"
+  "CMakeFiles/ccf_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/cert.cc.o"
+  "CMakeFiles/ccf_crypto.dir/cert.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/ec25519.cc.o"
+  "CMakeFiles/ccf_crypto.dir/ec25519.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/gcm.cc.o"
+  "CMakeFiles/ccf_crypto.dir/gcm.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/hmac.cc.o"
+  "CMakeFiles/ccf_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/sha256.cc.o"
+  "CMakeFiles/ccf_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/sha512.cc.o"
+  "CMakeFiles/ccf_crypto.dir/sha512.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/shamir.cc.o"
+  "CMakeFiles/ccf_crypto.dir/shamir.cc.o.d"
+  "CMakeFiles/ccf_crypto.dir/sign.cc.o"
+  "CMakeFiles/ccf_crypto.dir/sign.cc.o.d"
+  "libccf_crypto.a"
+  "libccf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

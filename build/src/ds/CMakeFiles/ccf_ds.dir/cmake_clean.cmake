@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_ds.dir/ringbuffer.cc.o"
+  "CMakeFiles/ccf_ds.dir/ringbuffer.cc.o.d"
+  "libccf_ds.a"
+  "libccf_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gov/constitution.cc" "src/gov/CMakeFiles/ccf_gov.dir/constitution.cc.o" "gcc" "src/gov/CMakeFiles/ccf_gov.dir/constitution.cc.o.d"
+  "/root/repo/src/gov/proposals.cc" "src/gov/CMakeFiles/ccf_gov.dir/proposals.cc.o" "gcc" "src/gov/CMakeFiles/ccf_gov.dir/proposals.cc.o.d"
+  "/root/repo/src/gov/records.cc" "src/gov/CMakeFiles/ccf_gov.dir/records.cc.o" "gcc" "src/gov/CMakeFiles/ccf_gov.dir/records.cc.o.d"
+  "/root/repo/src/gov/shares.cc" "src/gov/CMakeFiles/ccf_gov.dir/shares.cc.o" "gcc" "src/gov/CMakeFiles/ccf_gov.dir/shares.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ccf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/ccf_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/ccf_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/ccf_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/ccf_ds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_gov.dir/constitution.cc.o"
+  "CMakeFiles/ccf_gov.dir/constitution.cc.o.d"
+  "CMakeFiles/ccf_gov.dir/proposals.cc.o"
+  "CMakeFiles/ccf_gov.dir/proposals.cc.o.d"
+  "CMakeFiles/ccf_gov.dir/records.cc.o"
+  "CMakeFiles/ccf_gov.dir/records.cc.o.d"
+  "CMakeFiles/ccf_gov.dir/shares.cc.o"
+  "CMakeFiles/ccf_gov.dir/shares.cc.o.d"
+  "libccf_gov.a"
+  "libccf_gov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_gov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

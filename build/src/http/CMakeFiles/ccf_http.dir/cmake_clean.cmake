@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_http.dir/http.cc.o"
+  "CMakeFiles/ccf_http.dir/http.cc.o.d"
+  "libccf_http.a"
+  "libccf_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

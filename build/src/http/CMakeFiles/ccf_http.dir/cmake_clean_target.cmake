@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccf_http.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_json.dir/json.cc.o"
+  "CMakeFiles/ccf_json.dir/json.cc.o.d"
+  "libccf_json.a"
+  "libccf_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

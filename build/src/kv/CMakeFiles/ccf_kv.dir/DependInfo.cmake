@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/encryptor.cc" "src/kv/CMakeFiles/ccf_kv.dir/encryptor.cc.o" "gcc" "src/kv/CMakeFiles/ccf_kv.dir/encryptor.cc.o.d"
+  "/root/repo/src/kv/snapshot.cc" "src/kv/CMakeFiles/ccf_kv.dir/snapshot.cc.o" "gcc" "src/kv/CMakeFiles/ccf_kv.dir/snapshot.cc.o.d"
+  "/root/repo/src/kv/store.cc" "src/kv/CMakeFiles/ccf_kv.dir/store.cc.o" "gcc" "src/kv/CMakeFiles/ccf_kv.dir/store.cc.o.d"
+  "/root/repo/src/kv/writeset.cc" "src/kv/CMakeFiles/ccf_kv.dir/writeset.cc.o" "gcc" "src/kv/CMakeFiles/ccf_kv.dir/writeset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ccf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/ccf_ds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

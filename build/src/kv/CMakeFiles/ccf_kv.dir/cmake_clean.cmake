@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_kv.dir/encryptor.cc.o"
+  "CMakeFiles/ccf_kv.dir/encryptor.cc.o.d"
+  "CMakeFiles/ccf_kv.dir/snapshot.cc.o"
+  "CMakeFiles/ccf_kv.dir/snapshot.cc.o.d"
+  "CMakeFiles/ccf_kv.dir/store.cc.o"
+  "CMakeFiles/ccf_kv.dir/store.cc.o.d"
+  "CMakeFiles/ccf_kv.dir/writeset.cc.o"
+  "CMakeFiles/ccf_kv.dir/writeset.cc.o.d"
+  "libccf_kv.a"
+  "libccf_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_ledger.dir/ledger.cc.o"
+  "CMakeFiles/ccf_ledger.dir/ledger.cc.o.d"
+  "libccf_ledger.a"
+  "libccf_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_merkle.dir/merkle.cc.o"
+  "CMakeFiles/ccf_merkle.dir/merkle.cc.o.d"
+  "CMakeFiles/ccf_merkle.dir/receipt.cc.o"
+  "CMakeFiles/ccf_merkle.dir/receipt.cc.o.d"
+  "libccf_merkle.a"
+  "libccf_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

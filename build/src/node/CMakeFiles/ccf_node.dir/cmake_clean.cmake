@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_node.dir/audit.cc.o"
+  "CMakeFiles/ccf_node.dir/audit.cc.o.d"
+  "CMakeFiles/ccf_node.dir/client.cc.o"
+  "CMakeFiles/ccf_node.dir/client.cc.o.d"
+  "CMakeFiles/ccf_node.dir/logging_app.cc.o"
+  "CMakeFiles/ccf_node.dir/logging_app.cc.o.d"
+  "CMakeFiles/ccf_node.dir/node.cc.o"
+  "CMakeFiles/ccf_node.dir/node.cc.o.d"
+  "CMakeFiles/ccf_node.dir/node_endpoints.cc.o"
+  "CMakeFiles/ccf_node.dir/node_endpoints.cc.o.d"
+  "libccf_node.a"
+  "libccf_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

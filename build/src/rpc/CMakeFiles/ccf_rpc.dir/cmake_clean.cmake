@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_rpc.dir/endpoints.cc.o"
+  "CMakeFiles/ccf_rpc.dir/endpoints.cc.o.d"
+  "CMakeFiles/ccf_rpc.dir/session.cc.o"
+  "CMakeFiles/ccf_rpc.dir/session.cc.o.d"
+  "libccf_rpc.a"
+  "libccf_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_script.dir/interp.cc.o"
+  "CMakeFiles/ccf_script.dir/interp.cc.o.d"
+  "CMakeFiles/ccf_script.dir/lexer.cc.o"
+  "CMakeFiles/ccf_script.dir/lexer.cc.o.d"
+  "CMakeFiles/ccf_script.dir/parser.cc.o"
+  "CMakeFiles/ccf_script.dir/parser.cc.o.d"
+  "CMakeFiles/ccf_script.dir/value.cc.o"
+  "CMakeFiles/ccf_script.dir/value.cc.o.d"
+  "libccf_script.a"
+  "libccf_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

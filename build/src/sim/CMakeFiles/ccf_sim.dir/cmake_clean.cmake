@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_sim.dir/environment.cc.o"
+  "CMakeFiles/ccf_sim.dir/environment.cc.o.d"
+  "libccf_sim.a"
+  "libccf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_tee.dir/attestation.cc.o"
+  "CMakeFiles/ccf_tee.dir/attestation.cc.o.d"
+  "CMakeFiles/ccf_tee.dir/boundary.cc.o"
+  "CMakeFiles/ccf_tee.dir/boundary.cc.o.d"
+  "libccf_tee.a"
+  "libccf_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

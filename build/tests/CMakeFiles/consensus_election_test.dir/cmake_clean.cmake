@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_election_test.dir/consensus_election_test.cc.o"
+  "CMakeFiles/consensus_election_test.dir/consensus_election_test.cc.o.d"
+  "consensus_election_test"
+  "consensus_election_test.pdb"
+  "consensus_election_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

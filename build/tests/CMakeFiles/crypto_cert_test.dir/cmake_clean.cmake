@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_cert_test.dir/crypto_cert_test.cc.o"
+  "CMakeFiles/crypto_cert_test.dir/crypto_cert_test.cc.o.d"
+  "crypto_cert_test"
+  "crypto_cert_test.pdb"
+  "crypto_cert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_cert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

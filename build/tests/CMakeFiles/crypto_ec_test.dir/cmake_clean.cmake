@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_ec_test.dir/crypto_ec_test.cc.o"
+  "CMakeFiles/crypto_ec_test.dir/crypto_ec_test.cc.o.d"
+  "crypto_ec_test"
+  "crypto_ec_test.pdb"
+  "crypto_ec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_ec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_champ_test.dir/ds_champ_test.cc.o"
+  "CMakeFiles/ds_champ_test.dir/ds_champ_test.cc.o.d"
+  "ds_champ_test"
+  "ds_champ_test.pdb"
+  "ds_champ_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_champ_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_ringbuffer_test.dir/ds_ringbuffer_test.cc.o"
+  "CMakeFiles/ds_ringbuffer_test.dir/ds_ringbuffer_test.cc.o.d"
+  "ds_ringbuffer_test"
+  "ds_ringbuffer_test.pdb"
+  "ds_ringbuffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_ringbuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gov_test.dir/gov_test.cc.o"
+  "CMakeFiles/gov_test.dir/gov_test.cc.o.d"
+  "gov_test"
+  "gov_test.pdb"
+  "gov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_property_test.dir/kv_property_test.cc.o"
+  "CMakeFiles/kv_property_test.dir/kv_property_test.cc.o.d"
+  "kv_property_test"
+  "kv_property_test.pdb"
+  "kv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_audit_test.dir/node_audit_test.cc.o"
+  "CMakeFiles/node_audit_test.dir/node_audit_test.cc.o.d"
+  "node_audit_test"
+  "node_audit_test.pdb"
+  "node_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

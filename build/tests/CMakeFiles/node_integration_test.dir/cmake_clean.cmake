@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_integration_test.dir/node_integration_test.cc.o"
+  "CMakeFiles/node_integration_test.dir/node_integration_test.cc.o.d"
+  "node_integration_test"
+  "node_integration_test.pdb"
+  "node_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_recovery_test.dir/node_recovery_test.cc.o"
+  "CMakeFiles/node_recovery_test.dir/node_recovery_test.cc.o.d"
+  "node_recovery_test"
+  "node_recovery_test.pdb"
+  "node_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

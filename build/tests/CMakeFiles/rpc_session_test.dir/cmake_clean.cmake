@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_session_test.dir/rpc_session_test.cc.o"
+  "CMakeFiles/rpc_session_test.dir/rpc_session_test.cc.o.d"
+  "rpc_session_test"
+  "rpc_session_test.pdb"
+  "rpc_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

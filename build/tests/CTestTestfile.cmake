@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_aes_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_ec_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_shamir_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_cert_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_champ_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_ringbuffer_test[1]_include.cmake")
+include("/root/repo/build/tests/merkle_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_store_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_election_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/tee_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_session_test[1]_include.cmake")
+include("/root/repo/build/tests/gov_test[1]_include.cmake")
+include("/root/repo/build/tests/node_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/node_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/node_audit_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_property_test[1]_include.cmake")
