@@ -29,6 +29,7 @@ RaftNode::RaftNode(NodeId id, RaftConfig config, std::set<NodeId> initial_nodes,
     role_ = Role::kPrimary;
     leader_ = id_;
     became_primary_ms_ = 0;
+    role_history_.push_back(RoleEvent{0, view_, role_});
     cb_->OnRoleChange(role_, view_);
   }
 }
@@ -126,7 +127,10 @@ void RaftNode::BecomeBackup(uint64_t view) {
   role_ = Role::kBackup;
   votes_granted_.clear();
   ResetElectionTimer();
-  if (changed) cb_->OnRoleChange(role_, view_);
+  if (changed) {
+    role_history_.push_back(RoleEvent{now_ms_, view_, role_});
+    cb_->OnRoleChange(role_, view_);
+  }
 }
 
 void RaftNode::BecomeCandidate() {
@@ -138,6 +142,7 @@ void RaftNode::BecomeCandidate() {
   votes_granted_ = {id_};
   ResetElectionTimer();
   LOG_DEBUG << id_ << " starts election in view " << view_;
+  role_history_.push_back(RoleEvent{now_ms_, view_, role_});
   cb_->OnRoleChange(role_, view_);
 
   RequestVoteReq req;
@@ -160,6 +165,7 @@ void RaftNode::BecomePrimary() {
   role_ = Role::kPrimary;
   leader_ = id_;
   became_primary_ms_ = now_ms_;
+  role_history_.push_back(RoleEvent{now_ms_, view_, role_});
 
   // Paper §4.2: the new primary discards any transactions after its last
   // signature transaction.

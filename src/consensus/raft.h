@@ -104,6 +104,7 @@ class RaftNode {
   uint64_t view() const { return view_; }
   std::optional<NodeId> leader() const { return leader_; }
   uint64_t last_seqno() const { return base_seqno_ + log_.size(); }
+  uint64_t base_seqno() const { return base_seqno_; }
   uint64_t commit_seqno() const { return commit_seqno_; }
   TxId last_signature() const { return {last_sig_view_, last_sig_seqno_}; }
 
@@ -118,6 +119,15 @@ class RaftNode {
 
   // Transaction status (paper Figure 4).
   TxStatus GetTxStatus(uint64_t view, uint64_t seqno) const;
+  // Every role transition this node went through, in order. Lets an
+  // external checker assert election safety (at most one primary per view)
+  // even for primaries that stepped down between observations.
+  struct RoleEvent {
+    uint64_t time_ms;
+    uint64_t view;
+    Role role;
+  };
+  const std::vector<RoleEvent>& role_history() const { return role_history_; }
   // View history: (view, start seqno) pairs, ascending.
   const std::vector<std::pair<uint64_t, uint64_t>>& view_history() const {
     return view_history_;
@@ -190,6 +200,7 @@ class RaftNode {
 
   std::vector<Configuration> active_configs_;
   std::vector<std::pair<uint64_t, uint64_t>> view_history_;  // (view, start)
+  std::vector<RoleEvent> role_history_;
 
   // Election state.
   uint64_t now_ms_ = 0;

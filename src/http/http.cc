@@ -106,7 +106,9 @@ Bytes Request::Serialize() const {
     AppendStr(&out, value);
     AppendStr(&out, "\r\n");
   }
-  AppendStr(&out, "content-length: " + std::to_string(body.size()) + "\r\n");
+  if (headers.find("content-length") == headers.end()) {
+    AppendStr(&out, "content-length: " + std::to_string(body.size()) + "\r\n");
+  }
   AppendStr(&out, "\r\n");
   Append(&out, body);
   return out;
@@ -122,7 +124,9 @@ Bytes Response::Serialize() const {
     AppendStr(&out, value);
     AppendStr(&out, "\r\n");
   }
-  AppendStr(&out, "content-length: " + std::to_string(body.size()) + "\r\n");
+  if (headers.find("content-length") == headers.end()) {
+    AppendStr(&out, "content-length: " + std::to_string(body.size()) + "\r\n");
+  }
   AppendStr(&out, "\r\n");
   Append(&out, body);
   return out;
@@ -132,7 +136,15 @@ template <>
 Result<std::optional<Request>> Parser<Request>::Next() {
   size_t head_end = FindHeaderEnd(buffer_);
   if (head_end == std::string::npos) return std::optional<Request>{};
-  ASSIGN_OR_RETURN(ParsedHead head, ParseHead(buffer_, head_end));
+  // On a malformed head, consume through it before surfacing the error;
+  // otherwise the session would re-parse the same poisoned bytes forever.
+  auto reject = [&](Status error) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + head_end);
+    return error;
+  };
+  auto head_or = ParseHead(buffer_, head_end);
+  if (!head_or.ok()) return reject(head_or.status());
+  ParsedHead head = std::move(*head_or);
   if (buffer_.size() < head_end + head.body_len) {
     return std::optional<Request>{};  // body incomplete
   }
@@ -142,11 +154,11 @@ Result<std::optional<Request>> Parser<Request>::Next() {
       sp1 == std::string::npos ? std::string::npos
                                : head.first_line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    return Status::InvalidArgument("http: malformed request line");
+    return reject(Status::InvalidArgument("http: malformed request line"));
   }
   std::string version = head.first_line.substr(sp2 + 1);
   if (version.rfind("HTTP/1.", 0) != 0) {
-    return Status::InvalidArgument("http: unsupported version");
+    return reject(Status::InvalidArgument("http: unsupported version"));
   }
   Request req;
   req.method = head.first_line.substr(0, sp1);
@@ -162,21 +174,27 @@ template <>
 Result<std::optional<Response>> Parser<Response>::Next() {
   size_t head_end = FindHeaderEnd(buffer_);
   if (head_end == std::string::npos) return std::optional<Response>{};
-  ASSIGN_OR_RETURN(ParsedHead head, ParseHead(buffer_, head_end));
+  auto reject = [&](Status error) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + head_end);
+    return error;
+  };
+  auto head_or = ParseHead(buffer_, head_end);
+  if (!head_or.ok()) return reject(head_or.status());
+  ParsedHead head = std::move(*head_or);
   if (buffer_.size() < head_end + head.body_len) {
     return std::optional<Response>{};
   }
   // Status line: VERSION SP CODE SP REASON
   if (head.first_line.rfind("HTTP/1.", 0) != 0) {
-    return Status::InvalidArgument("http: malformed status line");
+    return reject(Status::InvalidArgument("http: malformed status line"));
   }
   size_t sp1 = head.first_line.find(' ');
   if (sp1 == std::string::npos) {
-    return Status::InvalidArgument("http: malformed status line");
+    return reject(Status::InvalidArgument("http: malformed status line"));
   }
   int code = std::atoi(head.first_line.c_str() + sp1 + 1);
   if (code < 100 || code > 599) {
-    return Status::InvalidArgument("http: bad status code");
+    return reject(Status::InvalidArgument("http: bad status code"));
   }
   Response resp;
   resp.status = code;

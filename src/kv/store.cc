@@ -105,14 +105,40 @@ WriteSet Tx::ExtractWriteSet() const {
 // ------------------------------------------------------------------ Store
 
 Result<Tx> Store::BeginTxAt(uint64_t seqno) const {
-  if (seqno == current_seqno_) return Tx(current_, current_seqno_);
-  if (seqno == committed_seqno_) return Tx(committed_state_, seqno);
-  auto it = retained_.find(seqno);
-  if (it == retained_.end()) {
+  ASSIGN_OR_RETURN(State state, StateAt(seqno));
+  return Tx(std::move(state), seqno);
+}
+
+Result<State> Store::StateAt(uint64_t seqno) const {
+  if (seqno == current_seqno_) return current_;
+  if (seqno == committed_seqno_) return committed_state_;
+  if (seqno < committed_seqno_ || seqno > current_seqno_) {
     return Status::NotFound("kv: version " + std::to_string(seqno) +
                             " not retained");
   }
-  return Tx(it->second, seqno);
+  auto it = retained_.find(seqno);
+  if (it != retained_.end()) return it->second;
+  // The root was evicted under the retention cap; replay write sets from
+  // the nearest retained root (or the committed state) up to `seqno`.
+  State state = committed_state_;
+  uint64_t from = committed_seqno_;
+  auto next = retained_.lower_bound(seqno);
+  if (next != retained_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first < seqno) {
+      state = prev->second;
+      from = prev->first;
+    }
+  }
+  for (uint64_t s = from + 1; s <= seqno; ++s) {
+    auto ws = retained_writes_.find(s);
+    if (ws == retained_writes_.end()) {
+      return Status::Internal("kv: missing write set for replay at " +
+                              std::to_string(s));
+    }
+    ApplyWritesTo(&state, ws->second, s);
+  }
+  return state;
 }
 
 Status Store::ValidateReads(const Tx& tx) const {
@@ -137,11 +163,10 @@ Status Store::ValidateReads(const Tx& tx) const {
   return Status::Ok();
 }
 
-void Store::ApplyWrites(const WriteSet& ws, uint64_t seqno) {
-  State next = current_;
+void Store::ApplyWritesTo(State* state, const WriteSet& ws, uint64_t seqno) {
   for (const auto& [name, writes] : ws.maps) {
     if (writes.empty()) continue;
-    const MapEntry* existing = next.maps.Get(name);
+    const MapEntry* existing = state->maps.Get(name);
     MapEntry entry = existing != nullptr ? *existing : MapEntry{};
     for (const auto& [key, value] : writes) {
       if (value.has_value()) {
@@ -151,11 +176,31 @@ void Store::ApplyWrites(const WriteSet& ws, uint64_t seqno) {
       }
     }
     entry.version = seqno;
-    next.maps = next.maps.Put(name, entry);
+    state->maps = state->maps.Put(name, entry);
   }
-  current_ = std::move(next);
+}
+
+void Store::ApplyWrites(const WriteSet& ws, uint64_t seqno) {
+  ApplyWritesTo(&current_, ws, seqno);
   current_seqno_ = seqno;
   retained_[seqno] = current_;
+  retained_writes_[seqno] = ws;
+  EnforceRootCap();
+}
+
+void Store::SetRetainedRootCap(size_t cap) {
+  retained_root_cap_ = cap;
+  EnforceRootCap();
+}
+
+void Store::EnforceRootCap() {
+  if (retained_root_cap_ == 0) return;
+  // Keep the newest roots: rollback and compaction targets cluster near
+  // the head of the log (a new primary rolls back to its last signature,
+  // compaction follows commit), so old roots are the cheapest to rebuild.
+  while (retained_.size() > retained_root_cap_) {
+    retained_.erase(retained_.begin());
+  }
 }
 
 Result<CommitResult> Store::CommitTx(Tx* tx) {
@@ -191,18 +236,12 @@ Status Store::Rollback(uint64_t seqno) {
     return Status::InvalidArgument("kv: cannot roll back below commit");
   }
   if (seqno >= current_seqno_) return Status::Ok();
-  if (seqno == committed_seqno_) {
-    current_ = committed_state_;
-  } else {
-    auto it = retained_.find(seqno);
-    if (it == retained_.end()) {
-      return Status::Internal("kv: missing retained version " +
-                              std::to_string(seqno));
-    }
-    current_ = it->second;
-  }
+  ASSIGN_OR_RETURN(State state, StateAt(seqno));
+  current_ = std::move(state);
   current_seqno_ = seqno;
   retained_.erase(retained_.upper_bound(seqno), retained_.end());
+  retained_writes_.erase(retained_writes_.upper_bound(seqno),
+                         retained_writes_.end());
   return Status::Ok();
 }
 
@@ -211,14 +250,12 @@ Status Store::Compact(uint64_t seqno) {
     return Status::InvalidArgument("kv: cannot compact beyond current");
   }
   if (seqno <= committed_seqno_) return Status::Ok();
-  auto it = retained_.find(seqno);
-  if (it == retained_.end()) {
-    return Status::Internal("kv: missing retained version " +
-                            std::to_string(seqno));
-  }
-  committed_state_ = it->second;
+  ASSIGN_OR_RETURN(State state, StateAt(seqno));
+  committed_state_ = std::move(state);
   committed_seqno_ = seqno;
   retained_.erase(retained_.begin(), retained_.upper_bound(seqno));
+  retained_writes_.erase(retained_writes_.begin(),
+                         retained_writes_.upper_bound(seqno));
   return Status::Ok();
 }
 
@@ -244,6 +281,7 @@ void Store::InstallState(State state, uint64_t seqno) {
   current_seqno_ = seqno;
   committed_seqno_ = seqno;
   retained_.clear();
+  retained_writes_.clear();
 }
 
 }  // namespace ccf::kv

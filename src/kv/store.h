@@ -160,16 +160,32 @@ class Store {
   // Installs `state` as both committed and current at `seqno`.
   void InstallState(State state, uint64_t seqno);
 
+  // Caps how many full State roots are retained between committed and
+  // current. Older versions keep only their write set and are
+  // reconstructed by replaying write sets when Rollback / BeginTxAt /
+  // Compact needs them, so memory between signature intervals is bounded
+  // by `cap` roots plus the (irreducible) uncommitted deltas. 0 means
+  // retain every root (no reconstruction cost).
+  void SetRetainedRootCap(size_t cap);
+  size_t retained_root_count() const { return retained_.size(); }
+
  private:
   Status ValidateReads(const Tx& tx) const;
   void ApplyWrites(const WriteSet& ws, uint64_t seqno);
+  static void ApplyWritesTo(State* state, const WriteSet& ws, uint64_t seqno);
+  // The state at `seqno`, from a retained root or reconstructed by replay.
+  Result<State> StateAt(uint64_t seqno) const;
+  void EnforceRootCap();
 
   State current_;
   uint64_t current_seqno_ = 0;
   uint64_t committed_seqno_ = 0;
   State committed_state_;
-  // Retained roots for seqnos in (committed, current].
+  // Retained roots for (a bounded suffix of) seqnos in (committed, current].
   std::map<uint64_t, State> retained_;
+  // Write sets for every seqno in (committed, current], for replay.
+  std::map<uint64_t, WriteSet> retained_writes_;
+  size_t retained_root_cap_ = 64;
 };
 
 }  // namespace ccf::kv

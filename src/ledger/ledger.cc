@@ -115,7 +115,12 @@ Result<std::vector<Entry>> ReadChunk(const std::string& path) {
   while (true) {
     char len_le[4];
     in.read(len_le, 4);
-    if (in.eof()) break;
+    if (in.eof()) {
+      // A partial read (1-3 bytes) sets eofbit as well as failbit; only a
+      // clean EOF at a frame boundary (0 bytes read) ends the chunk.
+      if (in.gcount() == 0) break;
+      return Status::Corruption("ledger: truncated frame length");
+    }
     if (!in) return Status::Corruption("ledger: truncated frame length");
     uint32_t len = static_cast<uint8_t>(len_le[0]) |
                    (static_cast<uint8_t>(len_le[1]) << 8) |
@@ -188,6 +193,11 @@ Result<Ledger> LoadFromDir(const std::string& dir) {
   std::sort(files.begin(), files.end());
 
   Ledger ledger;
+  // After a snapshot, the earliest chunk on disk starts past seqno 1; the
+  // restored ledger's base is whatever precedes that first chunk.
+  if (!files.empty() && files[0].first > 0) {
+    ledger.SetBase(files[0].first - 1);
+  }
   for (const auto& [first, path] : files) {
     ASSIGN_OR_RETURN(std::vector<Entry> entries, ReadChunk(path));
     for (Entry& e : entries) {

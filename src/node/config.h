@@ -28,6 +28,11 @@ struct NodeConfig {
   uint64_t signature_interval_ms = 100;
   // Snapshots of committed state are produced every this many commits.
   uint64_t snapshot_interval_txs = 1000;
+  // How many full KV store roots to retain for rollback / historical
+  // reads before falling back to write-set replay (0 = unlimited). Kept
+  // comfortably above the signature interval so common rollbacks stay
+  // O(1).
+  size_t kv_retained_root_cap = 256;
 };
 
 // Initial consortium passed to the genesis node (paper §5: "the

@@ -58,6 +58,7 @@ Node::Node(NodeConfig config, Application* app, sim::Environment* env)
       boundary_(config.tee_mode),
       drbg_("ccf-node-" + config.node_id, config.seed),
       node_key_(crypto::KeyPair::Generate(&drbg_)) {
+  store_.SetRetainedRootCap(config_.kv_retained_root_cap);
   InstallFrameworkEndpoints();
   if (app_ != nullptr) {
     app_->RegisterEndpoints(&registry_);

@@ -89,7 +89,10 @@ class Node : public consensus::RaftCallbacks {
   bool retired() const { return retired_; }
 
   consensus::RaftNode& raft() { return *raft_; }
+  const consensus::RaftNode& raft() const { return *raft_; }
   kv::Store& store() { return store_; }
+  const kv::Store& store() const { return store_; }
+  const merkle::MerkleTree& tree() const { return tree_; }
   const ledger::Ledger& host_ledger() const { return host_ledger_; }
   const tee::EnclaveBoundary& boundary() const { return boundary_; }
 

@@ -34,36 +34,81 @@ void Environment::SetPartitioned(const std::string& a, const std::string& b,
   }
 }
 
+void Environment::SetBlockedOneWay(const std::string& from,
+                                   const std::string& to, bool blocked) {
+  if (blocked) {
+    one_way_blocks_.insert({from, to});
+  } else {
+    one_way_blocks_.erase({from, to});
+  }
+}
+
 void Environment::Isolate(const std::string& id, bool isolated) {
   for (const auto& [other, process] : processes_) {
     if (other != id) SetPartitioned(id, other, isolated);
   }
 }
 
-bool Environment::Blocked(const std::string& a, const std::string& b) const {
-  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-  return partitions_.count(key) > 0;
+void Environment::SetLinkFaults(const std::string& from, const std::string& to,
+                                LinkFaults faults) {
+  if (faults.Any()) {
+    link_faults_[{from, to}] = faults;
+  } else {
+    link_faults_.erase({from, to});
+  }
 }
 
-void Environment::Send(const std::string& from, const std::string& to,
-                       Bytes payload) {
-  ++messages_sent_;
-  if (options_.drop_probability > 0.0) {
-    // Deterministic Bernoulli draw from the seeded DRBG.
-    double draw = static_cast<double>(rng_.Uniform(1u << 30)) /
-                  static_cast<double>(1u << 30);
-    if (draw < options_.drop_probability) return;
+void Environment::SetFaultsAmong(const std::vector<std::string>& ids,
+                                 LinkFaults faults) {
+  for (const auto& a : ids) {
+    for (const auto& b : ids) {
+      if (a != b) SetLinkFaults(a, b, faults);
+    }
   }
+}
+
+void Environment::ClearLinkFaults() { link_faults_.clear(); }
+
+void Environment::At(uint64_t at_ms, std::function<void()> action) {
+  scheduled_.emplace(std::make_pair(at_ms, next_sequence_++),
+                     std::move(action));
+}
+
+void Environment::SetStepObserver(std::function<void(uint64_t)> observer) {
+  step_observer_ = std::move(observer);
+}
+
+bool Environment::Blocked(const std::string& a, const std::string& b) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (partitions_.count(key) > 0) return true;
+  return one_way_blocks_.count({a, b}) > 0;
+}
+
+bool Environment::Bernoulli(double probability) {
+  if (probability <= 0.0) return false;
+  double draw = static_cast<double>(rng_.Uniform(1u << 30)) /
+                static_cast<double>(1u << 30);
+  return draw < probability;
+}
+
+uint64_t Environment::DrawLatency() {
   uint64_t span = options_.max_latency_ms - options_.min_latency_ms;
   uint64_t latency =
       options_.min_latency_ms + (span > 0 ? rng_.Uniform(span + 1) : 0);
+  return std::max<uint64_t>(latency, 1);
+}
+
+void Environment::Enqueue(const std::string& from, const std::string& to,
+                          Bytes payload, uint64_t deliver_at_ms, bool fifo) {
   Pending p;
-  p.deliver_at_ms = now_ms_ + std::max<uint64_t>(latency, 1);
-  // FIFO per directed link: never deliver before an earlier message on
-  // the same (from, to) pair.
-  uint64_t& last = last_delivery_[{from, to}];
-  p.deliver_at_ms = std::max(p.deliver_at_ms, last);
-  last = p.deliver_at_ms;
+  p.deliver_at_ms = deliver_at_ms;
+  if (fifo) {
+    // FIFO per directed link: never deliver before an earlier message on
+    // the same (from, to) pair.
+    uint64_t& last = last_delivery_[{from, to}];
+    p.deliver_at_ms = std::max(p.deliver_at_ms, last);
+    last = p.deliver_at_ms;
+  }
   p.sequence = next_sequence_++;
   p.from = from;
   p.to = to;
@@ -71,9 +116,60 @@ void Environment::Send(const std::string& from, const std::string& to,
   queue_.emplace(std::make_pair(p.deliver_at_ms, p.sequence), std::move(p));
 }
 
+void Environment::Send(const std::string& from, const std::string& to,
+                       Bytes payload) {
+  ++messages_sent_;
+  if (options_.drop_probability > 0.0) {
+    // Deterministic Bernoulli draw from the seeded DRBG.
+    if (Bernoulli(options_.drop_probability)) {
+      ++messages_dropped_;
+      return;
+    }
+  }
+
+  const LinkFaults* faults = nullptr;
+  auto fit = link_faults_.find({from, to});
+  if (fit != link_faults_.end()) faults = &fit->second;
+
+  if (faults != nullptr && Bernoulli(faults->drop)) {
+    ++messages_dropped_;
+    return;
+  }
+
+  uint64_t latency = DrawLatency();
+  bool fifo = true;
+  if (faults != nullptr) {
+    if (faults->extra_delay_max_ms > 0) {
+      latency += rng_.Uniform(faults->extra_delay_max_ms + 1);
+    }
+    if (Bernoulli(faults->reorder)) {
+      // A reordered message gets extra delay and skips the FIFO clamp, so
+      // later traffic on the same link may overtake it.
+      ++messages_reordered_;
+      latency += 1 + rng_.Uniform(std::max<uint64_t>(
+                         options_.max_latency_ms * 2, 4));
+      fifo = false;
+    }
+    if (Bernoulli(faults->duplicate)) {
+      // The copy takes an independent (non-FIFO) path.
+      ++messages_duplicated_;
+      uint64_t dup_latency = DrawLatency() + rng_.Uniform(4);
+      Enqueue(from, to, payload, now_ms_ + dup_latency, /*fifo=*/false);
+    }
+  }
+  Enqueue(from, to, std::move(payload), now_ms_ + latency, fifo);
+}
+
 void Environment::Step(uint64_t ms) {
   for (uint64_t i = 0; i < ms; ++i) {
     ++now_ms_;
+    // Run scheduled actions due at or before now (partition heals, crash /
+    // restart events, ...), before any delivery this millisecond.
+    while (!scheduled_.empty() && scheduled_.begin()->first.first <= now_ms_) {
+      auto action = std::move(scheduled_.begin()->second);
+      scheduled_.erase(scheduled_.begin());
+      action();
+    }
     // Deliver everything due at or before now.
     while (!queue_.empty() && queue_.begin()->first.first <= now_ms_) {
       Pending p = std::move(queue_.begin()->second);
@@ -88,6 +184,7 @@ void Environment::Step(uint64_t ms) {
     for (auto& [id, process] : processes_) {
       if (process.up) process.ticker(now_ms_);
     }
+    if (step_observer_) step_observer_(now_ms_);
   }
 }
 

@@ -5,6 +5,13 @@
 // partitions, and crashes. Time is virtual; the whole run is reproducible
 // from a seed. Consensus safety properties are property-tested under this
 // environment with random failure schedules.
+//
+// Fault injection. Beyond the global drop probability, each directed link
+// can be given a LinkFaults policy (drop, duplication, reordering, extra
+// delay), partitions can be symmetric or asymmetric (one-way), and any
+// fault can be scheduled to appear or heal at a future virtual time via
+// At(). All randomness is drawn from the single seeded DRBG, so a run is
+// replayable bit-for-bit from (seed, schedule).
 
 #ifndef CCF_SIM_ENVIRONMENT_H_
 #define CCF_SIM_ENVIRONMENT_H_
@@ -27,6 +34,20 @@ struct EnvOptions {
   uint64_t seed = 42;
 };
 
+// Per-directed-link fault policy. Probabilities are in [0, 1]; draws come
+// from the environment's seeded DRBG so behaviour is deterministic.
+struct LinkFaults {
+  double drop = 0.0;       // message silently lost
+  double duplicate = 0.0;  // a second copy is delivered later
+  double reorder = 0.0;    // message may overtake / be overtaken
+  uint64_t extra_delay_max_ms = 0;  // uniform extra latency in [0, max]
+
+  bool Any() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+           extra_delay_max_ms > 0;
+  }
+};
+
 class Environment {
  public:
   explicit Environment(EnvOptions options = {});
@@ -47,11 +68,33 @@ class Environment {
   // Symmetric partition between two processes.
   void SetPartitioned(const std::string& a, const std::string& b,
                       bool partitioned);
+  // Asymmetric partition: messages from -> to are blocked, the reverse
+  // direction still flows.
+  void SetBlockedOneWay(const std::string& from, const std::string& to,
+                        bool blocked);
   // Isolates `id` from every other process (one-call partition).
   void Isolate(const std::string& id, bool isolated);
 
+  // Installs a fault policy on the directed link from -> to (replacing any
+  // previous policy; a default-constructed LinkFaults clears it).
+  void SetLinkFaults(const std::string& from, const std::string& to,
+                     LinkFaults faults);
+  // Installs the same policy on every directed link among `ids`.
+  void SetFaultsAmong(const std::vector<std::string>& ids, LinkFaults faults);
+  // Removes every per-link fault policy.
+  void ClearLinkFaults();
+
+  // Schedules `action` to run at virtual time `at_ms` (or the next Step if
+  // already past). Actions run before deliveries, ordered by (time,
+  // insertion); use for scheduled partitions, heals, crashes, restarts.
+  void At(uint64_t at_ms, std::function<void()> action);
+
+  // Observer invoked at the end of every simulated millisecond (after
+  // deliveries and ticks) — the invariant checker's hook.
+  void SetStepObserver(std::function<void(uint64_t now_ms)> observer);
+
   // Schedules a message. Drops happen at send time (per the drop
-  // probability) or at delivery time (crashes, partitions).
+  // probability and link faults) or at delivery time (crashes, partitions).
   void Send(const std::string& from, const std::string& to, Bytes payload);
 
   // Advances virtual time by `ms`, delivering due messages and ticking
@@ -65,6 +108,9 @@ class Environment {
   crypto::Drbg& rng() { return rng_; }
   size_t messages_sent() const { return messages_sent_; }
   size_t messages_delivered() const { return messages_delivered_; }
+  size_t messages_dropped() const { return messages_dropped_; }
+  size_t messages_duplicated() const { return messages_duplicated_; }
+  size_t messages_reordered() const { return messages_reordered_; }
 
  private:
   struct Pending {
@@ -82,6 +128,10 @@ class Environment {
   };
 
   bool Blocked(const std::string& a, const std::string& b) const;
+  bool Bernoulli(double probability);
+  uint64_t DrawLatency();
+  void Enqueue(const std::string& from, const std::string& to, Bytes payload,
+               uint64_t deliver_at_ms, bool fifo);
 
   EnvOptions options_;
   crypto::Drbg rng_;
@@ -89,14 +139,23 @@ class Environment {
   uint64_t next_sequence_ = 0;
   size_t messages_sent_ = 0;
   size_t messages_delivered_ = 0;
+  size_t messages_dropped_ = 0;
+  size_t messages_duplicated_ = 0;
+  size_t messages_reordered_ = 0;
   std::map<std::string, Process> processes_;
   std::set<std::pair<std::string, std::string>> partitions_;
+  std::set<std::pair<std::string, std::string>> one_way_blocks_;
+  std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
   // Per (from, to) pair: last scheduled delivery time, enforcing FIFO
   // ordering per directed link (streams behave like TCP; STLS relies on
-  // in-order records).
+  // in-order records). Reordered and duplicated messages bypass the clamp.
   std::map<std::pair<std::string, std::string>, uint64_t> last_delivery_;
   // Ordered by (time, sequence) for deterministic delivery.
   std::multimap<std::pair<uint64_t, uint64_t>, Pending> queue_;
+  // Scheduled actions, ordered by (time, insertion sequence).
+  std::multimap<std::pair<uint64_t, uint64_t>, std::function<void()>>
+      scheduled_;
+  std::function<void(uint64_t)> step_observer_;
 };
 
 }  // namespace ccf::sim

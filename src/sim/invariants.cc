@@ -1,0 +1,182 @@
+#include "sim/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hex.h"
+
+namespace ccf::sim {
+
+namespace {
+
+using consensus::LogEntry;
+using consensus::RaftNode;
+using consensus::Role;
+
+crypto::Sha256Digest EntryDigest(const LogEntry& e) {
+  return crypto::Sha256::Hash(*e.data);
+}
+
+std::string DigestPrefix(const crypto::Sha256Digest& d) {
+  return HexEncode(ByteSpan(d.data(), 4));
+}
+
+// Digest over a node's full available log: chained (view, payload digest)
+// per seqno in (from, last_seqno]. Used by the convergence check.
+crypto::Sha256Digest LogDigest(const RaftNode& raft, uint64_t from) {
+  Bytes acc;
+  for (uint64_t s = from + 1; s <= raft.last_seqno(); ++s) {
+    const LogEntry* e = raft.GetLogEntry(s);
+    if (e == nullptr) continue;
+    for (int i = 0; i < 8; ++i) {
+      acc.push_back(static_cast<uint8_t>(e->view >> (8 * i)));
+    }
+    auto d = EntryDigest(*e);
+    acc.insert(acc.end(), d.begin(), d.end());
+  }
+  return crypto::Sha256::Hash(acc);
+}
+
+}  // namespace
+
+void InvariantChecker::Track(const std::string& id, const RaftNode* raft,
+                             std::function<Bytes()> state_digest) {
+  Tracked t;
+  t.raft = raft;
+  t.state_digest = std::move(state_digest);
+  t.last_commit_seen = raft->commit_seqno();
+  nodes_[id] = std::move(t);
+}
+
+void InvariantChecker::Untrack(const std::string& id) { nodes_.erase(id); }
+
+void InvariantChecker::Attach(Environment* env) {
+  env->SetStepObserver([this](uint64_t now_ms) { ObserveAll(now_ms); });
+}
+
+void InvariantChecker::AddViolation(uint64_t now_ms, const std::string& what) {
+  violations_.push_back("t=" + std::to_string(now_ms) + "ms: " + what);
+}
+
+void InvariantChecker::ObserveAll(uint64_t now_ms) {
+  for (auto& [id, t] : nodes_) ObserveNode(id, t, now_ms);
+}
+
+void InvariantChecker::ObserveNode(const std::string& id, Tracked& t,
+                                   uint64_t now_ms) {
+  const RaftNode& raft = *t.raft;
+
+  // (1) Election safety: every new primary role event claims its view.
+  const auto& history = raft.role_history();
+  for (; t.role_events_seen < history.size(); ++t.role_events_seen) {
+    const auto& ev = history[t.role_events_seen];
+    if (ev.role != Role::kPrimary) continue;
+    auto [it, inserted] = primaries_.emplace(ev.view, id);
+    if (!inserted && it->second != id) {
+      AddViolation(now_ms, "election safety: view " + std::to_string(ev.view) +
+                               " has primaries " + it->second + " and " + id);
+    }
+  }
+
+  // (3a) Commit monotonicity.
+  uint64_t commit = raft.commit_seqno();
+  if (commit < t.last_commit_seen) {
+    AddViolation(now_ms, "commit monotonicity: " + id + " commit went " +
+                             std::to_string(t.last_commit_seen) + " -> " +
+                             std::to_string(commit));
+    t.last_commit_seen = commit;
+    return;
+  }
+
+  // (3b) Committed prefix agreement: newly committed entries must match
+  // what any other node committed at the same seqno.
+  for (uint64_t s = t.last_commit_seen + 1; s <= commit; ++s) {
+    const LogEntry* e = raft.GetLogEntry(s);
+    if (e == nullptr) continue;  // below a joiner's snapshot base
+    auto rec = std::make_pair(e->view, EntryDigest(*e));
+    auto [it, inserted] = committed_.emplace(s, rec);
+    if (!inserted && it->second != rec) {
+      AddViolation(now_ms,
+                   "prefix agreement: " + id + " committed seqno " +
+                       std::to_string(s) + " view " + std::to_string(e->view) +
+                       " digest " + DigestPrefix(rec.second) +
+                       " but another node committed view " +
+                       std::to_string(it->second.first) + " digest " +
+                       DigestPrefix(it->second.second));
+    }
+  }
+  t.last_commit_seen = commit;
+
+  // (2) Log matching over the mutable suffix. Entries at or below commit
+  // were checked above (and can no longer change); the suffix is small
+  // (bounded by the signature interval plus in-flight entries).
+  for (uint64_t s = commit + 1; s <= raft.last_seqno(); ++s) {
+    const LogEntry* e = raft.GetLogEntry(s);
+    if (e == nullptr) continue;
+    auto key = std::make_pair(e->view, e->seqno);
+    auto digest = EntryDigest(*e);
+    auto [it, inserted] = entries_.emplace(key, digest);
+    if (!inserted && it->second != digest) {
+      AddViolation(now_ms, "log matching: " + id + " entry (view " +
+                               std::to_string(e->view) + ", seqno " +
+                               std::to_string(e->seqno) +
+                               ") digest " + DigestPrefix(digest) +
+                               " conflicts with previously observed " +
+                               DigestPrefix(it->second));
+    }
+  }
+}
+
+std::string InvariantChecker::Report() const {
+  std::ostringstream out;
+  for (const auto& v : violations_) out << v << "\n";
+  return out.str();
+}
+
+bool InvariantChecker::CheckConverged(
+    const std::function<bool(const std::string&)>& include,
+    std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+
+  const std::string* ref_id = nullptr;
+  const Tracked* ref = nullptr;
+  uint64_t max_base = 0;
+  for (const auto& [id, t] : nodes_) {
+    if (!include(id)) continue;
+    max_base = std::max(max_base, t.raft->base_seqno());
+    if (ref == nullptr) {
+      ref_id = &id;
+      ref = &t;
+    }
+  }
+  if (ref == nullptr) return true;  // nothing to compare
+
+  for (const auto& [id, t] : nodes_) {
+    if (!include(id) || &t == ref) continue;
+    if (t.raft->commit_seqno() != ref->raft->commit_seqno()) {
+      return fail("commit mismatch: " + *ref_id + "=" +
+                  std::to_string(ref->raft->commit_seqno()) + " " + id + "=" +
+                  std::to_string(t.raft->commit_seqno()));
+    }
+    if (t.raft->last_seqno() != ref->raft->last_seqno()) {
+      return fail("last_seqno mismatch: " + *ref_id + "=" +
+                  std::to_string(ref->raft->last_seqno()) + " " + id + "=" +
+                  std::to_string(t.raft->last_seqno()));
+    }
+    // Compare full logs above the highest snapshot base among the
+    // included nodes (below that, some node has no entries to compare).
+    if (LogDigest(*t.raft, max_base) != LogDigest(*ref->raft, max_base)) {
+      return fail("log digest mismatch between " + *ref_id + " and " + id);
+    }
+    if (ref->state_digest && t.state_digest &&
+        ref->state_digest() != t.state_digest()) {
+      return fail("state digest mismatch between " + *ref_id + " and " + id);
+    }
+  }
+  return true;
+}
+
+}  // namespace ccf::sim

@@ -1,0 +1,91 @@
+// Cross-node consensus invariant checking for chaos tests.
+//
+// An InvariantChecker observes every tracked RaftNode after each simulator
+// step (via Environment::SetStepObserver) and accumulates violations of
+// the four safety properties the paper's protocol must uphold under any
+// fault schedule (§4, and the "Smart Casual Verification" follow-up):
+//
+//   1. Election safety — at most one node becomes primary in any view.
+//   2. Log matching — any two entries at the same (view, seqno) carry
+//      identical payloads.
+//   3. Commit monotonicity and prefix agreement — no node's commit index
+//      moves backwards, and all committed prefixes agree byte-for-byte.
+//   4. State convergence — once the cluster quiesces, logs, commit
+//      indices, and application state digests (KV root, Merkle root) are
+//      identical across live nodes (CheckConverged).
+//
+// Checking is incremental: each observation only re-examines a node's
+// role events since the last observation, newly committed seqnos, and the
+// mutable (uncommitted) log suffix, so per-step cost stays proportional
+// to recent activity rather than log length.
+
+#ifndef CCF_SIM_INVARIANTS_H_
+#define CCF_SIM_INVARIANTS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "consensus/raft.h"
+#include "crypto/sha256.h"
+#include "sim/environment.h"
+
+namespace ccf::sim {
+
+class InvariantChecker {
+ public:
+  // Starts observing `raft` (not owned; must outlive the checker or be
+  // Untrack()ed first). `state_digest`, if provided, contributes an
+  // application-level digest (e.g. Merkle root + KV root) to the
+  // convergence check.
+  void Track(const std::string& id, const consensus::RaftNode* raft,
+             std::function<Bytes()> state_digest = nullptr);
+  // Stops observing `id` (e.g. the node crashed and its state was wiped).
+  // Its already-recorded history stays part of the global maps.
+  void Untrack(const std::string& id);
+
+  // Installs this checker as `env`'s step observer.
+  void Attach(Environment* env);
+
+  // Observes every tracked node once; called automatically per step when
+  // attached. Appends any violations found.
+  void ObserveAll(uint64_t now_ms);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  // All violations joined into one printable report.
+  std::string Report() const;
+
+  // Invariant 4. Returns true when every tracked node accepted by
+  // `include` agrees on commit seqno, last seqno, full log contents, and
+  // (when provided) application state digest. On failure `why` (if
+  // non-null) describes the first disagreement.
+  bool CheckConverged(const std::function<bool(const std::string&)>& include,
+                      std::string* why = nullptr) const;
+
+ private:
+  struct Tracked {
+    const consensus::RaftNode* raft = nullptr;
+    std::function<Bytes()> state_digest;
+    size_t role_events_seen = 0;
+    uint64_t last_commit_seen = 0;
+  };
+
+  void ObserveNode(const std::string& id, Tracked& t, uint64_t now_ms);
+  void AddViolation(uint64_t now_ms, const std::string& what);
+
+  std::map<std::string, Tracked> nodes_;
+  // view -> first node observed as primary in that view.
+  std::map<uint64_t, std::string> primaries_;
+  // (view, seqno) -> payload digest, across all nodes ever observed.
+  std::map<std::pair<uint64_t, uint64_t>, crypto::Sha256Digest> entries_;
+  // seqno -> (view, payload digest) of committed entries.
+  std::map<uint64_t, std::pair<uint64_t, crypto::Sha256Digest>> committed_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace ccf::sim
+
+#endif  // CCF_SIM_INVARIANTS_H_

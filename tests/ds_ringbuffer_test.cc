@@ -173,5 +173,66 @@ TEST(RingBuffer, MultiProducerSingleConsumer) {
   EXPECT_TRUE(rb.Empty());
 }
 
+// Stress case tuned for TSan runs (-DCCF_SANITIZE=thread): a deliberately
+// tiny buffer maximizes producer contention, wrap-arounds and full/empty
+// transitions, with variable payload sizes and a concurrent Empty() poller
+// probing the reader-visible state while writes race.
+TEST(RingBuffer, MultiProducerContendedSmallBufferStress) {
+  RingBuffer rb(512);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+
+  std::atomic<bool> done{false};
+  std::thread poller([&rb, &done] {
+    while (!done.load()) {
+      (void)rb.Empty();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&rb, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Variable length exercises wrap handling; prefix encodes
+        // (producer, seq) for validation.
+        Bytes msg(3 + (i % 29));
+        msg[0] = static_cast<uint8_t>(p);
+        msg[1] = static_cast<uint8_t>(i);
+        msg[2] = static_cast<uint8_t>(i >> 8);
+        while (!rb.TryWrite(static_cast<uint32_t>(p), msg)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  int consumed = 0;
+  int next_seq[kProducers] = {};
+  while (consumed < kProducers * kPerProducer) {
+    uint32_t type;
+    Bytes payload;
+    if (!rb.TryRead(&type, &payload)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_GE(payload.size(), 3u);
+    int p = payload[0];
+    int seq = payload[1] | (payload[2] << 8);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(type, static_cast<uint32_t>(p));
+    ASSERT_EQ(payload.size(), 3u + (seq % 29));
+    EXPECT_EQ(seq, next_seq[p]);
+    next_seq[p] = seq + 1;
+    ++consumed;
+  }
+  for (auto& t : producers) t.join();
+  done.store(true);
+  poller.join();
+  EXPECT_EQ(consumed, kProducers * kPerProducer);
+  EXPECT_TRUE(rb.Empty());
+}
+
 }  // namespace
 }  // namespace ccf::ds

@@ -141,5 +141,65 @@ TEST(Http, ReasonPhrases) {
   EXPECT_STREQ(ReasonPhrase(299), "Unknown");
 }
 
+// A malformed head must be consumed, not left in the buffer: otherwise
+// every subsequent Next() re-parses the same poisoned bytes and the
+// session can never make progress again.
+TEST(Http, MalformedHeadConsumedThenValidRequestParses) {
+  RequestParser parser;
+  parser.Feed(ToBytes("GARBAGE NOT HTTP\r\n\r\n"));
+  EXPECT_FALSE(parser.Next().ok());
+  // The stream recovers at the next message boundary.
+  parser.Feed(ToBytes("GET /app/ok HTTP/1.1\r\ncontent-length: 0\r\n\r\n"));
+  auto r = parser.Next();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ((*r)->method, "GET");
+  EXPECT_EQ((*r)->path, "/app/ok");
+}
+
+TEST(Http, MalformedResponseHeadConsumedThenValidResponseParses) {
+  ResponseParser parser;
+  parser.Feed(ToBytes("HTTP/1.1 banana Nope\r\n\r\n"));
+  EXPECT_FALSE(parser.Next().ok());
+  parser.Feed(ToBytes("HTTP/1.1 204 No Content\r\ncontent-length: 0\r\n\r\n"));
+  auto r = parser.Next();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ((*r)->status, 204);
+}
+
+TEST(Http, MalformedHeadDoesNotLoopForever) {
+  RequestParser parser;
+  parser.Feed(ToBytes("NOT-HTTP\r\n\r\n"));
+  EXPECT_FALSE(parser.Next().ok());
+  // With the poisoned head consumed, the parser is just waiting for data.
+  auto r = parser.Next();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+// Serialize must not emit a second content-length when the caller already
+// set one (e.g. a forwarded request carrying its original headers).
+TEST(Http, SerializeRespectsCallerContentLength) {
+  Request req;
+  req.method = "POST";
+  req.path = "/app/log";
+  req.headers["content-length"] = "4";
+  req.body = ToBytes("abcd");
+  std::string wire = ToString(req.Serialize());
+  size_t first = wire.find("content-length");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(wire.find("content-length", first + 1), std::string::npos);
+
+  Response resp;
+  resp.status = 200;
+  resp.headers["content-length"] = "2";
+  resp.body = ToBytes("ok");
+  wire = ToString(resp.Serialize());
+  first = wire.find("content-length");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(wire.find("content-length", first + 1), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccf::http

@@ -432,5 +432,72 @@ TEST(TxEncryptor, DifferentSecretsIncompatible) {
   EXPECT_FALSE(b.Open(1, 1, sealed, {}).ok());
 }
 
+// ------------------------------------------------ retained-root bounding
+
+// Retained full states are bounded by the cap no matter how long the
+// uncommitted window grows; historical versions stay reachable because
+// write sets are replayed on demand.
+TEST(KvStore, RetainedRootsStayBounded) {
+  Store store;
+  store.SetRetainedRootCap(8);
+  for (int i = 1; i <= 200; ++i) {
+    Tx tx = store.BeginTx();
+    tx.Handle("public:m")->PutStr("k" + std::to_string(i),
+                                  "v" + std::to_string(i));
+    ASSERT_TRUE(store.CommitTx(&tx).ok());
+    EXPECT_LE(store.retained_root_count(), 8u);
+  }
+  EXPECT_EQ(store.current_seqno(), 200u);
+}
+
+TEST(KvStore, EvictedVersionsReconstructedForBeginTxAt) {
+  Store store;
+  store.SetRetainedRootCap(4);
+  for (int i = 1; i <= 50; ++i) {
+    Tx tx = store.BeginTx();
+    tx.Handle("public:m")->PutStr("last", std::to_string(i));
+    ASSERT_TRUE(store.CommitTx(&tx).ok());
+  }
+  // Seqno 10 is far below the newest 4 retained roots.
+  auto tx10 = store.BeginTxAt(10);
+  ASSERT_TRUE(tx10.ok()) << tx10.status().ToString();
+  EXPECT_EQ(tx10->Handle("public:m")->GetStr("last"), "10");
+  auto tx49 = store.BeginTxAt(49);
+  ASSERT_TRUE(tx49.ok());
+  EXPECT_EQ(tx49->Handle("public:m")->GetStr("last"), "49");
+}
+
+TEST(KvStore, RollbackToEvictedVersionRestoresExactState) {
+  Store store;
+  store.SetRetainedRootCap(2);
+  for (int i = 1; i <= 30; ++i) {
+    Tx tx = store.BeginTx();
+    tx.Handle("public:m")->PutStr("last", std::to_string(i));
+    tx.Handle("public:m")->PutStr("k" + std::to_string(i), "x");
+    ASSERT_TRUE(store.CommitTx(&tx).ok());
+  }
+  ASSERT_TRUE(store.Rollback(7).ok());
+  EXPECT_EQ(store.current_seqno(), 7u);
+  EXPECT_EQ(store.GetStr("public:m", "last"), "7");
+  EXPECT_EQ(store.GetStr("public:m", "k7"), "x");
+  EXPECT_FALSE(store.GetStr("public:m", "k8").has_value());
+}
+
+TEST(KvStore, CompactOnEvictedVersionStillWorks) {
+  Store store;
+  store.SetRetainedRootCap(2);
+  for (int i = 1; i <= 30; ++i) {
+    Tx tx = store.BeginTx();
+    tx.Handle("public:m")->PutStr("last", std::to_string(i));
+    ASSERT_TRUE(store.CommitTx(&tx).ok());
+  }
+  ASSERT_TRUE(store.Compact(12).ok());
+  EXPECT_EQ(store.committed_seqno(), 12u);
+  EXPECT_FALSE(store.BeginTxAt(11).ok());  // below commit
+  auto tx12 = store.BeginTxAt(12);
+  ASSERT_TRUE(tx12.ok());
+  EXPECT_EQ(tx12->Handle("public:m")->GetStr("last"), "12");
+}
+
 }  // namespace
 }  // namespace ccf::kv

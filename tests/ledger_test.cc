@@ -195,6 +195,49 @@ TEST(LedgerFiles, LoadMissingDirFails) {
   EXPECT_FALSE(LoadFromDir("/nonexistent/ccf/dir").ok());
 }
 
+// A crash mid-write can leave a 1-3 byte fragment of the next frame's
+// length prefix. Such a partial read sets eofbit together with failbit and
+// used to be silently accepted as a clean end of chunk.
+TEST(LedgerFiles, LoadRejectsTrailingFrameLengthFragment) {
+  for (int extra = 1; extra <= 3; ++extra) {
+    TempDir dir;
+    Ledger ledger;
+    for (uint64_t i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+    }
+    ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
+    std::string path = dir.path() + "/ledger_1-3.partial";
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    for (int i = 0; i < extra; ++i) f.put('\x7f');
+    f.close();
+    EXPECT_FALSE(LoadFromDir(dir.path()).ok())
+        << "accepted a " << extra << "-byte trailing fragment";
+  }
+}
+
+// Directories written after a snapshot prune start at a chunk whose first
+// seqno is > 1; loading must adopt that base instead of rejecting the
+// first append as non-contiguous.
+TEST(LedgerFiles, LoadPostSnapshotDirAdoptsBase) {
+  TempDir dir;
+  Ledger pruned;
+  pruned.SetBase(5);  // entries 1..5 live only in a snapshot
+  for (uint64_t i = 6; i <= 10; ++i) {
+    ASSERT_TRUE(pruned.Append(MakeEntry(2, i)).ok());
+  }
+  ASSERT_TRUE(SaveToDir(pruned, dir.path()).ok());
+
+  auto loaded = LoadFromDir(dir.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->base_seqno(), 5u);
+  EXPECT_EQ(loaded->last_seqno(), 10u);
+  EXPECT_EQ(loaded->Get(6).value()->public_ws, ToBytes("pub-6"));
+  EXPECT_EQ(loaded->Get(10).value()->public_ws, ToBytes("pub-10"));
+  EXPECT_FALSE(loaded->Get(5).ok());  // pruned into the snapshot
+  // And the loaded ledger keeps working: contiguous appends succeed.
+  EXPECT_TRUE(loaded->Append(MakeEntry(2, 11)).ok());
+}
+
 TEST(LedgerFiles, EmptyLedgerRoundTrip) {
   TempDir dir;
   Ledger ledger;

@@ -14,6 +14,7 @@
 #include "consensus/raft.h"
 #include "crypto/sha256.h"
 #include "sim/environment.h"
+#include "sim/invariants.h"
 
 namespace ccf::testing {
 
@@ -302,9 +303,21 @@ class RaftCluster {
            LogsMatch();
   }
 
+  // Wires a per-step InvariantChecker over every current node and attaches
+  // it to the environment. Call again after AddNode to track newcomers.
+  sim::InvariantChecker& EnableInvariantChecker() {
+    for (auto& [id, node] : nodes_) {
+      checker_.Track(id, &node->raft());
+    }
+    checker_.Attach(&env_);
+    return checker_;
+  }
+  sim::InvariantChecker& checker() { return checker_; }
+
  private:
   sim::Environment env_;
   std::map<NodeId, std::unique_ptr<RaftTestNode>> nodes_;
+  sim::InvariantChecker checker_;
 };
 
 }  // namespace ccf::testing

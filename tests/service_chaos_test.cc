@@ -1,0 +1,390 @@
+// Seed-sweep chaos tests over full services (paper §5): three-node
+// services with real STLS sessions, governance, signatures, snapshots and
+// ledgers, driven through seeded link faults, partitions and crashes while
+// sim::InvariantChecker observes every node after every simulated
+// millisecond. Convergence is checked down to byte-identical Merkle roots
+// and committed KV state. On failure the seed and the full fault schedule
+// are printed; reruns with the same seed replay the run bit-for-bit.
+//
+// Faults apply only to node<->node links: client and join traffic uses
+// STLS record streams which (like TCP in the real system) assume in-order
+// delivery, while node-to-node consensus messages are individually
+// AES-GCM-sealed and tolerate drop/duplication/reordering.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+#include "tests/service_harness.h"
+
+namespace ccf::testing {
+namespace {
+
+const std::vector<std::string> kNodeIds = {"n0", "n1", "n2"};
+
+struct ChaosOutcome {
+  std::string failure;   // empty = invariants held and the service converged
+  std::string schedule;  // human-readable, replayable fault schedule
+  std::string trace;     // per-round state fingerprint (determinism checks)
+};
+
+void HealEverything(ServiceHarness* h) {
+  for (const std::string& a : kNodeIds) {
+    for (const std::string& b : kNodeIds) {
+      if (a == b) continue;
+      h->env().SetBlockedOneWay(a, b, false);
+      h->env().SetPartitioned(a, b, false);
+    }
+    h->env().SetUp(a, true);
+  }
+  h->env().ClearLinkFaults();
+}
+
+bool Quiesced(ServiceHarness* h) {
+  uint64_t last = 0;
+  bool first = true;
+  for (const std::string& id : kNodeIds) {
+    node::Node* n = h->node(id);
+    if (n == nullptr || !n->has_joined() || !n->raft().InActiveConfig()) {
+      return false;
+    }
+    if (first) {
+      last = n->last_seqno();
+      first = false;
+    }
+    if (n->last_seqno() != last || n->commit_seqno() != last) return false;
+  }
+  return last > 0;
+}
+
+ChaosOutcome RunServiceChaos(uint64_t seed) {
+  ChaosOutcome out;
+  std::ostringstream schedule;
+  std::ostringstream trace;
+
+  sim::EnvOptions opts;
+  opts.seed = seed;
+  ServiceHarness h(opts);
+  h.AddUser("alice");
+  node::Node* n0 = h.StartGenesis();
+  if (n0 == nullptr) {
+    out.failure = "genesis failed";
+    return out;
+  }
+  // Joins and governance need a clean network (STLS is order-sensitive).
+  if (h.JoinAndTrust("n1") == nullptr || h.JoinAndTrust("n2") == nullptr) {
+    out.failure = "join failed on clean network";
+    return out;
+  }
+  sim::InvariantChecker& checker = h.EnableInvariantChecker();
+
+  // Committed baseline data before the faults start.
+  {
+    node::Client* c = h.UserClient("alice");
+    for (int i = 0; i < 4; ++i) {
+      json::Object msg;
+      msg["id"] = i;
+      msg["msg"] = "pre-chaos-" + std::to_string(i);
+      auto w = c->PostJson("/app/log", json::Value(std::move(msg)), 3000);
+      if (!w.ok() || w->status != 200) {
+        out.failure = "baseline write failed";
+        return out;
+      }
+    }
+  }
+
+  crypto::Drbg chaos("service-chaos", seed);
+
+  sim::LinkFaults faults;
+  faults.drop = static_cast<double>(1 + chaos.Uniform(5)) / 100.0;
+  faults.duplicate = static_cast<double>(chaos.Uniform(6)) / 100.0;
+  faults.reorder = static_cast<double>(chaos.Uniform(6)) / 100.0;
+  faults.extra_delay_max_ms = chaos.Uniform(3);
+  h.env().SetFaultsAmong(kNodeIds, faults);
+  schedule << "seed " << seed << " link faults: drop=" << faults.drop
+           << " dup=" << faults.duplicate << " reorder=" << faults.reorder
+           << " delay<=" << faults.extra_delay_max_ms << "ms\n";
+
+  int written = 0;
+  for (int round = 0; round < 12; ++round) {
+    uint64_t now = h.env().now_ms();
+    uint64_t action = chaos.Uniform(10);
+    const std::string& victim = kNodeIds[chaos.Uniform(kNodeIds.size())];
+    const std::string& other = kNodeIds[chaos.Uniform(kNodeIds.size())];
+    if (action < 2 && victim != other) {
+      bool on = chaos.Uniform(2) == 0;
+      h.env().SetPartitioned(victim, other, on);
+      schedule << "t=" << now << " partition " << victim << "<->" << other
+               << (on ? " on" : " off") << "\n";
+    } else if (action < 4 && victim != other) {
+      bool on = chaos.Uniform(2) == 0;
+      h.env().SetBlockedOneWay(victim, other, on);
+      schedule << "t=" << now << " one-way block " << victim << "->" << other
+               << (on ? " on" : " off") << "\n";
+    } else if (action < 6) {
+      // Crash with a scheduled restart; volatile network state is lost
+      // while the node object (its enclave "memory") pauses.
+      uint64_t restart_at = now + 30 + chaos.Uniform(120);
+      h.env().SetUp(victim, false);
+      std::string v = victim;
+      sim::Environment* env = &h.env();
+      h.env().At(restart_at, [env, v] { env->SetUp(v, true); });
+      schedule << "t=" << now << " crash " << victim << " until t="
+               << restart_at << "\n";
+    } else if (action < 7) {
+      uint64_t heal_at = now + 20 + chaos.Uniform(80);
+      ServiceHarness* hp = &h;
+      h.env().At(heal_at, [hp] {
+        for (const std::string& a : kNodeIds) {
+          for (const std::string& b : kNodeIds) {
+            if (a == b) continue;
+            hp->env().SetBlockedOneWay(a, b, false);
+            hp->env().SetPartitioned(a, b, false);
+          }
+          hp->env().SetUp(a, true);
+        }
+      });
+      schedule << "t=" << now << " heal scheduled at t=" << heal_at << "\n";
+    }
+
+    // Offer load; failures under faults are expected and ignored.
+    if (h.env().IsUp("n0") && h.Primary() != nullptr) {
+      node::Client* c = h.UserClient("alice");
+      json::Object msg;
+      msg["id"] = 100 + written;
+      msg["msg"] = "chaos-" + std::to_string(written);
+      auto w = c->PostJson("/app/log", json::Value(std::move(msg)), 300);
+      if (w.ok() && w->status == 200) ++written;
+    }
+    h.env().Step(40);
+
+    trace << "r" << round << " t=" << h.env().now_ms()
+          << " sent=" << h.env().messages_sent()
+          << " dropped=" << h.env().messages_dropped()
+          << " dup=" << h.env().messages_duplicated()
+          << " reord=" << h.env().messages_reordered();
+    for (const std::string& id : kNodeIds) {
+      node::Node* n = h.node(id);
+      trace << " " << id << "=(" << n->view() << "," << n->last_seqno()
+            << "," << n->commit_seqno() << ")";
+    }
+    trace << "\n";
+
+    if (!checker.ok()) break;
+  }
+
+  out.schedule = schedule.str();
+  out.trace = trace.str();
+  if (!checker.ok()) {
+    out.failure = "invariant violation:\n" + checker.Report();
+    return out;
+  }
+
+  // Heal, then require full convergence: a fresh committed write, equal
+  // logs, and byte-identical Merkle roots + committed KV state.
+  HealEverything(&h);
+  bool converged = false;
+  for (int attempt = 0; attempt < 8 && !converged; ++attempt) {
+    // Chaos may have corrupted client record streams; reconnect fresh.
+    h.DropClients();
+    if (!h.env().RunUntil([&] { return h.Primary() != nullptr; }, 10000)) {
+      continue;
+    }
+    node::Client* c = h.UserClient("alice");
+    json::Object msg;
+    msg["id"] = 1000 + attempt;
+    msg["msg"] = "converge";
+    auto w = c->PostJson("/app/log", json::Value(std::move(msg)), 3000);
+    if (!w.ok() || w->status != 200) {
+      h.env().Step(200);
+      continue;
+    }
+    converged = h.env().RunUntil([&] { return Quiesced(&h); }, 5000);
+  }
+  if (!converged) {
+    out.failure = "service failed to converge after heal";
+    return out;
+  }
+
+  std::string why;
+  if (!checker.CheckConverged([](const std::string&) { return true; },
+                              &why)) {
+    out.failure = "state convergence violated: " + why;
+    return out;
+  }
+  if (!checker.ok()) {
+    out.failure =
+        "invariant violation during convergence:\n" + checker.Report();
+  }
+  return out;
+}
+
+// 20 batches x 10 seeds = 200 fault schedules.
+class ServiceChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServiceChaosTest, InvariantsHoldAcrossSeedBatch) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    uint64_t seed = GetParam() * 10 + i;
+    ChaosOutcome out = RunServiceChaos(seed);
+    ASSERT_TRUE(out.failure.empty())
+        << "seed " << seed << ": " << out.failure
+        << "\nreplayable fault schedule:\n"
+        << out.schedule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBatches, ServiceChaosTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(ServiceChaosDeterminism, SameSeedSameTrace) {
+  ChaosOutcome a = RunServiceChaos(7);
+  ChaosOutcome b = RunServiceChaos(7);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.failure, b.failure);
+}
+
+// The acceptance scenario: a node crashes losing all volatile state, is
+// restarted from its on-disk ledger (SaveToDir -> LoadFromDir replay), and
+// recovers to a state whose Merkle root matches the surviving nodes'.
+TEST(ServiceChaos, CrashRestartLedgerReplayMatchesSurvivors) {
+  ServiceHarness h;
+  h.AddUser("alice");
+  node::Node* n0 = h.StartGenesis();
+  ASSERT_NE(n0, nullptr);
+  ASSERT_NE(h.JoinAndTrust("n1"), nullptr);
+  ASSERT_NE(h.JoinAndTrust("n2"), nullptr);
+  h.EnableInvariantChecker();
+
+  node::Client* c = h.UserClient("alice");
+  for (int i = 0; i < 12; ++i) {
+    json::Object msg;
+    msg["id"] = i;
+    msg["msg"] = "durable-" + std::to_string(i);
+    auto w = c->PostJson("/app/log", json::Value(std::move(msg)));
+    ASSERT_TRUE(w.ok());
+    ASSERT_EQ(w->status, 200);
+  }
+  ASSERT_TRUE(h.env().RunUntil([&] { return Quiesced(&h); }, 5000));
+
+  const uint64_t kLast = n0->last_seqno();
+  auto survivor_root = h.node("n1")->tree().RootAt(kLast);
+  ASSERT_TRUE(survivor_root.ok());
+
+  // n0 (which holds the full ledger from genesis) dies: persist its ledger
+  // to "disk", destroy the node object (all volatile state gone), and
+  // restart from the files alone. n1+n2 keep quorum and live on.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("ccf_chaos_replay_" + std::to_string(::getpid())))
+                        .string();
+  ASSERT_TRUE(n0->SaveLedgerToDir(dir).ok());
+  h.UntrackNode("n0");
+  h.DropClients();
+  h.env().SetUp("n0", false);
+  h.nodes().erase("n0");
+
+  auto restored = ledger::LoadFromDir(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->last_seqno(), kLast);
+  auto r0 = node::Node::CreateRecovery(FastNodeConfig("r0", 11),
+                                       std::move(*restored), nullptr,
+                                       &h.env());
+  ASSERT_TRUE(h.env().RunUntil(
+      [&] {
+        return r0->IsPrimary() &&
+               r0->service_status() == gov::ServiceStatus::kRecovering;
+      },
+      8000));
+
+  // Ledger replay rebuilt the identical transaction history.
+  auto replayed_root = r0->tree().RootAt(kLast);
+  ASSERT_TRUE(replayed_root.ok());
+  EXPECT_EQ(*replayed_root, *survivor_root);
+  auto other_survivor_root = h.node("n2")->tree().RootAt(kLast);
+  ASSERT_TRUE(other_survivor_root.ok());
+  EXPECT_EQ(*replayed_root, *other_survivor_root);
+
+  std::filesystem::remove_all(dir);
+}
+
+// A node that joins after a chaos episode catches up through snapshot
+// install plus log replay and converges with the veterans.
+TEST(ServiceChaos, JoinerAfterChaosConverges) {
+  sim::EnvOptions opts;
+  opts.seed = 99;
+  ServiceHarness h(opts);
+  h.AddUser("alice");
+  ASSERT_NE(h.StartGenesis(), nullptr);
+  ASSERT_NE(h.JoinAndTrust("n1"), nullptr);
+  ASSERT_NE(h.JoinAndTrust("n2"), nullptr);
+  sim::InvariantChecker& checker = h.EnableInvariantChecker();
+
+  node::Client* c = h.UserClient("alice");
+  for (int i = 0; i < 8; ++i) {
+    json::Object msg;
+    msg["id"] = i;
+    msg["msg"] = "m" + std::to_string(i);
+    ASSERT_TRUE(c->PostJson("/app/log", json::Value(std::move(msg))).ok());
+  }
+
+  // A brief fault episode among the nodes.
+  sim::LinkFaults faults;
+  faults.drop = 0.05;
+  faults.reorder = 0.05;
+  faults.duplicate = 0.03;
+  h.env().SetFaultsAmong(kNodeIds, faults);
+  h.env().SetPartitioned("n1", "n2", true);
+  h.env().Step(400);
+  HealEverything(&h);
+  h.DropClients();
+  ASSERT_TRUE(h.env().RunUntil([&] { return h.Primary() != nullptr; },
+                               10000));
+  c = h.UserClient("alice");
+  json::Object msg;
+  msg["id"] = 100;
+  msg["msg"] = "post-chaos";
+  auto w = c->PostJson("/app/log", json::Value(std::move(msg)), 5000);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->status, 200);
+  ASSERT_TRUE(h.env().RunUntil([&] { return Quiesced(&h); }, 5000));
+
+  // Late joiner: snapshot install + tail replay.
+  node::Node* n3 = h.JoinAndTrust("n3", 15000);
+  ASSERT_NE(n3, nullptr);
+  h.TrackNode("n3");
+
+  json::Object msg2;
+  msg2["id"] = 101;
+  msg2["msg"] = "with-joiner";
+  auto w2 = c->PostJson("/app/log", json::Value(std::move(msg2)), 5000);
+  ASSERT_TRUE(w2.ok());
+  ASSERT_EQ(w2->status, 200);
+
+  uint64_t target = h.Primary()->last_seqno();
+  ASSERT_TRUE(h.WaitForCommitEverywhere(target, 10000));
+  ASSERT_TRUE(h.env().RunUntil(
+      [&] {
+        for (const std::string& id : {"n0", "n1", "n2", "n3"}) {
+          node::Node* n = h.node(id);
+          if (n->last_seqno() != n3->last_seqno() ||
+              n->commit_seqno() != n->last_seqno()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      5000));
+
+  std::string why;
+  EXPECT_TRUE(checker.CheckConverged([](const std::string&) { return true; },
+                                     &why))
+      << why;
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+}  // namespace
+}  // namespace ccf::testing

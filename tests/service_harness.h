@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "gov/records.h"
+#include "kv/snapshot.h"
 #include "node/client.h"
 #include "node/logging_app.h"
 #include "node/node.h"
+#include "sim/invariants.h"
 
 namespace ccf::testing {
 
@@ -255,6 +257,43 @@ class ServiceHarness {
 
   void DropClients() { clients_.clear(); }
 
+  // -------------------------------------------------------- invariants
+
+  // Application-level convergence digest for a node: commit seqno, the
+  // Merkle root over the committed prefix, and the committed KV state.
+  static Bytes StateDigest(node::Node* n) {
+    Bytes out;
+    uint64_t commit = n->commit_seqno();
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<uint8_t>(commit >> (8 * i)));
+    }
+    auto root = n->tree().RootAt(commit);
+    if (root.ok()) out.insert(out.end(), root->begin(), root->end());
+    auto kv_digest =
+        crypto::Sha256::Hash(kv::SerializeState(n->store().committed_state()));
+    out.insert(out.end(), kv_digest.begin(), kv_digest.end());
+    return out;
+  }
+
+  // Tracks a joined node in the invariant checker.
+  void TrackNode(const std::string& id) {
+    node::Node* n = node(id);
+    if (n == nullptr || !n->has_joined()) return;
+    checker_.Track(id, &n->raft(), [n] { return StateDigest(n); });
+  }
+  // Must be called before destroying a node the checker observes.
+  void UntrackNode(const std::string& id) { checker_.Untrack(id); }
+
+  // Wires the checker over every joined node and attaches it to the
+  // environment (observes after every simulator step). Call TrackNode for
+  // nodes that join later.
+  sim::InvariantChecker& EnableInvariantChecker() {
+    for (auto& [id, n] : nodes_) TrackNode(id);
+    checker_.Attach(&env_);
+    return checker_;
+  }
+  sim::InvariantChecker& checker() { return checker_; }
+
   // Waits until `seqno` is committed on all live, joined nodes.
   bool WaitForCommitEverywhere(uint64_t seqno, uint64_t timeout_ms = 8000) {
     return env_.RunUntil(
@@ -277,6 +316,7 @@ class ServiceHarness {
   std::map<std::string, std::unique_ptr<node::Node>> nodes_;
   std::map<std::string, std::unique_ptr<TestUser>> users_;
   std::map<std::string, std::unique_ptr<node::Client>> clients_;
+  sim::InvariantChecker checker_;
 };
 
 }  // namespace ccf::testing
