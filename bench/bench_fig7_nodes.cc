@@ -16,7 +16,7 @@
 namespace ccf::bench {
 namespace {
 
-constexpr uint64_t kRequests = 4000;
+const uint64_t kRequests = SmokeMode() ? 400 : 4000;
 constexpr int kPipeline = 64;
 
 // Builds an n-node service and returns it ready for load.

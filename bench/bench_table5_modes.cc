@@ -14,7 +14,7 @@
 namespace ccf::bench {
 namespace {
 
-constexpr uint64_t kRequests = 2500;
+const uint64_t kRequests = SmokeMode() ? 300 : 2500;
 constexpr int kPipeline = 64;
 constexpr int kNodes = 5;
 

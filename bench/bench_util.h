@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,6 +19,14 @@ namespace ccf::bench {
 
 using testing::FastNodeConfig;
 using testing::ServiceHarness;
+
+// CCF_BENCH_SMOKE=1 shrinks every benchmark to a seconds-scale sanity run;
+// the bench-smoke ctest label sets it so `ctest` exercises each binary on
+// every build without paying for full measurement runs.
+inline bool SmokeMode() {
+  const char* v = std::getenv("CCF_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 inline node::NodeConfig BenchNodeConfig(const std::string& id,
                                         tee::TeeMode mode,

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_signatures.json files (bench_fig8_signatures output).
+
+Usage:
+    scripts/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Prints per-metric deltas for the latency sweep, throughput table, and audit
+replay, flagging regressions beyond the threshold (default 10%). Exit code
+is 1 when any flagged metric regressed, so it can gate CI.
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_delta(old, new):
+    if old == 0:
+        return "   n/a"
+    pct = 100.0 * (new - old) / old
+    return f"{pct:+6.1f}%"
+
+
+def key_of(row):
+    return (row.get("worker_threads"), row.get("worker_async"),
+            row.get("interval"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag regressions beyond this percentage")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    regressions = []
+
+    def check(name, old_v, new_v, lower_is_better):
+        delta = fmt_delta(old_v, new_v)
+        worse = (new_v > old_v) if lower_is_better else (new_v < old_v)
+        flag = ""
+        if old_v > 0 and worse and \
+                abs(new_v - old_v) / old_v * 100.0 > args.threshold:
+            flag = "  <-- regression"
+            regressions.append(name)
+        print(f"  {name:<44} {old_v:>12.2f} {new_v:>12.2f} {delta}{flag}")
+
+    if old.get("smoke") != new.get("smoke"):
+        print("WARNING: comparing a smoke run against a full run; "
+              "deltas are not meaningful as absolutes")
+
+    print(f"{'latency (us; lower is better)':<46} {'old':>12} {'new':>12}")
+    old_lat = {key_of(r): r for r in old.get("latency", [])}
+    for row in new.get("latency", []):
+        prev = old_lat.get(key_of(row))
+        if prev is None:
+            print(f"  (new config: {row.get('label')})")
+            continue
+        label = row.get("label", "?")
+        for metric in ("p50_us", "p99_us", "mean_spike_us", "spike_ratio"):
+            check(f"{label} {metric}", prev.get(metric, 0),
+                  row.get(metric, 0), lower_is_better=True)
+
+    print(f"\n{'throughput (tx/s; higher is better)':<46} "
+          f"{'old':>12} {'new':>12}")
+    old_tput = {key_of(r): r for r in old.get("throughput", [])}
+    for row in new.get("throughput", []):
+        prev = old_tput.get(key_of(row))
+        if prev is None:
+            continue
+        name = (f"workers={row.get('worker_threads')}"
+                f"{'+async' if row.get('worker_async') else ''} "
+                f"interval={row.get('interval')}")
+        check(name, prev.get("tx_per_s", 0), row.get("tx_per_s", 0),
+              lower_is_better=False)
+
+    print(f"\n{'audit replay':<46} {'old':>12} {'new':>12}")
+    old_a, new_a = old.get("audit_replay", {}), new.get("audit_replay", {})
+    if old_a and new_a:
+        check("serial_ms", old_a.get("serial_ms", 0),
+              new_a.get("serial_ms", 0), lower_is_better=True)
+        check("batch_ms", old_a.get("batch_ms", 0),
+              new_a.get("batch_ms", 0), lower_is_better=True)
+        check("speedup", old_a.get("speedup", 0),
+              new_a.get("speedup", 0), lower_is_better=False)
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0f}%:")
+        for r in regressions:
+            print(f"  - {r}")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

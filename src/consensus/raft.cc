@@ -513,6 +513,7 @@ void RaftNode::HandleAppendEntries(const NodeId& from,
   }
 
   uint64_t match = req.prev_seqno;
+  uint64_t first_appended = 0;  // 0 = nothing fresh appended
   for (const LogEntry& entry : req.entries) {
     if (entry.seqno <= base_seqno_) {
       match = std::max(match, entry.seqno);
@@ -527,8 +528,22 @@ void RaftNode::HandleAppendEntries(const NodeId& from,
       TruncateLog(entry.seqno - 1);
     }
     if (entry.seqno != last_seqno() + 1) break;  // gap; stop here
-    AppendToLog(entry, /*remote_origin=*/true);
+    // Delivery to the node layer is batched below; fresh appends are
+    // always a contiguous suffix of the request (once one is appended,
+    // every later entry takes this branch or breaks).
+    AppendToLog(entry, /*remote_origin=*/false);
+    if (first_appended == 0) first_appended = entry.seqno;
     match = entry.seqno;
+  }
+  if (first_appended != 0) {
+    // Pointers are collected only after the loop: AppendToLog grows log_
+    // and would invalidate them.
+    std::vector<const LogEntry*> batch;
+    batch.reserve(last_seqno() - first_appended + 1);
+    for (uint64_t s = first_appended; s <= last_seqno(); ++s) {
+      batch.push_back(&EntryAt(s));
+    }
+    cb_->OnAppendBatch(batch);
   }
 
   if (req.commit_seqno > commit_seqno_) {

@@ -55,6 +55,13 @@ class RaftCallbacks {
   // A remote-originated entry was appended to the local log (backup path).
   // The node layer applies it to its KV store, ledger, and Merkle tree.
   virtual void OnAppend(const LogEntry& entry) = 0;
+  // A contiguous run of remote-originated entries was appended in one
+  // AppendEntries message, delivered together after the last one is in the
+  // log. Default: per-entry delivery. The node layer overrides this to
+  // batch the Merkle/ledger work (crypto::Sha256x4 via AppendBatch).
+  virtual void OnAppendBatch(const std::vector<const LogEntry*>& entries) {
+    for (const LogEntry* entry : entries) OnAppend(*entry);
+  }
   // The log was rolled back: discard everything with seqno > `seqno`.
   virtual void OnRollback(uint64_t seqno) = 0;
   // The commit sequence number advanced.

@@ -504,6 +504,41 @@ Point ScalarMult(const Scalar& s, const Point& p) {
 
 Point ScalarMultBase(const Scalar& s) { return ScalarMult(s, BasePoint()); }
 
+Point MultiScalarMult(std::span<const Scalar> scalars,
+                      std::span<const Point> points) {
+  assert(scalars.size() == points.size());
+  const size_t n = points.size();
+  if (n == 0) return Identity();
+
+  // Per-point table of odd-free small multiples: table[i][j] = (j+1)*P_i
+  // for j in [0, 15). 14 additions per point, amortized over the 64 window
+  // lookups below.
+  std::vector<std::array<Point, 15>> table(n);
+  for (size_t i = 0; i < n; ++i) {
+    table[i][0] = points[i];
+    for (int j = 1; j < 15; ++j) {
+      table[i][j] = Add(table[i][j - 1], points[i]);
+    }
+  }
+
+  // Straus: walk the 64 scalar nibbles from most to least significant with
+  // a single shared chain of 4 doublings per window.
+  Point r = Identity();
+  for (int w = 63; w >= 0; --w) {
+    if (w != 63) {
+      r = Double(Double(Double(Double(r))));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t byte = scalars[i][w / 2];
+      uint8_t nib = (w % 2 != 0) ? (byte >> 4) : (byte & 0x0f);
+      if (nib != 0) {
+        r = Add(r, table[i][nib - 1]);
+      }
+    }
+  }
+  return r;
+}
+
 bool PointEqual(const Point& p, const Point& q) {
   // x1/z1 == x2/z2 <=> x1*z2 == x2*z1, same for y.
   return FeEqual(FeMul(p.x, q.z), FeMul(q.x, p.z)) &&

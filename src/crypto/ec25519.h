@@ -78,6 +78,12 @@ Point Double(const Point& p);
 Point Negate(const Point& p);
 Point ScalarMult(const Scalar& s, const Point& p);
 Point ScalarMultBase(const Scalar& s);
+// sum_i scalars[i] * points[i] via Straus' interleaved windowed method
+// (4-bit windows, one shared doubling chain). Far cheaper than summing
+// individual ScalarMult results once there are a few points; this is the
+// engine behind crypto::VerifyBatch. Requires equal-length inputs.
+Point MultiScalarMult(std::span<const Scalar> scalars,
+                      std::span<const Point> points);
 bool PointEqual(const Point& p, const Point& q);
 bool IsIdentity(const Point& p);
 // Membership of the full curve (not subgroup-checked).

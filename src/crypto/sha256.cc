@@ -40,48 +40,61 @@ void Sha256::Reset() {
   buf_len_ = 0;
 }
 
-void Sha256::Compress(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
-           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+void Sha256::Compress(const uint8_t* block) { CompressBlocks(block, 1); }
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
+void Sha256::CompressBlocks(const uint8_t* data, size_t n) {
+  // Hoist the chaining state into locals for the whole run so consecutive
+  // blocks don't round-trip through memory.
+  uint32_t s0 = state_[0], s1 = state_[1], s2 = state_[2], s3 = state_[3];
+  uint32_t s4 = state_[4], s5 = state_[5], s6 = state_[6], s7 = state_[7];
+  for (size_t blk = 0; blk < n; ++blk, data += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(data[4 * i]) << 24) |
+             (static_cast<uint32_t>(data[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(data[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(data[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t t0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t t1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + t0 + w[i - 7] + t1;
+    }
+    uint32_t a = s0, b = s1, c = s2, d = s3;
+    uint32_t e = s4, f = s5, g = s6, h = s7;
+    for (int i = 0; i < 64; ++i) {
+      uint32_t x1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t t1 = h + x1 + ch + kK[i] + w[i];
+      uint32_t x0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t t2 = x0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    s0 += a;
+    s1 += b;
+    s2 += c;
+    s3 += d;
+    s4 += e;
+    s5 += f;
+    s6 += g;
+    s7 += h;
   }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  state_[4] = s4;
+  state_[5] = s5;
+  state_[6] = s6;
+  state_[7] = s7;
 }
 
 void Sha256::Update(ByteSpan data) {
@@ -97,9 +110,11 @@ void Sha256::Update(ByteSpan data) {
       buf_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    Compress(data.data() + off);
-    off += 64;
+  // Whole blocks compress directly from the caller's span; the internal
+  // buffer only ever holds a partial head (above) or tail (below).
+  if (size_t whole = (data.size() - off) / 64; whole > 0) {
+    CompressBlocks(data.data() + off, whole);
+    off += whole * 64;
   }
   if (off < data.size()) {
     std::memcpy(buf_, data.data() + off, data.size() - off);

@@ -34,12 +34,24 @@ class Sha256 {
 
  private:
   void Compress(const uint8_t* block);
+  // Compresses `n` consecutive 64-byte blocks starting at `data` with the
+  // working state held in locals across blocks. `Update` feeds whole blocks
+  // here straight from the caller's span -- only a sub-block head/tail is
+  // ever staged through `buf_`.
+  void CompressBlocks(const uint8_t* data, size_t n);
 
   uint32_t state_[8];
   uint64_t total_len_ = 0;
   uint8_t buf_[64];
   size_t buf_len_ = 0;
 };
+
+// 4-way interleaved multi-buffer SHA-256: hashes four equal-length messages
+// in one pass, running the four compression chains side by side so the
+// per-round dependency chains overlap (and the lane loops auto-vectorize to
+// 4x32-bit SIMD). This is the kernel behind MerkleTree::AppendBatch, where
+// leaves and interior nodes arrive in bulk with a fixed size.
+void Sha256x4(const uint8_t* const msgs[4], size_t len, Sha256Digest out[4]);
 
 inline Bytes DigestToBytes(const Sha256Digest& d) {
   return Bytes(d.begin(), d.end());

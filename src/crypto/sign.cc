@@ -81,6 +81,92 @@ bool Verify(ByteSpan pub, ByteSpan msg, ByteSpan sig) {
   return ec::PointEqual(lhs, rhs);
 }
 
+bool VerifyBatch(std::span<const BatchVerifyItem> items, Drbg* drbg,
+                 std::vector<bool>* ok_out) {
+  const size_t n = items.size();
+  if (ok_out != nullptr) {
+    ok_out->assign(n, true);
+  }
+  if (n == 0) return true;
+
+  // Decode phase. Items that fail decoding/canonicality checks can never
+  // verify; they are marked failed up front and excluded from the combined
+  // equation so one malformed signature doesn't force the whole batch onto
+  // the serial fallback path.
+  struct Decoded {
+    size_t index;
+    ec::Point r;
+    ec::Point a;
+    ec::Scalar s;
+    ec::Scalar k;
+  };
+  std::vector<Decoded> valid;
+  valid.reserve(n);
+  bool all_ok = true;
+  for (size_t i = 0; i < n; ++i) {
+    const BatchVerifyItem& it = items[i];
+    bool ok = it.pub.size() == kPublicKeySize && it.sig.size() == kSignatureSize;
+    Decoded d;
+    d.index = i;
+    if (ok) {
+      auto r_result = ec::Decode(it.sig.subspan(0, 32));
+      auto a_result = ec::Decode(it.pub);
+      std::memcpy(d.s.data(), it.sig.data() + 32, 32);
+      ok = r_result.ok() && a_result.ok() && ec::ScalarIsCanonical(d.s);
+      if (ok) {
+        d.r = r_result.value();
+        d.a = a_result.value();
+        d.k = HashToScalar(it.sig.subspan(0, 32), it.pub, it.msg);
+        valid.push_back(d);
+      }
+    }
+    if (!ok) {
+      all_ok = false;
+      if (ok_out != nullptr) (*ok_out)[i] = false;
+    }
+  }
+  if (valid.empty()) return all_ok;
+
+  // Combined equation with fresh random 128-bit combiners:
+  //   S*B + sum z_i*(-R_i) + sum (z_i*k_i)*(-A_i) == identity,
+  // where S = sum z_i*s_i mod l.
+  const ec::Scalar kZero{};
+  std::vector<ec::Scalar> scalars;
+  std::vector<ec::Point> points;
+  scalars.reserve(2 * valid.size() + 1);
+  points.reserve(2 * valid.size() + 1);
+  ec::Scalar sum_zs = kZero;
+  scalars.push_back(kZero);  // placeholder for S
+  points.push_back(ec::BasePoint());
+  for (const Decoded& d : valid) {
+    Bytes zb = drbg->Generate(16);
+    ec::Scalar z{};
+    std::memcpy(z.data(), zb.data(), 16);
+    if (ec::ScalarIsZero(z)) z[0] = 1;
+    sum_zs = ec::ScalarMulAdd(z, d.s, sum_zs);
+    scalars.push_back(z);
+    points.push_back(ec::Negate(d.r));
+    scalars.push_back(ec::ScalarMulAdd(z, d.k, kZero));
+    points.push_back(ec::Negate(d.a));
+  }
+  scalars[0] = sum_zs;
+
+  if (ec::IsIdentity(ec::MultiScalarMult(scalars, points))) {
+    return all_ok;
+  }
+
+  // The combined check failed: at least one signature is bad. Fall back to
+  // per-signature verification to pinpoint which.
+  for (const Decoded& d : valid) {
+    const BatchVerifyItem& it = items[d.index];
+    if (!Verify(it.pub, it.msg, it.sig)) {
+      all_ok = false;
+      if (ok_out != nullptr) (*ok_out)[d.index] = false;
+    }
+  }
+  return all_ok;
+}
+
 Result<Bytes> KeyPair::DeriveSharedSecret(ByteSpan peer_public) const {
   ASSIGN_OR_RETURN(ec::Point peer, ec::Decode(peer_public));
   ec::Point shared = ec::ScalarMult(secret_, peer);

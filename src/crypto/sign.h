@@ -11,6 +11,7 @@
 #include <array>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -28,6 +29,30 @@ using SignatureBytes = std::array<uint8_t, kSignatureSize>;
 // Verifies `sig` over `msg` under `pub`. Statelessly usable by anyone
 // holding the 32-byte public key.
 bool Verify(ByteSpan pub, ByteSpan msg, ByteSpan sig);
+
+// One signature to be checked by VerifyBatch. Spans must stay valid for the
+// duration of the call.
+struct BatchVerifyItem {
+  ByteSpan pub;  // 32-byte public key
+  ByteSpan msg;
+  ByteSpan sig;  // 64-byte signature
+};
+
+// Random-linear-combination batch verification: instead of k independent
+// `s_i*B == R_i + k_i*A_i` checks, draws random 128-bit combiner scalars
+// z_i from `drbg` and checks the single multi-scalar equation
+//   (sum z_i*s_i)*B + sum z_i*(-R_i) + sum (z_i*k_i)*(-A_i) == identity,
+// evaluated with ec::MultiScalarMult. A forgery passes with probability
+// <= 2^-128 over the combiners. Pass a deterministically seeded DRBG in
+// simulation so replays draw identical combiners.
+//
+// Returns true iff every signature verifies. If `ok_out` is non-null it is
+// resized to items.size() with the per-item verdict; when the combined
+// equation fails, the batch falls back to per-signature verification to
+// pinpoint the culprits (so the fast path is only fast when everything is
+// honest -- the common case).
+bool VerifyBatch(std::span<const BatchVerifyItem> items, Drbg* drbg,
+                 std::vector<bool>* ok_out = nullptr);
 
 // A signing/DH key pair. Derives deterministically from a 32-byte seed so
 // that simulated enclaves are reproducible.

@@ -56,11 +56,27 @@ class MerkleTree {
  public:
   MerkleTree() = default;
 
+  // Hash/append operation counters, for the per-node crypto op telemetry
+  // and for benches/tests asserting that the batch kernels engaged.
+  struct Stats {
+    uint64_t leaf_hashes = 0;      // leaf contents hashed (any path)
+    uint64_t interior_hashes = 0;  // interior nodes computed (any path)
+    uint64_t batched_leaves = 0;   // leaves that arrived via a batch call
+    uint64_t x4_groups = 0;        // Sha256x4 invocations (4 hashes each)
+  };
+
   // Appends a transaction; `data` is the transaction's serialized leaf
   // content (hashed with the leaf prefix internally).
   void Append(ByteSpan data);
   // Appends a precomputed leaf digest.
   void AppendLeafHash(const Digest& leaf);
+  // Appends many leaf contents at once, pushing both the leaf hashes and
+  // the newly completed interior nodes through the 4-way SHA-256 kernel.
+  // Exactly equivalent to calling Append(l) for each element.
+  void AppendBatch(std::span<const Bytes> leaves);
+  // Bulk AppendLeafHash for precomputed digests (joiner catch-up); interior
+  // nodes are still batch-hashed.
+  void AppendLeafHashes(std::span<const Digest> leaves);
 
   uint64_t size() const { return levels_.empty() ? 0 : levels_[0].size(); }
 
@@ -79,6 +95,8 @@ class MerkleTree {
   // Drops all leaves with index >= n (consensus rollback).
   void Truncate(uint64_t n);
 
+  const Stats& stats() const { return stats_; }
+
  private:
   Digest RangeHash(uint64_t lo, uint64_t hi) const;
   void PathRec(uint64_t m, uint64_t lo, uint64_t hi,
@@ -87,6 +105,7 @@ class MerkleTree {
   // levels_[h][i] = hash of leaves [i*2^h, (i+1)*2^h), stored only for
   // complete subtrees. levels_[0] holds the leaf digests themselves.
   std::vector<std::vector<Digest>> levels_;
+  Stats stats_;
 };
 
 }  // namespace ccf::merkle

@@ -8,8 +8,13 @@
 //   - the signing node's certificate, endorsed by the service identity.
 //
 // Convention: seqno is 1-based; the leaf index of transaction s is s-1.
-// The signature transaction at seqno s signs the root over leaves [0, s-1),
-// i.e. over every transaction before it.
+// SignedRoot.seqno is the *covered-prefix boundary*: the root spans leaves
+// [0, seqno-1), i.e. every transaction before seqno. With synchronous
+// signing the signature transaction lands exactly at that seqno; with
+// asynchronous offload (NodeConfig::worker_async) appends may continue
+// while the sign is in flight, so the signature transaction can land at a
+// later seqno m >= SignedRoot.seqno and covers a strict prefix. Verifiers
+// therefore only assume seqno(entry carrying sr) >= sr.seqno.
 
 #ifndef CCF_MERKLE_RECEIPT_H_
 #define CCF_MERKLE_RECEIPT_H_
@@ -27,7 +32,7 @@ namespace ccf::merkle {
 // root over the ledger prefix, signed by the primary's node key.
 struct SignedRoot {
   uint64_t view = 0;
-  uint64_t seqno = 0;  // seqno of the signature transaction itself
+  uint64_t seqno = 0;  // covered-prefix boundary (see header comment)
   Digest root{};       // root over leaves [0, seqno-1)
   std::string node_id;
   crypto::SignatureBytes signature{};

@@ -31,8 +31,19 @@ struct AuditReport {
   // later one); a suffix beyond it is present but not yet signed.
   uint64_t verified_seqno = 0;
   uint64_t governance_entries = 0;
+  // Signatures that went through crypto::VerifyBatch (0 in serial mode).
+  uint64_t batched_verifications = 0;
   // The service identity the ledger chains to (hex public key).
   std::string service_identity_hex;
+};
+
+struct AuditOptions {
+  // Use the batched kernels: MerkleTree::AppendBatch for leaf replay and
+  // crypto::VerifyBatch for root signatures. Off = the serial baseline
+  // (bench_ablation_crypto compares the two).
+  bool batch = true;
+  // Signatures accumulated before a VerifyBatch flush.
+  size_t verify_batch_width = 32;
 };
 
 // Audits `ledger`. If `expected_service` is provided the genesis service
@@ -40,7 +51,8 @@ struct AuditReport {
 // (trust-on-first-use) and reported.
 Result<AuditReport> AuditLedger(
     const ledger::Ledger& ledger,
-    std::optional<crypto::PublicKeyBytes> expected_service = std::nullopt);
+    std::optional<crypto::PublicKeyBytes> expected_service = std::nullopt,
+    AuditOptions options = {});
 
 }  // namespace ccf::node
 

@@ -33,6 +33,20 @@ struct NodeConfig {
   // comfortably above the signature interval so common rollbacks stay
   // O(1).
   size_t kv_retained_root_cap = 256;
+  // Enclave worker threads for deferred signing (paper §7: dedicated
+  // threads keep signing off the message-handling hot path). 0 (default)
+  // executes offloaded jobs synchronously at the submission point; N>0
+  // runs real threads. In both cases completions are delivered at the same
+  // drain point at the top of Node::Tick, so with worker_async unset the
+  // simulated service is bit-for-bit identical across settings (see
+  // DESIGN.md: worker-pool determinism contract).
+  size_t worker_threads = 0;
+  // With worker_threads > 0: don't block the drain point on unfinished
+  // jobs. Signature transactions then land whenever their sign finishes,
+  // covering a prefix of the log (merkle/receipt.h). Maximum overlap for
+  // wall-clock benchmarks; not bit-reproducible, so the deterministic
+  // chaos suites leave it off.
+  bool worker_async = false;
 };
 
 // Initial consortium passed to the genesis node (paper §5: "the

@@ -6,6 +6,7 @@
 #include "common/buffer.h"
 #include "common/hex.h"
 #include "common/logging.h"
+#include "crypto/sign.h"
 #include "gov/constitution.h"
 #include "kv/tables.h"
 #include "kv/writeset.h"
@@ -57,7 +58,9 @@ Node::Node(NodeConfig config, Application* app, sim::Environment* env)
       env_(env),
       boundary_(config.tee_mode),
       drbg_("ccf-node-" + config.node_id, config.seed),
-      node_key_(crypto::KeyPair::Generate(&drbg_)) {
+      node_key_(crypto::KeyPair::Generate(&drbg_)),
+      verify_drbg_("ccf-verify-" + config.node_id, config.seed),
+      worker_pool_(config.worker_threads) {
   store_.SetRetainedRootCap(config_.kv_retained_root_cap);
   InstallFrameworkEndpoints();
   if (app_ != nullptr) {
@@ -203,14 +206,24 @@ void Node::HostReceive(const std::string& from, ByteSpan data) {
 
 void Node::Tick(uint64_t now_ms) {
   now_ms_ = std::max(now_ms_, now_ms);
+  // Worker-pool completions land here, before any message processing, so
+  // their placement in virtual time does not depend on worker_threads (see
+  // DESIGN.md: worker-pool determinism contract).
+  DrainWorkerCompletions();
   DrainEnclaveInbox();
   if (raft_ != nullptr) {
     raft_->Tick(now_ms_);
-    MaybeEmitSignature(now_ms_);
     MaybeCompleteRetirements();
     HandleOwnRetirement();
+    // Signature submission goes last: nothing else may claim the seqno the
+    // signed root reserves before the blocking drain commits it.
+    MaybeEmitSignature(now_ms_);
   }
   DrainEnclaveOutbox();
+}
+
+void Node::DrainWorkerCompletions() {
+  worker_pool_.Drain(/*wait_all=*/!config_.worker_async);
 }
 
 void Node::DrainEnclaveInbox() {
@@ -422,73 +435,108 @@ void Node::Send(const consensus::NodeId& to, const consensus::Message& msg) {
 // --------------------------------------------------- consensus callbacks
 
 void Node::OnAppend(const consensus::LogEntry& entry) {
-  ApplyRemoteEntry(entry);
+  OnAppendBatch({&entry});
 }
 
-void Node::ApplyRemoteEntry(const consensus::LogEntry& entry) {
-  auto parsed = ledger::Entry::Deserialize(*entry.data);
-  if (!parsed.ok()) {
-    LOG_ERROR << config_.node_id
-              << " corrupt replicated entry: " << parsed.status().ToString();
-    integrity_violation_ = true;
-    return;
-  }
-  ledger::Entry ledger_entry = parsed.take();
-
-  // Decrypt the private half with the ledger secret.
-  Bytes private_plain;
-  if (!ledger_entry.private_sealed.empty() && encryptor_ != nullptr) {
-    auto aad = PublicAadDigest(ledger_entry.public_ws);
-    auto opened = encryptor_->Open(ledger_entry.view, ledger_entry.seqno,
-                                   ledger_entry.private_sealed,
-                                   ByteSpan(aad.data(), aad.size()));
-    if (!opened.ok()) {
-      LOG_ERROR << config_.node_id << " cannot decrypt private writes at "
-                << ledger_entry.seqno;
+void Node::OnAppendBatch(
+    const std::vector<const consensus::LogEntry*>& entries) {
+  // Phase 1: decode (parse + decrypt) every entry. A corrupt entry ends
+  // the batch at the preceding entry -- the valid prefix still applies.
+  struct Decoded {
+    ledger::Entry entry;
+    kv::WriteSet ws;
+  };
+  std::vector<Decoded> batch;
+  batch.reserve(entries.size());
+  for (const consensus::LogEntry* le : entries) {
+    auto parsed = ledger::Entry::Deserialize(*le->data);
+    if (!parsed.ok()) {
+      LOG_ERROR << config_.node_id
+                << " corrupt replicated entry: " << parsed.status().ToString();
       integrity_violation_ = true;
-      return;
+      break;
     }
-    private_plain = opened.take();
-  }
-  auto ws = kv::WriteSet::Parse(ledger_entry.public_ws, private_plain);
-  if (!ws.ok()) {
-    integrity_violation_ = true;
-    return;
-  }
+    ledger::Entry ledger_entry = parsed.take();
 
-  // Verify signature transactions against our own Merkle tree (the root
-  // covers everything before this entry).
-  if (ledger_entry.type == ledger::EntryType::kSignature) {
-    auto it = ws->maps.find(tables::kSignatures);
-    if (it != ws->maps.end()) {
-      for (const auto& [key, value] : it->second) {
-        if (!value.has_value()) continue;
-        auto hex = HexDecode(ToString(*value));
-        if (!hex.ok()) continue;
-        auto sr = merkle::SignedRoot::Deserialize(*hex);
-        if (!sr.ok()) continue;
-        if (sr->root != tree_.Root()) {
-          LOG_ERROR << config_.node_id << " signature root mismatch at "
-                    << ledger_entry.seqno;
-          integrity_violation_ = true;
-        } else {
-          signed_roots_[ledger_entry.seqno] = *sr;
+    // Decrypt the private half with the ledger secret.
+    Bytes private_plain;
+    if (!ledger_entry.private_sealed.empty() && encryptor_ != nullptr) {
+      auto aad = PublicAadDigest(ledger_entry.public_ws);
+      auto opened = encryptor_->Open(ledger_entry.view, ledger_entry.seqno,
+                                     ledger_entry.private_sealed,
+                                     ByteSpan(aad.data(), aad.size()));
+      if (!opened.ok()) {
+        LOG_ERROR << config_.node_id << " cannot decrypt private writes at "
+                  << ledger_entry.seqno;
+        integrity_violation_ = true;
+        break;
+      }
+      private_plain = opened.take();
+    }
+    auto ws = kv::WriteSet::Parse(ledger_entry.public_ws, private_plain);
+    if (!ws.ok()) {
+      integrity_violation_ = true;
+      break;
+    }
+    batch.push_back({std::move(ledger_entry), ws.take()});
+  }
+  if (batch.empty()) return;
+
+  // Phase 2: append every Merkle leaf in one batched pass (4-way SHA-256).
+  std::vector<Bytes> leaf_contents;
+  leaf_contents.reserve(batch.size());
+  for (const Decoded& d : batch) {
+    TxDigests digests;
+    digests.write_set = d.entry.WriteSetDigest();
+    digests.claims = d.entry.claims_digest;
+    leaf_contents.push_back(merkle::TransactionLeafContent(
+        d.entry.view, d.entry.seqno, digests.write_set, digests.claims));
+    tx_digests_.push_back(digests);
+  }
+  tree_.AppendBatch(leaf_contents);
+
+  // Phase 3: sequential apply. Signature roots are checked against the
+  // prefix they cover (RootAt, which for the default synchronous signing
+  // path is the tree right before the signature entry); the expensive
+  // Ed25519 check is queued for batch verification at the commit boundary.
+  for (Decoded& d : batch) {
+    if (d.entry.type == ledger::EntryType::kSignature) {
+      auto it = d.ws.maps.find(tables::kSignatures);
+      if (it != d.ws.maps.end()) {
+        for (const auto& [key, value] : it->second) {
+          if (!value.has_value()) continue;
+          auto hex = HexDecode(ToString(*value));
+          if (!hex.ok()) continue;
+          auto sr = merkle::SignedRoot::Deserialize(*hex);
+          if (!sr.ok()) continue;
+          auto covered = (sr->seqno >= 1 && sr->seqno <= d.entry.seqno)
+                             ? tree_.RootAt(sr->seqno - 1)
+                             : Status::OutOfRange("bad signed seqno");
+          if (!covered.ok() || covered.value() != sr->root) {
+            LOG_ERROR << config_.node_id << " signature root mismatch at "
+                      << d.entry.seqno;
+            integrity_violation_ = true;
+          } else {
+            signed_roots_[d.entry.seqno] = *sr;
+            pending_sig_verifies_.push_back({d.entry.seqno, *sr});
+          }
         }
       }
     }
-  }
 
-  Status applied = store_.ApplyWriteSet(*ws, ledger_entry.seqno);
-  if (!applied.ok()) {
-    LOG_ERROR << config_.node_id
-              << " apply failed: " << applied.ToString();
-    integrity_violation_ = true;
-    return;
-  }
-  AppendLeafFor(ledger_entry);
-  Status appended = host_ledger_.Append(std::move(ledger_entry));
-  if (!appended.ok()) {
-    LOG_ERROR << config_.node_id << " ledger append failed";
+    Status applied = store_.ApplyWriteSet(d.ws, d.entry.seqno);
+    if (!applied.ok()) {
+      LOG_ERROR << config_.node_id << " apply failed: " << applied.ToString();
+      integrity_violation_ = true;
+      // Drop this entry's leaf and everything after it; the prefix stands.
+      tree_.Truncate(d.entry.seqno - 1);
+      tx_digests_.resize(d.entry.seqno - 1);
+      return;
+    }
+    Status appended = host_ledger_.Append(std::move(d.entry));
+    if (!appended.ok()) {
+      LOG_ERROR << config_.node_id << " ledger append failed";
+    }
   }
 }
 
@@ -512,10 +560,84 @@ void Node::OnRollback(uint64_t seqno) {
   tx_digests_.resize(seqno);
   host_ledger_.Truncate(seqno);
   signed_roots_.erase(signed_roots_.upper_bound(seqno), signed_roots_.end());
+  while (!pending_sig_verifies_.empty() &&
+         pending_sig_verifies_.back().seqno > seqno) {
+    pending_sig_verifies_.pop_back();
+  }
   txs_since_signature_ = 0;
 }
 
+void Node::VerifyCommittedSignatures(uint64_t commit_seqno) {
+  if (pending_sig_verifies_.empty() ||
+      pending_sig_verifies_.front().seqno > commit_seqno) {
+    return;
+  }
+  struct VerifyJob {
+    uint64_t seqno = 0;
+    std::string signer;
+    crypto::PublicKeyBytes pub{};
+    Bytes payload;
+    crypto::SignatureBytes sig{};
+  };
+  std::vector<VerifyJob> jobs;
+  while (!pending_sig_verifies_.empty() &&
+         pending_sig_verifies_.front().seqno <= commit_seqno) {
+    const PendingSigVerify& p = pending_sig_verifies_.front();
+    VerifyJob job;
+    job.seqno = p.seqno;
+    job.signer = p.sr.node_id;
+    job.payload = p.sr.SignedPayload();
+    job.sig = p.sr.signature;
+    auto pub = NodePublicKey(p.sr.node_id);
+    if (!pub.has_value()) {
+      LOG_ERROR << config_.node_id << " signature at " << p.seqno
+                << " from unknown node " << p.sr.node_id;
+      integrity_violation_ = true;
+      ++crypto_ops_.verify_failures;
+    } else {
+      job.pub = *pub;
+      jobs.push_back(std::move(job));
+    }
+    pending_sig_verifies_.pop_front();
+  }
+  if (jobs.empty()) return;
+
+  if (jobs.size() == 1) {
+    ++crypto_ops_.verifies_single;
+    const VerifyJob& job = jobs.front();
+    if (!crypto::Verify(ByteSpan(job.pub.data(), job.pub.size()), job.payload,
+                        ByteSpan(job.sig.data(), job.sig.size()))) {
+      LOG_ERROR << config_.node_id << " bad signature at " << job.seqno
+                << " from " << job.signer;
+      integrity_violation_ = true;
+      ++crypto_ops_.verify_failures;
+    }
+    return;
+  }
+
+  std::vector<crypto::BatchVerifyItem> items;
+  items.reserve(jobs.size());
+  for (const VerifyJob& job : jobs) {
+    items.push_back({ByteSpan(job.pub.data(), job.pub.size()), job.payload,
+                     ByteSpan(job.sig.data(), job.sig.size())});
+  }
+  std::vector<bool> ok;
+  bool all = crypto::VerifyBatch(items, &verify_drbg_, &ok);
+  ++crypto_ops_.verify_batches;
+  crypto_ops_.verifies_batched += jobs.size();
+  if (!all) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (ok[i]) continue;
+      LOG_ERROR << config_.node_id << " bad signature at " << jobs[i].seqno
+                << " from " << jobs[i].signer;
+      integrity_violation_ = true;
+      ++crypto_ops_.verify_failures;
+    }
+  }
+}
+
 void Node::OnCommit(uint64_t seqno) {
+  VerifyCommittedSignatures(seqno);
   Status s = store_.Compact(seqno);
   if (!s.ok()) {
     LOG_ERROR << config_.node_id << " compact: " << s.ToString();
@@ -738,22 +860,63 @@ void Node::EmitSignature() {
   sr.root = tree_.Root();
   sr.node_id = config_.node_id;
   sr.signature = node_key_.Sign(sr.SignedPayload());
+  ++crypto_ops_.signs;
+  CommitSignedRoot(sr);
+}
 
+void Node::CommitSignedRoot(const merkle::SignedRoot& sr) {
   kv::Tx tx = store_.BeginTx();
   tx.Handle(tables::kSignatures)
       ->PutStr(tables::kCurrentKey, HexEncode(sr.Serialize()));
   auto committed = CommitAndReplicate(&tx, ledger::EntryType::kSignature);
   if (committed.ok()) {
-    txs_since_signature_ = 0;
+    // Entries between the signed prefix boundary and the signature entry
+    // itself (possible only under worker_async, where appends continue
+    // while the sign is in flight) still await coverage by the next
+    // signature. In the synchronous modes this difference is zero.
+    txs_since_signature_ = committed->seqno - sr.seqno;
     last_signature_ms_ = now_ms_;
   }
 }
 
+void Node::SubmitDeferredSignature() {
+  // Capture the root and the seqno it reserves now; the Ed25519 sign runs
+  // on the worker pool and the commit lands at the drain point at the top
+  // of the next Tick. With worker_threads == 0 the sign still happens
+  // right here (WorkerPool sync mode), so this path is fully
+  // deterministic; only the commit moves to the drain point.
+  auto sr = std::make_shared<merkle::SignedRoot>();
+  sr->view = raft_->view();
+  sr->seqno = raft_->last_seqno() + 1;
+  sr->root = tree_.Root();
+  sr->node_id = config_.node_id;
+  sig_inflight_ = true;
+  ++crypto_ops_.signs;
+  ++crypto_ops_.signs_deferred;
+  worker_pool_.Submit(
+      [this, sr] { sr->signature = node_key_.Sign(sr->SignedPayload()); },
+      [this, sr] {
+        sig_inflight_ = false;
+        // An unchanged view guarantees no rollback has touched the signed
+        // prefix since capture (a primary only rolls back across view
+        // changes). last_seqno may have advanced under worker_async; the
+        // signature then covers a prefix of the entry it lands in, which
+        // receipts and audit accept (merkle/receipt.h).
+        if (raft_ == nullptr || !raft_->IsPrimary() ||
+            raft_->view() != sr->view || raft_->last_seqno() + 1 < sr->seqno) {
+          return;  // stale; the cadence will trigger a fresh signature
+        }
+        CommitSignedRoot(*sr);
+      });
+}
+
 void Node::MaybeEmitSignature(uint64_t now_ms) {
-  if (!raft_->IsPrimary() || txs_since_signature_ == 0) return;
+  if (!raft_->IsPrimary() || txs_since_signature_ == 0 || sig_inflight_) {
+    return;
+  }
   if (txs_since_signature_ >= config_.signature_interval_txs ||
       now_ms - last_signature_ms_ >= config_.signature_interval_ms) {
-    EmitSignature();
+    SubmitDeferredSignature();
   }
 }
 

@@ -45,6 +45,7 @@
 #include "rpc/endpoints.h"
 #include "rpc/session.h"
 #include "sim/environment.h"
+#include "tee/worker_pool.h"
 
 namespace ccf::node {
 
@@ -90,6 +91,19 @@ class Node : public consensus::RaftCallbacks {
 
   consensus::RaftNode& raft() { return *raft_; }
   const consensus::RaftNode& raft() const { return *raft_; }
+
+  // Crypto op telemetry (also surfaced via GET /node/crypto_ops). Merkle
+  // hashing counters live in tree().stats().
+  struct CryptoOpCounters {
+    uint64_t signs = 0;            // signature transactions signed
+    uint64_t signs_deferred = 0;   // of which went through the worker pool
+    uint64_t verifies_single = 0;  // signature txs verified one-by-one
+    uint64_t verifies_batched = 0; // signature txs verified via VerifyBatch
+    uint64_t verify_batches = 0;   // VerifyBatch invocations
+    uint64_t verify_failures = 0;  // signatures that failed verification
+  };
+  const CryptoOpCounters& crypto_ops() const { return crypto_ops_; }
+  const tee::WorkerPool& worker_pool() const { return worker_pool_; }
   kv::Store& store() { return store_; }
   const kv::Store& store() const { return store_; }
   const merkle::MerkleTree& tree() const { return tree_; }
@@ -113,6 +127,8 @@ class Node : public consensus::RaftCallbacks {
   // --------------------------------------------------- RaftCallbacks
 
   void OnAppend(const consensus::LogEntry& entry) override;
+  void OnAppendBatch(
+      const std::vector<const consensus::LogEntry*>& entries) override;
   void OnRollback(uint64_t seqno) override;
   void OnCommit(uint64_t seqno) override;
   void OnRoleChange(consensus::Role role, uint64_t view) override;
@@ -176,10 +192,19 @@ class Node : public consensus::RaftCallbacks {
   // Commits `tx` and replicates the resulting entry. Returns the tx ID.
   Result<consensus::TxId> CommitAndReplicate(kv::Tx* tx,
                                              ledger::EntryType type);
+  // Inline sign-and-commit (genesis, role change). The cadence-driven path
+  // goes through SubmitDeferredSignature / the worker pool instead.
   void EmitSignature();
   void MaybeEmitSignature(uint64_t now_ms);
+  void SubmitDeferredSignature();
+  void CommitSignedRoot(const merkle::SignedRoot& sr);
+  // Runs worker-pool completions at the deterministic drain point (top of
+  // Tick). Blocking unless config_.worker_async.
+  void DrainWorkerCompletions();
+  // Batch-verifies queued remote signature transactions up to the new
+  // commit point.
+  void VerifyCommittedSignatures(uint64_t commit_seqno);
   void MaybeSnapshot();
-  void ApplyRemoteEntry(const consensus::LogEntry& entry);
   std::optional<consensus::Configuration> DetectReconfiguration(
       const kv::WriteSet& writes, uint64_t seqno);
   std::set<std::string> TrustedNodesInState() const;
@@ -279,6 +304,27 @@ class Node : public consensus::RaftCallbacks {
 
   bool retired_ = false;
   bool integrity_violation_ = false;  // backup saw a bad signature root
+
+  // Deferred signing state: true while a sign job is in flight between
+  // SubmitDeferredSignature and its completion at the drain point.
+  bool sig_inflight_ = false;
+
+  // Remote signature transactions awaiting Ed25519 verification, queued at
+  // append and batch-verified at the commit boundary (in-order by seqno).
+  struct PendingSigVerify {
+    uint64_t seqno = 0;  // ledger seqno of the signature transaction
+    merkle::SignedRoot sr;
+  };
+  std::deque<PendingSigVerify> pending_sig_verifies_;
+  // Combiner-scalar DRBG for VerifyBatch; seeded from the node id so
+  // deterministic runs replay identical combiners.
+  crypto::Drbg verify_drbg_;
+
+  CryptoOpCounters crypto_ops_;
+
+  // Declared last so it is destroyed first: in-flight jobs may touch other
+  // members, which must still be alive while the destructor joins.
+  tee::WorkerPool worker_pool_;
 };
 
 }  // namespace ccf::node

@@ -491,6 +491,30 @@ void Node::InstallFrameworkEndpoints() {
        },
        AuthPolicy::kNoAuth, /*read_only=*/true});
 
+  // Crypto op telemetry (operator view of the offload/batch pipeline).
+  registry_.Install(
+      "GET", "/node/crypto_ops",
+      {[this](EndpointContext* ctx) {
+         const merkle::MerkleTree::Stats& ts = tree_.stats();
+         json::Object out;
+         out["merkle_leaf_hashes"] = ts.leaf_hashes;
+         out["merkle_interior_hashes"] = ts.interior_hashes;
+         out["merkle_batched_leaves"] = ts.batched_leaves;
+         out["merkle_x4_groups"] = ts.x4_groups;
+         out["signs"] = crypto_ops_.signs;
+         out["signs_deferred"] = crypto_ops_.signs_deferred;
+         out["verifies_single"] = crypto_ops_.verifies_single;
+         out["verifies_batched"] = crypto_ops_.verifies_batched;
+         out["verify_batches"] = crypto_ops_.verify_batches;
+         out["verify_failures"] = crypto_ops_.verify_failures;
+         out["worker_threads"] = static_cast<uint64_t>(
+             worker_pool_.worker_count());
+         out["worker_jobs_submitted"] = worker_pool_.submitted();
+         out["worker_jobs_drained"] = worker_pool_.drained();
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
   registry_.Install(
       "GET", "/node/network",
       {[this](EndpointContext* ctx) {
@@ -641,9 +665,13 @@ Result<merkle::Receipt> Node::BuildReceipt(uint64_t seqno) {
   if (seqno > tx_digests_.size()) {
     return Status::NotFound("no digest recorded for seqno");
   }
-  // Find the first committed signature transaction after seqno.
+  // Find the first committed signature transaction whose signed root
+  // covers seqno. Under worker_async the signature entry at key `first`
+  // may carry a root over a shorter prefix (sr.seqno <= first), so the
+  // value's boundary is what must clear seqno.
   auto it = signed_roots_.upper_bound(seqno);
-  while (it != signed_roots_.end() && it->first > raft_->commit_seqno()) {
+  while (it != signed_roots_.end() &&
+         (it->first > raft_->commit_seqno() || it->second.seqno <= seqno)) {
     ++it;
   }
   if (it == signed_roots_.end()) {
@@ -870,14 +898,16 @@ Status Node::InstallJoinResponse(const json::Value& body) {
     return Status::InvalidArgument("join: bad tree leaves");
   }
   tx_digests_.clear();
+  tx_digests_.resize(snap.seqno);  // digests for old entries are unknown
+  std::vector<merkle::Digest> leaves(snap.seqno);
   for (uint64_t i = 0; i < snap.seqno; ++i) {
-    merkle::Digest d;
     std::copy(leaves_flat.begin() + i * crypto::kSha256DigestSize,
               leaves_flat.begin() + (i + 1) * crypto::kSha256DigestSize,
-              d.begin());
-    tree_.AppendLeafHash(d);
-    tx_digests_.push_back({});  // digests for old entries are unknown
+              leaves[i].begin());
   }
+  // Bulk-install the historical leaves; interior nodes go through the
+  // 4-way hashing kernel.
+  tree_.AppendLeafHashes(leaves);
 
   std::vector<consensus::Configuration> configs;
   const json::Value* config_json = body.Get("configurations");
@@ -926,17 +956,27 @@ void Node::InitRecovery(ledger::Ledger restored) {
   // Replay the public parts of the restored ledger (paper §5.2: "the
   // public parts of transactions are restored").
   host_ledger_ = std::move(restored);
+  std::vector<Bytes> leaf_contents;
+  leaf_contents.reserve(host_ledger_.entries().size());
   for (const ledger::Entry& entry : host_ledger_.entries()) {
     auto ws = kv::WriteSet::Parse(entry.public_ws, {});
     if (ws.ok()) {
       Status applied = store_.ApplyWriteSet(*ws, entry.seqno);
       if (!applied.ok()) {
         LOG_ERROR << "recovery replay failed at " << entry.seqno;
+        tree_.AppendBatch(leaf_contents);  // keep the applied prefix's tree
         return;
       }
     }
-    AppendLeafFor(entry);
+    TxDigests digests;
+    digests.write_set = entry.WriteSetDigest();
+    digests.claims = entry.claims_digest;
+    tx_digests_.push_back(digests);
+    leaf_contents.push_back(merkle::TransactionLeafContent(
+        entry.view, entry.seqno, digests.write_set, digests.claims));
   }
+  // Rebuild the whole tree in one batched pass (4-way SHA-256 kernel).
+  tree_.AppendBatch(leaf_contents);
   uint64_t base = host_ledger_.last_seqno();
   uint64_t base_view = base > 0 ? host_ledger_.entries().back().view : 0;
   // The recovered service is committed up to the restored ledger end.

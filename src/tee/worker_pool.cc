@@ -1,0 +1,84 @@
+#include "tee/worker_pool.h"
+
+namespace ccf::tee {
+
+WorkerPool::WorkerPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Unstarted jobs are abandoned: workers exit without popping them, and
+    // their completions never run. An orderly shutdown drains first.
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task->job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task->finished = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::Submit(Job job, Job completion) {
+  auto task = std::make_shared<Task>();
+  task->completion = std::move(completion);
+  ++submitted_;
+  if (threads_.empty()) {
+    // Synchronous mode: the job runs right here at the submission point;
+    // only the completion waits for the drain.
+    job();
+    task->finished = true;
+    pending_.push_back(std::move(task));
+    return;
+  }
+  task->job = std::move(job);
+  pending_.push_back(task);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+size_t WorkerPool::Drain(bool wait_all) {
+  size_t ran = 0;
+  while (!pending_.empty()) {
+    std::shared_ptr<Task> task = pending_.front();
+    if (!threads_.empty()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (wait_all) {
+        done_cv_.wait(lock, [&task] { return task->finished; });
+      } else if (!task->finished) {
+        break;  // preserve submission order: stop at first unfinished job
+      }
+    }
+    pending_.pop_front();
+    ++drained_;
+    ++ran;
+    task->completion();
+  }
+  return ran;
+}
+
+}  // namespace ccf::tee

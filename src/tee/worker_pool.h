@@ -1,0 +1,91 @@
+// Enclave worker-thread pool for deferred crypto (paper §7: dedicated
+// enclave threads keep signing and verification off the message-handling
+// hot path, flattening the Figure 8 signature-interval latency spike).
+//
+// Determinism contract (see DESIGN.md):
+//   - Jobs are submitted with a completion callback. Completions NEVER run
+//     at submission; they run only inside Drain(), which the node calls at
+//     one fixed point (the top of Node::Tick), in submission order.
+//   - worker_count == 0: the job body executes synchronously inside
+//     Submit(); only the completion is deferred to the drain point. No
+//     threads exist, so the simulation stays bit-for-bit reproducible.
+//   - worker_count > 0: job bodies execute on real threads. A blocking
+//     drain (wait_all=true) waits for every submitted job, so the sequence
+//     of {drain point, completions run} is identical to worker_count == 0
+//     -- same virtual-time behavior, wall-clock work overlapped.
+//   - A non-blocking drain (wait_all=false) runs only the finished prefix
+//     of completions (still submission order, stopping at the first
+//     unfinished job). Maximum overlap, wall-clock-dependent placement; the
+//     node only uses it when NodeConfig::worker_async is set.
+//
+// Threading model: Submit() and Drain() are called from one thread (the
+// enclave message loop); only the job bodies run elsewhere.
+
+#ifndef CCF_TEE_WORKER_POOL_H_
+#define CCF_TEE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccf::tee {
+
+class WorkerPool {
+ public:
+  using Job = std::function<void()>;
+
+  explicit WorkerPool(size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues `job` for execution (inline if workers == 0) and `completion`
+  // for the next Drain().
+  void Submit(Job job, Job completion);
+
+  // Runs completions in submission order. wait_all=true blocks until every
+  // submitted job has finished; wait_all=false runs only the completions
+  // whose jobs already finished, stopping at the first unfinished one.
+  // Returns the number of completions run.
+  size_t Drain(bool wait_all = true);
+
+  // True if any submitted job has not yet been drained.
+  bool HasPending() const { return !pending_.empty(); }
+
+  size_t worker_count() const { return threads_.size(); }
+  uint64_t submitted() const { return submitted_; }
+  uint64_t drained() const { return drained_; }
+
+ private:
+  struct Task {
+    Job job;
+    Job completion;
+    bool finished = false;  // guarded by mu_
+  };
+
+  void WorkerMain();
+
+  // Producer-side view of in-flight tasks, in submission order. Touched
+  // only by the submitting thread.
+  std::deque<std::shared_ptr<Task>> pending_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for queue_ / stop_
+  std::condition_variable done_cv_;  // Drain waits for finished flags
+  std::deque<std::shared_ptr<Task>> queue_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+
+  std::vector<std::thread> threads_;
+  uint64_t submitted_ = 0;
+  uint64_t drained_ = 0;
+};
+
+}  // namespace ccf::tee
+
+#endif  // CCF_TEE_WORKER_POOL_H_

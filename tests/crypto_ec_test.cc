@@ -178,6 +178,41 @@ TEST(Ec25519, ScalarMultDistributes) {
   EXPECT_TRUE(ec::IsIdentity(ec::ScalarMultBase(zero)));
 }
 
+// The Straus multi-scalar engine behind VerifyBatch must agree with the
+// naive sum of individual scalar multiplications for every batch size.
+TEST(Ec25519, MultiScalarMultMatchesNaiveSum) {
+  Drbg drbg("msm-test", 0);
+  for (size_t n = 0; n <= 8; ++n) {
+    std::vector<ec::Scalar> scalars;
+    std::vector<ec::Point> points;
+    for (size_t i = 0; i < n; ++i) {
+      scalars.push_back(ec::ScalarReduce(drbg.Generate(64)));
+      ec::Scalar p = ec::ScalarReduce(drbg.Generate(64));
+      points.push_back(ec::ScalarMultBase(p));
+    }
+    ec::Point naive = ec::Identity();
+    for (size_t i = 0; i < n; ++i) {
+      naive = ec::Add(naive, ec::ScalarMult(scalars[i], points[i]));
+    }
+    EXPECT_TRUE(ec::PointEqual(ec::MultiScalarMult(scalars, points), naive))
+        << "n=" << n;
+  }
+}
+
+TEST(Ec25519, MultiScalarMultEdgeScalars) {
+  // Zero scalars contribute nothing; a scalar of 1 contributes the point.
+  ec::Scalar zero{};
+  ec::Scalar one{};
+  one[0] = 1;
+  ec::Scalar k = ec::ScalarReduce(ToBytes("some-scalar-seed................"));
+  ec::Point p = ec::ScalarMultBase(k);
+  std::vector<ec::Scalar> scalars = {zero, one};
+  std::vector<ec::Point> points = {ec::BasePoint(), p};
+  EXPECT_TRUE(ec::PointEqual(ec::MultiScalarMult(scalars, points), p));
+  std::vector<ec::Scalar> zeros = {zero, zero};
+  EXPECT_TRUE(ec::IsIdentity(ec::MultiScalarMult(zeros, points)));
+}
+
 TEST(Ec25519, EncodeDecodeRoundTrip) {
   Drbg drbg("pt-encode", 0);
   for (int i = 0; i < 10; ++i) {

@@ -74,6 +74,59 @@ TEST(Sha256, PaddingBoundaries) {
   }
 }
 
+// The 4-way interleaved kernel must agree with four independent scalar
+// hashes for every length, in particular around the padding boundaries
+// (55/56/64) where the shared tail layout changes.
+TEST(Sha256x4, MatchesScalarForAllLengths) {
+  Drbg drbg("sha256x4-test", 0);
+  for (size_t len = 0; len <= 300; ++len) {
+    Bytes msgs[4];
+    const uint8_t* ptrs[4];
+    for (int i = 0; i < 4; ++i) {
+      msgs[i] = drbg.Generate(len);
+      ptrs[i] = msgs[i].data();
+    }
+    Sha256Digest out[4];
+    Sha256x4(ptrs, len, out);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(out[i], Sha256::Hash(msgs[i])) << "len=" << len
+                                               << " lane=" << i;
+    }
+  }
+}
+
+TEST(Sha256x4, LanesAreIndependent) {
+  // Identical inputs in every lane produce identical digests; changing one
+  // lane changes only that lane.
+  Bytes base = ToBytes(std::string(100, 'a'));
+  Bytes other = base;
+  other[50] ^= 1;
+  const uint8_t* ptrs[4] = {base.data(), base.data(), other.data(),
+                            base.data()};
+  Sha256Digest out[4];
+  Sha256x4(ptrs, base.size(), out);
+  EXPECT_EQ(out[0], out[1]);
+  EXPECT_EQ(out[1], out[3]);
+  EXPECT_NE(out[0], out[2]);
+  EXPECT_EQ(out[2], Sha256::Hash(other));
+}
+
+// The whole-block fast path in Update (multi-block compression straight
+// from the caller's span, no staging copy) must be invisible: feeding any
+// chunking of a long message gives the one-shot digest.
+TEST(Sha256, MultiBlockUpdateMatchesChunked) {
+  Drbg drbg("multiblock-test", 0);
+  Bytes msg = drbg.Generate(4096 + 13);
+  Sha256Digest expect = Sha256::Hash(msg);
+  for (size_t chunk : {1u, 63u, 64u, 65u, 128u, 1000u, 4096u}) {
+    Sha256 h;
+    for (size_t off = 0; off < msg.size(); off += chunk) {
+      h.Update(ByteSpan(msg).subspan(off, std::min(chunk, msg.size() - off)));
+    }
+    EXPECT_EQ(h.Finish(), expect) << "chunk=" << chunk;
+  }
+}
+
 // SHA-512 constants are derived at runtime; validate the derivation against
 // published FIPS 180-4 values.
 TEST(Sha512, DerivedConstants) {

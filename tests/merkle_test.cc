@@ -162,6 +162,136 @@ TEST(Merkle, TruncateToZero) {
   EXPECT_EQ(t.Root(), LeafHash(Leaf(0)));
 }
 
+// ----------------------------------------------------------- AppendBatch
+//
+// The batched appender (4-way SHA-256 kernel) must be observationally
+// identical to repeated Append: same roots, same historical roots, same
+// proofs, same behaviour under truncation.
+
+Bytes FixedLeaf(int i) {
+  // Equal lengths so batches go through the interleaved kernel.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "transaction-leaf-%08d", i);
+  return ToBytes(std::string(buf));
+}
+
+TEST(Merkle, AppendBatchMatchesSerialForAllSizes) {
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 64u, 130u}) {
+    std::vector<Bytes> leaves;
+    for (size_t i = 0; i < n; ++i) leaves.push_back(FixedLeaf(i));
+    MerkleTree batched, serial;
+    batched.AppendBatch(leaves);
+    for (const Bytes& l : leaves) serial.Append(l);
+    ASSERT_EQ(batched.size(), serial.size()) << "n=" << n;
+    ASSERT_EQ(batched.Root(), serial.Root()) << "n=" << n;
+    if (n >= 4) {
+      EXPECT_GT(batched.stats().x4_groups, 0u) << "n=" << n;
+    }
+  }
+}
+
+TEST(Merkle, AppendBatchUnequalLengthsFallBack) {
+  // Mixed-length leaves cannot share the interleaved kernel's common tail;
+  // the batch must still produce the serial tree.
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 23; ++i) leaves.push_back(Leaf(i));  // "tx-0".."tx-22"
+  MerkleTree batched, serial;
+  batched.AppendBatch(leaves);
+  for (const Bytes& l : leaves) serial.Append(l);
+  EXPECT_EQ(batched.Root(), serial.Root());
+}
+
+TEST(Merkle, AppendBatchRandomInterleavings) {
+  // Random mix of single appends and batches of random size; roots and
+  // all historical roots must match a purely serial twin.
+  crypto::Drbg drbg("merkle-batch-prop", 0);
+  MerkleTree batched, serial;
+  int next = 0;
+  while (next < 400) {
+    size_t n = drbg.Uniform(17);  // 0..16
+    if (n == 0) {
+      batched.Append(FixedLeaf(next));
+      serial.Append(FixedLeaf(next));
+      ++next;
+      continue;
+    }
+    std::vector<Bytes> leaves;
+    for (size_t i = 0; i < n; ++i) leaves.push_back(FixedLeaf(next + i));
+    batched.AppendBatch(leaves);
+    for (const Bytes& l : leaves) serial.Append(l);
+    next += n;
+  }
+  ASSERT_EQ(batched.size(), serial.size());
+  EXPECT_EQ(batched.Root(), serial.Root());
+  for (uint64_t s = 1; s <= batched.size(); s += 13) {
+    EXPECT_EQ(batched.RootAt(s - 1).value(), serial.RootAt(s - 1).value())
+        << "prefix=" << s;
+  }
+}
+
+TEST(Merkle, AppendBatchProofsVerify) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 37; ++i) leaves.push_back(FixedLeaf(i));
+  MerkleTree t;
+  t.AppendBatch(leaves);
+  Digest root = t.Root();
+  for (uint64_t i = 0; i < t.size(); ++i) {
+    auto proof = t.GetProof(i, t.size());
+    ASSERT_TRUE(proof.ok()) << i;
+    EXPECT_EQ(ComputeRootFromProof(LeafHash(leaves[i]), *proof), root) << i;
+  }
+}
+
+TEST(Merkle, AppendBatchThenTruncate) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 50; ++i) leaves.push_back(FixedLeaf(i));
+  MerkleTree batched, serial;
+  batched.AppendBatch(leaves);
+  for (const Bytes& l : leaves) serial.Append(l);
+  batched.Truncate(29);
+  serial.Truncate(29);
+  ASSERT_EQ(batched.size(), 29u);
+  EXPECT_EQ(batched.Root(), serial.Root());
+  // Growth after truncation stays aligned, batched or not.
+  std::vector<Bytes> more;
+  for (int i = 100; i < 111; ++i) more.push_back(FixedLeaf(i));
+  batched.AppendBatch(more);
+  for (const Bytes& l : more) serial.Append(l);
+  EXPECT_EQ(batched.Root(), serial.Root());
+}
+
+TEST(Merkle, AppendLeafHashesMatchesAppend) {
+  // The digest-level entry point (joiner catch-up installs leaf hashes
+  // directly) must agree with content-level appends.
+  std::vector<Bytes> leaves;
+  std::vector<Digest> hashes;
+  for (int i = 0; i < 41; ++i) {
+    leaves.push_back(FixedLeaf(i));
+    hashes.push_back(LeafHash(leaves.back()));
+  }
+  MerkleTree from_hashes, from_content;
+  from_hashes.AppendLeafHashes(hashes);
+  for (const Bytes& l : leaves) from_content.Append(l);
+  ASSERT_EQ(from_hashes.size(), from_content.size());
+  EXPECT_EQ(from_hashes.Root(), from_content.Root());
+  for (uint64_t i = 0; i < from_hashes.size(); i += 7) {
+    EXPECT_EQ(from_hashes.GetProof(i, 41).value().Serialize(),
+              from_content.GetProof(i, 41).value().Serialize());
+  }
+}
+
+TEST(Merkle, BatchStatsCount) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 16; ++i) leaves.push_back(FixedLeaf(i));
+  MerkleTree t;
+  t.AppendBatch(leaves);
+  const MerkleTree::Stats& s = t.stats();
+  EXPECT_EQ(s.batched_leaves, 16u);
+  EXPECT_EQ(s.leaf_hashes, 16u);
+  EXPECT_GE(s.x4_groups, 4u);  // 4 leaf groups, plus interior groups
+  EXPECT_EQ(s.interior_hashes, 15u);  // a full binary tree over 16 leaves
+}
+
 TEST(Merkle, PaperFigure3Example) {
   // Figure 3: the Merkle proof for transaction 1.7 in a ledger where the
   // proof is [(right, d8), (left, d56), (left, d1234), (right, d910)].

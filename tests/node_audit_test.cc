@@ -138,6 +138,53 @@ TEST(LedgerAudit, RollbackToSignedPrefixIsUndetectable) {
   EXPECT_LT(report->entries, full->entries);
 }
 
+TEST(LedgerAudit, BatchedReplayMatchesSerial) {
+  // The batched audit path (MerkleTree::AppendBatch + crypto::VerifyBatch)
+  // must accept exactly what the serial baseline accepts and produce the
+  // same report, only faster.
+  auto [ledger, service] = BuildAuditedLedger();
+  node::AuditOptions serial;
+  serial.batch = false;
+  node::AuditOptions batched;
+  batched.batch = true;
+  batched.verify_batch_width = 4;  // force several flushes on a small ledger
+
+  auto a = node::AuditLedger(ledger, service, serial);
+  auto b = node::AuditLedger(ledger, service, batched);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->entries, b->entries);
+  EXPECT_EQ(a->signature_transactions, b->signature_transactions);
+  EXPECT_EQ(a->verified_seqno, b->verified_seqno);
+  EXPECT_EQ(a->governance_entries, b->governance_entries);
+  EXPECT_EQ(a->service_identity_hex, b->service_identity_hex);
+  // The batch kernels actually engaged (and only in batch mode).
+  EXPECT_EQ(a->batched_verifications, 0u);
+  EXPECT_GT(b->batched_verifications, 0u);
+}
+
+TEST(LedgerAudit, BatchedReplayDetectsTampering) {
+  // Forged signatures must not slip through the batched path: the
+  // VerifyBatch failure falls back to per-signature checks and the audit
+  // still rejects.
+  auto [ledger, service] = BuildAuditedLedger();
+  ledger::Ledger tampered;
+  bool forged = false;
+  for (const ledger::Entry& e : ledger.entries()) {
+    ledger::Entry copy = e;
+    if (!forged && e.type == ledger::EntryType::kSignature) {
+      copy.public_ws[copy.public_ws.size() - 3] ^= 0x01;
+      forged = true;
+    }
+    ASSERT_TRUE(tampered.Append(std::move(copy)).ok());
+  }
+  ASSERT_TRUE(forged);
+  node::AuditOptions batched;
+  batched.batch = true;
+  batched.verify_batch_width = 4;
+  EXPECT_FALSE(node::AuditLedger(tampered, service, batched).ok());
+}
+
 TEST(LedgerAudit, SurvivesSaveLoadRoundTrip) {
   auto [ledger, service] = BuildAuditedLedger();
   std::string dir = std::filesystem::temp_directory_path() /

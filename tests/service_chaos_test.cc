@@ -14,11 +14,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/hex.h"
 #include "ledger/ledger.h"
+#include "merkle/receipt.h"
+#include "node/audit.h"
 #include "tests/service_harness.h"
 
 namespace ccf::testing {
@@ -30,6 +34,9 @@ struct ChaosOutcome {
   std::string failure;   // empty = invariants held and the service converged
   std::string schedule;  // human-readable, replayable fault schedule
   std::string trace;     // per-round state fingerprint (determinism checks)
+  // Post-convergence per-node digest (commit seqno, Merkle root, committed
+  // KV state) -- compared across worker_threads settings.
+  std::string final_state;
 };
 
 void HealEverything(ServiceHarness* h) {
@@ -61,7 +68,7 @@ bool Quiesced(ServiceHarness* h) {
   return last > 0;
 }
 
-ChaosOutcome RunServiceChaos(uint64_t seed) {
+ChaosOutcome RunServiceChaos(uint64_t seed, uint64_t worker_threads = 0) {
   ChaosOutcome out;
   std::ostringstream schedule;
   std::ostringstream trace;
@@ -69,6 +76,13 @@ ChaosOutcome RunServiceChaos(uint64_t seed) {
   sim::EnvOptions opts;
   opts.seed = seed;
   ServiceHarness h(opts);
+  // Blocking offload (worker_async=false) must be indistinguishable from
+  // the sync baseline in virtual time: everything below -- the trace, the
+  // fault schedule and the final state digests -- is asserted identical
+  // across worker_threads settings by WorkerThreadsPreserveDeterminism.
+  h.SetConfigTweak([worker_threads](node::NodeConfig* cfg) {
+    cfg->worker_threads = worker_threads;
+  });
   h.AddUser("alice");
   node::Node* n0 = h.StartGenesis();
   if (n0 == nullptr) {
@@ -219,7 +233,14 @@ ChaosOutcome RunServiceChaos(uint64_t seed) {
   if (!checker.ok()) {
     out.failure =
         "invariant violation during convergence:\n" + checker.Report();
+    return out;
   }
+  std::ostringstream fs;
+  for (const std::string& id : kNodeIds) {
+    fs << id << "=" << HexEncode(ServiceHarness::StateDigest(h.node(id)))
+       << "\n";
+  }
+  out.final_state = fs.str();
   return out;
 }
 
@@ -246,6 +267,93 @@ TEST(ServiceChaosDeterminism, SameSeedSameTrace) {
   EXPECT_EQ(a.schedule, b.schedule);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.final_state, b.final_state);
+}
+
+// The worker-pool determinism contract (DESIGN.md): with worker_async off,
+// worker_threads=N behaves bit-identically to worker_threads=0 -- real
+// threads do the signing, but completions land at the same drain point in
+// virtual time. Same chaos seed => same fault schedule, same per-round
+// trace, same committed KV state and ledger digests on every node.
+TEST(ServiceChaosDeterminism, WorkerThreadsPreserveDeterminism) {
+  for (uint64_t seed : {3u, 11u}) {
+    ChaosOutcome sync = RunServiceChaos(seed, /*worker_threads=*/0);
+    ChaosOutcome offload = RunServiceChaos(seed, /*worker_threads=*/4);
+    ASSERT_EQ(sync.failure, offload.failure) << "seed " << seed;
+    EXPECT_EQ(sync.schedule, offload.schedule) << "seed " << seed;
+    EXPECT_EQ(sync.trace, offload.trace) << "seed " << seed;
+    EXPECT_EQ(sync.final_state, offload.final_state) << "seed " << seed;
+    ASSERT_FALSE(sync.final_state.empty()) << "seed " << seed;
+
+    // And the offloaded run itself replays bit-for-bit despite the real
+    // threads (completions are ordered by submission, not finish time).
+    ChaosOutcome again = RunServiceChaos(seed, /*worker_threads=*/4);
+    EXPECT_EQ(offload.trace, again.trace) << "seed " << seed;
+    EXPECT_EQ(offload.final_state, again.final_state) << "seed " << seed;
+  }
+}
+
+// worker_async=true gives up virtual-time determinism (completions drain
+// as they finish) but must never give up correctness: writes commit,
+// receipts verify offline, nodes converge and the ledger audits clean.
+TEST(ServiceChaosOffload, AsyncModeStaysCorrect) {
+  ServiceHarness h;
+  h.SetConfigTweak([](node::NodeConfig* cfg) {
+    cfg->worker_threads = 2;
+    cfg->worker_async = true;
+  });
+  h.AddUser("alice");
+  ASSERT_NE(h.StartGenesis(), nullptr);
+  ASSERT_NE(h.JoinAndTrust("n1"), nullptr);
+  ASSERT_NE(h.JoinAndTrust("n2"), nullptr);
+  sim::InvariantChecker& checker = h.EnableInvariantChecker();
+
+  node::Client* c = h.UserClient("alice");
+  std::optional<std::pair<uint64_t, uint64_t>> txid;
+  for (int i = 0; i < 20; ++i) {
+    json::Object msg;
+    msg["id"] = i;
+    msg["msg"] = "async-" + std::to_string(i);
+    auto w = c->PostJson("/app/log", json::Value(std::move(msg)), 5000);
+    ASSERT_TRUE(w.ok());
+    ASSERT_EQ(w->status, 200);
+    if (i == 10) txid = node::Client::TxIdOf(*w);
+  }
+  ASSERT_TRUE(txid.has_value());
+  ASSERT_TRUE(h.env().RunUntil([&] { return Quiesced(&h); }, 8000));
+
+  // The deferred signing path actually engaged on the primary.
+  node::Node* p = h.Primary();
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->crypto_ops().signs_deferred, 0u);
+
+  // A receipt for a mid-stream write verifies offline.
+  Result<http::Response> rr = Status::Unavailable("none");
+  ASSERT_TRUE(h.env().RunUntil(
+      [&] {
+        rr = c->Get("/node/receipt?seqno=" + std::to_string(txid->second));
+        return rr.ok() && rr->status == 200;
+      },
+      5000));
+  auto body = json::Parse(ToString(rr->body));
+  ASSERT_TRUE(body.ok());
+  auto receipt_bytes = HexDecode(body->GetString("receipt"));
+  ASSERT_TRUE(receipt_bytes.ok());
+  auto receipt = merkle::Receipt::Deserialize(*receipt_bytes);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->Verify(p->service_identity()).ok());
+
+  // Nodes converged to identical committed state...
+  std::string why;
+  EXPECT_TRUE(
+      checker.CheckConverged([](const std::string&) { return true; }, &why))
+      << why;
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+
+  // ...and the whole ledger audits clean against the service identity.
+  auto report = node::AuditLedger(p->host_ledger(), p->service_identity());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->signature_transactions, 0u);
 }
 
 // The acceptance scenario: a node crashes losing all volatile state, is

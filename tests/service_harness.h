@@ -147,12 +147,24 @@ class ServiceHarness {
     auto outcome = RunProposal("transition_node_to_trusted",
                                json::Value(std::move(args)), timeout_ms);
     if (!outcome) return false;
-    // Wait until the node participates (its reconfiguration committed).
+    // Wait until the node participates and its reconfiguration has
+    // committed everywhere: each live node prunes to a single active
+    // configuration containing the joiner. Stopping at mere append would
+    // leave the old configuration active, and a primary failure in that
+    // window stalls elections on the old quorum (inherent to
+    // reconfiguration, paper §4.4) -- not what these tests exercise.
     return env_.RunUntil(
         [&] {
           node::Node* n = node(id);
-          return n != nullptr && n->has_joined() &&
-                 n->raft().InActiveConfig();
+          if (n == nullptr || !n->has_joined()) return false;
+          for (auto& [nid, peer] : nodes_) {
+            if (!env_.IsUp(nid) || peer->retired()) continue;
+            const auto& configs = peer->raft().active_configs();
+            if (configs.size() != 1 || configs.front().nodes.count(id) == 0) {
+              return false;
+            }
+          }
+          return true;
         },
         timeout_ms);
   }
