@@ -33,8 +33,10 @@ int64_t ReadBalance(kv::MapHandle* accounts, const std::string& id) {
 
 // Indexing strategy: per account, the list of transaction seqnos that
 // touched it (the paper's get_statement example).
-class AccountActivityIndex : public node::IndexingStrategy {
+class AccountActivityIndex : public indexing::Strategy {
  public:
+  const char* name() const override { return "AccountActivityIndex"; }
+
   void OnCommittedEntry(uint64_t view, uint64_t seqno,
                         const kv::WriteSet& writes) override {
     (void)view;
@@ -59,7 +61,9 @@ class BankingApp : public node::Application {
   explicit BankingApp(std::shared_ptr<AccountActivityIndex> index)
       : index_(std::move(index)) {}
 
-  void RegisterEndpoints(rpc::EndpointRegistry* registry) override {
+  void RegisterEndpoints(rpc::EndpointRegistry* registry,
+                         const node::NodeContext& node) override {
+    (void)node;
     using rpc::AuthPolicy;
     using rpc::EndpointContext;
 
@@ -166,7 +170,7 @@ class BankingApp : public node::Application {
     registry->Install(
         "GET", "/app/balance",
         {[](EndpointContext* ctx) {
-           std::string id = ctx->request().GetHeader("x-query-account");
+           std::string id = ctx->Param("account");
            int64_t balance =
                ReadBalance(ctx->tx().Handle(kAccountsMap), id);
            if (balance < 0) {
@@ -190,9 +194,8 @@ class BankingApp : public node::Application {
              ctx->SetError(403, "audit is restricted to the regulator");
              return;
            }
-           int64_t threshold = std::strtoll(
-               ctx->request().GetHeader("x-query-threshold").c_str(),
-               nullptr, 10);
+           int64_t threshold =
+               static_cast<int64_t>(ctx->ParamU64("threshold"));
            kv::MapHandle* accounts = ctx->tx().Handle(kAccountsMap);
            kv::MapHandle* owners = ctx->tx().Handle(kOwnersMap);
            json::Array holders;
@@ -215,7 +218,7 @@ class BankingApp : public node::Application {
     registry->Install(
         "GET", "/app/statement",
         {[index](EndpointContext* ctx) {
-           std::string id = ctx->request().GetHeader("x-query-account");
+           std::string id = ctx->Param("account");
            json::Array seqnos;
            for (uint64_t s : index->Activity(id)) {
              seqnos.emplace_back(static_cast<int64_t>(s));

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_signatures.json files (bench_fig8_signatures output).
+"""Compare two benchmark JSON files from the same bench binary.
+
+Understands BENCH_signatures.json (bench_fig8_signatures) and
+BENCH_historical.json (bench_historical); the format is detected from the
+file contents.
 
 Usage:
     scripts/bench_diff.py OLD.json NEW.json [--threshold PCT]
 
-Prints per-metric deltas for the latency sweep, throughput table, and audit
-replay, flagging regressions beyond the threshold (default 10%). Exit code
-is 1 when any flagged metric regressed, so it can gate CI.
+Prints per-metric deltas, flagging regressions beyond the threshold
+(default 10%). Exit code is 1 when any flagged metric regressed, so it can
+gate CI.
 
 Stdlib only.
 """
@@ -57,6 +61,32 @@ def main():
     if old.get("smoke") != new.get("smoke"):
         print("WARNING: comparing a smoke run against a full run; "
               "deltas are not meaningful as absolutes")
+
+    # BENCH_historical.json (bench_historical): flat sections of scalars.
+    if "cold" in old or "cold" in new:
+        print(f"{'historical queries':<46} {'old':>12} {'new':>12}")
+        sections = (
+            ("cold", (("wall_ms", True), ("verify_per_s", False),
+                      ("fetch_round_trips", True))),
+            ("warm", (("wall_ms", True), ("speedup_vs_cold", False))),
+            ("churn", (("wall_ms", True), ("fetches", True),
+                       ("evictions", True))),
+        )
+        for section, metrics in sections:
+            old_s, new_s = old.get(section, {}), new.get(section, {})
+            for metric, lower_is_better in metrics:
+                if metric not in old_s or metric not in new_s:
+                    continue
+                check(f"{section} {metric}", old_s[metric], new_s[metric],
+                      lower_is_better)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0f}%:")
+            for r in regressions:
+                print(f"  - {r}")
+            return 1
+        print("\nno regressions beyond threshold")
+        return 0
 
     print(f"{'latency (us; lower is better)':<46} {'old':>12} {'new':>12}")
     old_lat = {key_of(r): r for r in old.get("latency", [])}

@@ -8,6 +8,74 @@ namespace ccf::http {
 
 namespace {
 
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      int hi = HexNibble(s[i + 1]);
+      int lo = HexNibble(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+ParsedTarget ParseTarget(const std::string& raw_target) {
+  ParsedTarget out;
+  size_t q = raw_target.find('?');
+  if (q == std::string::npos) {
+    out.path = raw_target;
+    return out;
+  }
+  out.path = raw_target.substr(0, q);
+  std::string_view rest(raw_target);
+  rest.remove_prefix(q + 1);
+  while (!rest.empty()) {
+    size_t amp = rest.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      std::string key = UrlDecode(eq == std::string_view::npos
+                                      ? pair
+                                      : pair.substr(0, eq));
+      std::string value =
+          eq == std::string_view::npos ? "" : UrlDecode(pair.substr(eq + 1));
+      if (!key.empty()) out.params.emplace(std::move(key), std::move(value));
+    }
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return out;
+}
+
+std::string Request::QueryParam(const std::string& name) const {
+  auto params = ParseTarget(path).params;
+  auto it = params.find(name);
+  return it != params.end() ? it->second : "";
+}
+
+namespace {
+
 std::string ToLower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });

@@ -20,15 +20,35 @@ namespace ccf::http {
 // The response header carrying the transaction ID (paper §7).
 inline constexpr char kTxIdHeader[] = "x-ccf-tx-id";
 
+// Percent-decodes %XX escapes and '+' (as space) in a URL component.
+// Malformed escapes are kept verbatim.
+std::string UrlDecode(std::string_view s);
+
+// Splits a request target "/path?k=v&flag" into the path and the decoded
+// query parameters (duplicate keys keep the first value).
+struct ParsedTarget {
+  std::string path;
+  std::map<std::string, std::string> params;
+};
+ParsedTarget ParseTarget(const std::string& raw_target);
+
 struct Request {
   std::string method;  // GET, POST, ...
-  std::string path;    // /app/log, /gov/proposals, ...
+  std::string path;    // /app/log?id=1, /gov/proposals, ... (raw target)
   std::map<std::string, std::string> headers;  // lowercase names
   Bytes body;
 
   std::string GetHeader(const std::string& name) const {
     auto it = headers.find(name);
     return it != headers.end() ? it->second : "";
+  }
+
+  // Path with any ?query suffix removed (endpoint lookup key).
+  std::string PathOnly() const { return ParseTarget(path).path; }
+  // Decoded query-string parameter, "" when absent.
+  std::string QueryParam(const std::string& name) const;
+  std::map<std::string, std::string> QueryParams() const {
+    return ParseTarget(path).params;
   }
 
   Bytes Serialize() const;

@@ -6,25 +6,36 @@
 #ifndef CCF_NODE_APP_H_
 #define CCF_NODE_APP_H_
 
+#include <functional>
+
+#include "node/historical.h"
+#include "node/indexing.h"
 #include "rpc/endpoints.h"
 
 namespace ccf::node {
+
+// Framework services exposed to applications at registration time
+// (paper §3.4, §3.6): the historical state cache, the asynchronous
+// indexer, and seqno accessors for clamping queries to what is provable.
+struct NodeContext {
+  historical::StateCache* historical = nullptr;
+  indexing::Indexer* indexer = nullptr;
+  // Largest committed seqno a receipt can currently be built for (the
+  // committed prefix below the last committed signed root).
+  std::function<uint64_t()> receiptable_seqno;
+  std::function<uint64_t()> commit_seqno;
+  // The node's virtual clock (for StateCache::GetRange bookkeeping).
+  std::function<uint64_t()> now_ms;
+};
 
 class Application {
  public:
   virtual ~Application() = default;
   // Installs the application's endpoints (paths should start with /app/).
-  virtual void RegisterEndpoints(rpc::EndpointRegistry* registry) = 0;
-};
-
-// Indexing strategy (paper §3.4): the indexer pre-processes each committed
-// transaction in ledger order, maintaining app-defined lookup structures
-// for historical range queries.
-class IndexingStrategy {
- public:
-  virtual ~IndexingStrategy() = default;
-  virtual void OnCommittedEntry(uint64_t view, uint64_t seqno,
-                                const kv::WriteSet& writes) = 0;
+  // Called once per node; `node` stays valid for the node's lifetime, so
+  // handlers may capture it by value.
+  virtual void RegisterEndpoints(rpc::EndpointRegistry* registry,
+                                 const NodeContext& node) = 0;
 };
 
 }  // namespace ccf::node

@@ -13,6 +13,26 @@
 
 namespace ccf::node {
 
+// Historical-query subsystem knobs (node/historical.h). Defaults suit the
+// simulator's millisecond clock; tests shrink the cache to exercise
+// eviction and benchmarks raise max_range.
+struct HistoricalConfig {
+  // LRU bound on concurrently cached range requests.
+  size_t cache_max_requests = 8;
+  // A cached request untouched for this long is evicted.
+  uint64_t cache_ttl_ms = 10000;
+  // While a request is incomplete, re-issue the host fetch this often.
+  uint64_t retry_interval_ms = 20;
+  // A request still incomplete after this long fails with a timeout.
+  uint64_t fetch_timeout_ms = 1000;
+  // Advertised Retry-After while a fetch is in flight.
+  uint64_t retry_after_ms = 10;
+  // Maximum seqno span of one range request.
+  size_t max_range = 128;
+  // Indexer backpressure: committed entries fed per tick.
+  size_t index_entries_per_tick = 32;
+};
+
 struct NodeConfig {
   std::string node_id;
   tee::TeeMode tee_mode = tee::TeeMode::kVirtual;
@@ -47,6 +67,8 @@ struct NodeConfig {
   // wall-clock benchmarks; not bit-reproducible, so the deterministic
   // chaos suites leave it off.
   bool worker_async = false;
+  // Historical queries and asynchronous indexing (node/historical.h).
+  HistoricalConfig historical;
 };
 
 // Initial consortium passed to the genesis node (paper §5: "the

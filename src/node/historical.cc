@@ -1,0 +1,206 @@
+#include "node/historical.h"
+
+#include <algorithm>
+
+namespace ccf::node::historical {
+
+bool RangeRequest::Complete() const {
+  for (const auto& slot : entries) {
+    if (!slot.has_value()) return false;
+  }
+  return !entries.empty();
+}
+
+const VerifiedEntry* RangeRequest::EntryAt(uint64_t seqno) const {
+  if (seqno < lo || seqno > hi) return nullptr;
+  const auto& slot = entries[seqno - lo];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+Result<kv::Tx> RangeRequest::TxAt(uint64_t seqno) const {
+  if (state != RequestState::kReady || !store) {
+    return Status::FailedPrecondition("historical: range not ready");
+  }
+  if (seqno < lo || seqno > hi) {
+    return Status::OutOfRange("historical: seqno outside range");
+  }
+  return store->BeginTxAt(seqno);
+}
+
+StateCache::StateCache(const HistoricalConfig& config, FetchFn fetch,
+                       VerifyFn verify)
+    : config_(config), fetch_(std::move(fetch)), verify_(std::move(verify)) {}
+
+StateCache::Lookup StateCache::GetRange(uint64_t lo, uint64_t hi,
+                                        uint64_t now_ms) {
+  ++stats_.requests;
+  Lookup out;
+  if (lo == 0 || hi < lo) {
+    out.state = RequestState::kFailed;
+    out.error = "historical: invalid range";
+    return out;
+  }
+  if (hi - lo + 1 > config_.max_range) {
+    out.state = RequestState::kFailed;
+    out.error = "historical: range too large (max " +
+                std::to_string(config_.max_range) + ")";
+    return out;
+  }
+  auto it = requests_.find({lo, hi});
+  if (it != requests_.end()) {
+    RangeRequest& req = it->second;
+    req.last_access_ms = now_ms;
+    out.state = req.state;
+    switch (req.state) {
+      case RequestState::kReady:
+        ++stats_.hits;
+        out.request = &req;
+        return out;
+      case RequestState::kFetching:
+        out.retry_after_ms = config_.retry_after_ms;
+        return out;
+      case RequestState::kFailed:
+        // Report the error once, then forget the request so the next
+        // identical query starts a fresh fetch.
+        out.error = req.error;
+        requests_.erase(it);
+        return out;
+    }
+  }
+  RangeRequest req;
+  req.lo = lo;
+  req.hi = hi;
+  req.entries.resize(hi - lo + 1);
+  req.last_access_ms = now_ms;
+  req.deadline_ms = now_ms + config_.fetch_timeout_ms;
+  auto [pos, inserted] = requests_.emplace(RangeKey{lo, hi}, std::move(req));
+  SendFetch(&pos->second, now_ms);
+  EvictOverCapacity();
+  out.state = RequestState::kFetching;
+  out.retry_after_ms = config_.retry_after_ms;
+  return out;
+}
+
+void StateCache::SendFetch(RangeRequest* request, uint64_t now_ms) {
+  request->last_fetch_ms = now_ms;
+  ++stats_.fetches;
+  fetch_(request->lo, request->hi);
+}
+
+void StateCache::EvictOverCapacity() {
+  while (requests_.size() > config_.cache_max_requests) {
+    auto victim = requests_.end();
+    for (auto it = requests_.begin(); it != requests_.end(); ++it) {
+      if (victim == requests_.end() ||
+          it->second.last_access_ms < victim->second.last_access_ms) {
+        victim = it;
+      }
+    }
+    requests_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void StateCache::OnFetchResponse(const tee::LedgerFetchResponse& response) {
+  auto it = requests_.find({response.lo, response.hi});
+  if (it == requests_.end()) {
+    ++stats_.stale_responses;  // evicted or timed out while in flight
+    return;
+  }
+  RangeRequest& req = it->second;
+  if (req.state != RequestState::kFetching) return;
+  if (!response.ok) {
+    req.state = RequestState::kFailed;
+    req.error = "host: " + response.error;
+    ++stats_.failures;
+    return;
+  }
+  for (size_t i = 0; i < req.entries.size(); ++i) {
+    if (req.entries[i].has_value()) continue;  // already verified
+    if (i >= response.entries.size()) break;
+    auto entry_or = ledger::Entry::Deserialize(response.entries[i]);
+    if (!entry_or.ok() || entry_or->seqno != req.lo + i) {
+      ++stats_.entries_rejected;
+      continue;  // slot stays empty; re-fetched on the retry interval
+    }
+    auto verified_or = verify_(*entry_or);
+    if (!verified_or.ok()) {
+      // Transient (Unavailable: no covering root yet) leaves the slot
+      // empty silently; anything else is a corrupt entry.
+      if (!verified_or.status().IsUnavailable()) {
+        ++stats_.entries_rejected;
+      }
+      continue;
+    }
+    req.entries[i] = std::move(*verified_or);
+    ++stats_.entries_accepted;
+  }
+  if (req.Complete()) {
+    Status built = BuildStore(&req);
+    if (built.ok()) {
+      req.state = RequestState::kReady;
+    } else {
+      req.state = RequestState::kFailed;
+      req.error = built.message();
+      ++stats_.failures;
+    }
+  }
+}
+
+Status StateCache::BuildStore(RangeRequest* request) {
+  auto store = std::make_shared<kv::Store>();
+  store->SetRetainedRootCap(0);  // retain every root in [lo, hi]
+  store->InstallState(kv::State{}, request->lo - 1);
+  for (const auto& slot : request->entries) {
+    Status applied =
+        store->ApplyWriteSet(slot->writes, slot->entry.seqno);
+    if (!applied.ok()) return applied;
+  }
+  request->store = std::move(store);
+  return Status::Ok();
+}
+
+void StateCache::Tick(uint64_t now_ms) {
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    RangeRequest& req = it->second;
+    if (req.state == RequestState::kFetching) {
+      if (now_ms >= req.deadline_ms) {
+        req.state = RequestState::kFailed;
+        req.error = "historical: fetch timed out";
+        ++stats_.timeouts;
+      } else if (now_ms >= req.last_fetch_ms + config_.retry_interval_ms) {
+        // Re-fetch the whole range; verified slots are skipped on receipt.
+        ++req.retries;
+        ++stats_.retries;
+        SendFetch(&req, now_ms);
+      }
+    }
+    if (now_ms >= req.last_access_ms + config_.cache_ttl_ms) {
+      it = requests_.erase(it);
+      ++stats_.expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status StateCache::AuditCache(ByteSpan service_public_key) const {
+  for (const auto& [key, req] : requests_) {
+    if (req.state != RequestState::kReady) continue;
+    for (const auto& slot : req.entries) {
+      if (!slot.has_value()) {
+        return Status::Internal("historical: ready range with empty slot");
+      }
+      const VerifiedEntry& ve = *slot;
+      Status ok = ve.receipt.Verify(service_public_key);
+      if (!ok.ok()) return ok;
+      if (ve.receipt.seqno != ve.entry.seqno ||
+          ve.receipt.write_set_digest != ve.entry.WriteSetDigest()) {
+        return Status::Internal("historical: receipt/entry mismatch");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ccf::node::historical

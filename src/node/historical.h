@@ -1,0 +1,148 @@
+// Historical queries (paper §3.6): "CCF supports historical queries, which
+// are served from the ledger ... The enclave fetches the required entries
+// from the host, checks their integrity against the Merkle tree root
+// signatures, decrypts them and makes them available to the application."
+//
+// The StateCache is the enclave half of that loop. An endpoint asks for a
+// committed seqno range; the cache issues an asynchronous fetch to the
+// untrusted host (tee::LedgerFetchRequest over the ringbuffer) and the
+// endpoint answers 202 Accepted with Retry-After until the range is ready.
+// Every fetched entry is treated as adversarial input: it is only accepted
+// once its digest matches the enclave's own Merkle leaf AND a receipt to a
+// signed root verifies against the service identity. Accepted private
+// write sets are decrypted with the ledger secret and replayed into a
+// point-in-time kv::Store so endpoints can run ordinary transactions
+// against the historical state.
+//
+// Completed requests live in a small LRU with a TTL; in-flight requests
+// retry on an interval and fail cleanly on a deadline. A rejected (corrupt)
+// entry is never cached — its slot stays empty and is re-fetched.
+
+#ifndef CCF_NODE_HISTORICAL_H_
+#define CCF_NODE_HISTORICAL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/store.h"
+#include "ledger/ledger.h"
+#include "merkle/receipt.h"
+#include "node/config.h"
+#include "tee/messages.h"
+
+namespace ccf::node::historical {
+
+// One ledger entry that passed enclave-side verification.
+struct VerifiedEntry {
+  ledger::Entry entry;
+  kv::WriteSet writes;      // public + decrypted private writes
+  merkle::Receipt receipt;  // proof handed back to the client
+};
+
+enum class RequestState {
+  kFetching,  // host fetch in flight (or awaiting retry)
+  kReady,     // all entries verified, store materialized
+  kFailed,    // timeout or host error; reported once, then forgotten
+};
+
+// A cached [lo, hi] range request.
+struct RangeRequest {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  RequestState state = RequestState::kFetching;
+  std::string error;
+
+  // Index (seqno - lo); empty slots are unverified (awaiting [re]fetch).
+  std::vector<std::optional<VerifiedEntry>> entries;
+  // Point-in-time store: state as of `hi`, with every seqno in [lo, hi]
+  // applied on top of an empty base — a range-scoped historical view.
+  std::shared_ptr<kv::Store> store;
+
+  uint64_t last_access_ms = 0;
+  uint64_t deadline_ms = 0;
+  uint64_t last_fetch_ms = 0;
+  uint64_t retries = 0;
+
+  bool Complete() const;
+  const VerifiedEntry* EntryAt(uint64_t seqno) const;
+  // A transaction against the historical state at `seqno` in [lo, hi].
+  Result<kv::Tx> TxAt(uint64_t seqno) const;
+};
+
+class StateCache {
+ public:
+  // Sends a tee::LedgerFetchRequest for [lo, hi] to the host.
+  using FetchFn = std::function<void(uint64_t lo, uint64_t hi)>;
+  // Verifies one fetched entry against the enclave's Merkle tree and the
+  // service identity. Status semantics:
+  //   Unavailable      — transient (not yet committed / no covering signed
+  //                      root); the slot stays empty and is retried.
+  //   PermissionDenied — the entry contradicts the tree: rejected, never
+  //                      cached, counted in stats().entries_rejected.
+  using VerifyFn = std::function<Result<VerifiedEntry>(const ledger::Entry&)>;
+
+  StateCache(const HistoricalConfig& config, FetchFn fetch, VerifyFn verify);
+
+  struct Lookup {
+    RequestState state = RequestState::kFetching;
+    const RangeRequest* request = nullptr;  // non-null iff kReady
+    uint64_t retry_after_ms = 0;            // meaningful for kFetching
+    std::string error;                      // meaningful for kFailed
+  };
+
+  // Requests [lo, hi]; starts a fetch on first sight. The returned pointer
+  // is valid until the next non-const call on the cache. A kFailed result
+  // also forgets the request, so the next identical call starts fresh.
+  Lookup GetRange(uint64_t lo, uint64_t hi, uint64_t now_ms);
+
+  // Delivers a host fetch response (from the ringbuffer). Fills matching
+  // empty slots with verified entries; on completion builds the store.
+  void OnFetchResponse(const tee::LedgerFetchResponse& response);
+
+  // Drives retries, deadlines and TTL eviction. Call once per tick.
+  void Tick(uint64_t now_ms);
+
+  // Re-verifies every cached ready entry against the service identity;
+  // returns the first inconsistency found. Test hook for the no-poisoned-
+  // cache invariant.
+  Status AuditCache(ByteSpan service_public_key) const;
+
+  size_t cached_requests() const { return requests_.size(); }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t hits = 0;   // lookups answered kReady
+    uint64_t fetches = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;
+    uint64_t failures = 0;  // host-reported errors
+    uint64_t entries_accepted = 0;
+    uint64_t entries_rejected = 0;   // failed verification (corrupt)
+    uint64_t stale_responses = 0;    // response for a forgotten request
+    uint64_t evictions = 0;          // LRU
+    uint64_t expired = 0;            // TTL
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using RangeKey = std::pair<uint64_t, uint64_t>;
+
+  void SendFetch(RangeRequest* request, uint64_t now_ms);
+  void EvictOverCapacity();
+  static Status BuildStore(RangeRequest* request);
+
+  HistoricalConfig config_;
+  FetchFn fetch_;
+  VerifyFn verify_;
+  std::map<RangeKey, RangeRequest> requests_;
+  Stats stats_;
+};
+
+}  // namespace ccf::node::historical
+
+#endif  // CCF_NODE_HISTORICAL_H_

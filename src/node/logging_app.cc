@@ -1,5 +1,9 @@
 #include "node/logging_app.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "common/hex.h"
 #include "json/json.h"
 
 namespace ccf::node {
@@ -22,7 +26,7 @@ void WriteMessage(rpc::EndpointContext* ctx, const char* map) {
 }
 
 void ReadMessage(rpc::EndpointContext* ctx, const char* map) {
-  std::string id = ctx->request().GetHeader("x-query-id");
+  std::string id = ctx->Param("id");
   if (id.empty()) {
     ctx->SetError(400, "missing id query parameter");
     return;
@@ -38,9 +42,34 @@ void ReadMessage(rpc::EndpointContext* ctx, const char* map) {
   ctx->SetJsonResponse(200, json::Value(std::move(out)));
 }
 
+// 202 Accepted with Retry-After while the historical fetch is in flight.
+void RespondAccepted(rpc::EndpointContext* ctx, uint64_t retry_after_ms) {
+  json::Object out;
+  out["state"] = "fetching";
+  out["retry_after_ms"] = retry_after_ms;
+  ctx->SetJsonResponse(202, json::Value(std::move(out)));
+  uint64_t secs = std::max<uint64_t>(1, (retry_after_ms + 999) / 1000);
+  ctx->response().headers["retry-after"] = std::to_string(secs);
+  ctx->response().headers["x-ccf-retry-after-ms"] =
+      std::to_string(retry_after_ms);
+}
+
+// The message written to `id` by the verified entry at `seqno`.
+std::optional<std::string> MessageInEntry(
+    const historical::VerifiedEntry& entry, const std::string& id) {
+  auto map_it = entry.writes.maps.find(kPrivateMessagesMap);
+  if (map_it == entry.writes.maps.end()) return std::nullopt;
+  auto key_it = map_it->second.find(ToBytes(id));
+  if (key_it == map_it->second.end() || !key_it->second.has_value()) {
+    return std::nullopt;
+  }
+  return ToString(*key_it->second);
+}
+
 }  // namespace
 
-void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry) {
+void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
+                                   const NodeContext& node) {
   using rpc::AuthPolicy;
   registry->Install(
       "POST", "/app/log",
@@ -63,6 +92,130 @@ void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry) {
       {[](rpc::EndpointContext* ctx) {
          json::Object out;
          out["count"] = ctx->tx().Handle(kPrivateMessagesMap)->Size();
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kUserCert, /*read_only=*/true});
+
+  if (node.historical == nullptr || node.indexer == nullptr) return;
+
+  // Per-node index of message-id -> write seqnos, fed asynchronously by
+  // the node's indexer. One instance per registration, since the same
+  // LoggingApp object may be registered on several nodes.
+  auto index = std::make_shared<indexing::SeqnosByKey>(kPrivateMessagesMap);
+  node.indexer->Install(index);
+
+  registry->Install(
+      "GET", "/app/log/historical",
+      {[node, index](rpc::EndpointContext* ctx) {
+         std::string id = ctx->Param("id");
+         if (id.empty()) {
+           ctx->SetError(400, "missing id query parameter");
+           return;
+         }
+         uint64_t upto = node.receiptable_seqno();
+         if (upto == 0) {
+           ctx->SetError(404, "no receiptable state yet");
+           return;
+         }
+         uint64_t seqno = ctx->ParamU64("seqno");
+         if (seqno == 0 || seqno > upto) seqno = upto;
+         auto write_seqno = index->LastWriteAtOrBefore(id, seqno);
+         if (!write_seqno.has_value()) {
+           // The index trails commit by a bounded lag; distinguish "not
+           // indexed yet" from "never written".
+           if (node.indexer->Lag(node.commit_seqno()) > 0) {
+             RespondAccepted(ctx, 1);
+             return;
+           }
+           ctx->SetError(404, "no write to this id at or before seqno");
+           return;
+         }
+         auto lookup =
+             node.historical->GetRange(*write_seqno, *write_seqno,
+                                       node.now_ms());
+         switch (lookup.state) {
+           case historical::RequestState::kFetching:
+             RespondAccepted(ctx, lookup.retry_after_ms);
+             return;
+           case historical::RequestState::kFailed:
+             ctx->SetError(503, lookup.error);
+             return;
+           case historical::RequestState::kReady:
+             break;
+         }
+         const historical::VerifiedEntry* entry =
+             lookup.request->EntryAt(*write_seqno);
+         auto msg = entry != nullptr ? MessageInEntry(*entry, id)
+                                     : std::nullopt;
+         if (!msg.has_value()) {
+           ctx->SetError(404, "no such message");
+           return;
+         }
+         json::Object out;
+         out["id"] = static_cast<int64_t>(
+             std::strtoll(id.c_str(), nullptr, 10));
+         out["msg"] = *msg;
+         out["seqno"] = entry->entry.seqno;
+         out["receipt"] = HexEncode(entry->receipt.Serialize());
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kUserCert, /*read_only=*/true});
+
+  registry->Install(
+      "GET", "/app/log/historical/range",
+      {[node, index](rpc::EndpointContext* ctx) {
+         std::string id = ctx->Param("id");
+         if (id.empty()) {
+           ctx->SetError(400, "missing id query parameter");
+           return;
+         }
+         uint64_t upto = node.receiptable_seqno();
+         if (upto == 0) {
+           ctx->SetError(404, "no receiptable state yet");
+           return;
+         }
+         uint64_t from = ctx->ParamU64("from");
+         if (from == 0) from = 1;
+         uint64_t to = ctx->ParamU64("to");
+         if (to == 0 || to > upto) to = upto;
+         if (from > to) {
+           ctx->SetError(400, "empty range");
+           return;
+         }
+         if (node.indexer->Lag(node.commit_seqno()) > 0) {
+           RespondAccepted(ctx, 1);  // index still catching up
+           return;
+         }
+         auto lookup = node.historical->GetRange(from, to, node.now_ms());
+         switch (lookup.state) {
+           case historical::RequestState::kFetching:
+             RespondAccepted(ctx, lookup.retry_after_ms);
+             return;
+           case historical::RequestState::kFailed:
+             ctx->SetError(503, lookup.error);
+             return;
+           case historical::RequestState::kReady:
+             break;
+         }
+         json::Array entries;
+         for (uint64_t s : index->SeqnosInRange(id, from, to)) {
+           const historical::VerifiedEntry* entry =
+               lookup.request->EntryAt(s);
+           if (entry == nullptr) continue;
+           auto msg = MessageInEntry(*entry, id);
+           if (!msg.has_value()) continue;
+           json::Object e;
+           e["seqno"] = s;
+           e["msg"] = *msg;
+           e["receipt"] = HexEncode(entry->receipt.Serialize());
+           entries.push_back(json::Value(std::move(e)));
+         }
+         json::Object out;
+         out["id"] = static_cast<int64_t>(
+             std::strtoll(id.c_str(), nullptr, 10));
+         out["from"] = from;
+         out["to"] = to;
+         out["entries"] = std::move(entries);
          ctx->SetJsonResponse(200, json::Value(std::move(out)));
        },
        AuthPolicy::kUserCert, /*read_only=*/true});

@@ -24,9 +24,16 @@ inline constexpr char kPublicMessagesMap[] = "public:app.messages";
 //   GET  /app/log?id=N                                  (user cert, RO)
 //   POST /app/log_public   / GET /app/log_public?id=N   (public map)
 //   GET  /app/count                                     (RO)
+//   GET  /app/log/historical?id=N[&seqno=S]             (user cert, RO)
+//       The message with id N as of seqno S (default: latest receiptable
+//       write), served from the historical state cache with its receipt.
+//       202 + Retry-After while the host fetch is in flight.
+//   GET  /app/log/historical/range?id=N&from=A&to=B     (user cert, RO)
+//       Every write to id N in [A, B], each with its receipt.
 class LoggingApp : public Application {
  public:
-  void RegisterEndpoints(rpc::EndpointRegistry* registry) override;
+  void RegisterEndpoints(rpc::EndpointRegistry* registry,
+                         const NodeContext& node) override;
 };
 
 // The same application as a CCL module (install via set_js_app).

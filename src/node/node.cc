@@ -11,6 +11,7 @@
 #include "kv/tables.h"
 #include "kv/writeset.h"
 #include "tee/attestation.h"
+#include "tee/messages.h"
 
 namespace ccf::node {
 
@@ -31,11 +32,11 @@ enum ChannelType : uint8_t {
   kForwardResponse = 3,
 };
 
-// Ring-buffer message types across the host/enclave boundary.
-enum BoundaryType : uint32_t {
-  kInboundNet = 1,
-  kOutboundNet = 2,
-};
+// Ring-buffer message types live in tee/messages.h (shared with tests).
+using tee::kInboundNet;
+using tee::kLedgerFetchRequest;
+using tee::kLedgerFetchResponse;
+using tee::kOutboundNet;
 
 Bytes WrapWire(WireKind kind, ByteSpan payload) {
   Bytes out;
@@ -57,14 +58,25 @@ Node::Node(NodeConfig config, Application* app, sim::Environment* env)
       app_(app),
       env_(env),
       boundary_(config.tee_mode),
+      host_drbg_("ccf-host-" + config.node_id, config.seed),
       drbg_("ccf-node-" + config.node_id, config.seed),
       node_key_(crypto::KeyPair::Generate(&drbg_)),
+      indexer_(config.historical.index_entries_per_tick),
       verify_drbg_("ccf-verify-" + config.node_id, config.seed),
       worker_pool_(config.worker_threads) {
   store_.SetRetainedRootCap(config_.kv_retained_root_cap);
+  historical_ = std::make_unique<historical::StateCache>(
+      config_.historical,
+      [this](uint64_t lo, uint64_t hi) { EnclaveSendLedgerFetch(lo, hi); },
+      [this](const ledger::Entry& entry) { return VerifyFetchedEntry(entry); });
+  app_context_.historical = historical_.get();
+  app_context_.indexer = &indexer_;
+  app_context_.receiptable_seqno = [this] { return ReceiptableUpto(); };
+  app_context_.commit_seqno = [this] { return commit_seqno(); };
+  app_context_.now_ms = [this] { return now_ms_; };
   InstallFrameworkEndpoints();
   if (app_ != nullptr) {
-    app_->RegisterEndpoints(&registry_);
+    app_->RegisterEndpoints(&registry_, app_context_);
   }
 }
 
@@ -210,11 +222,21 @@ void Node::Tick(uint64_t now_ms) {
   // their placement in virtual time does not depend on worker_threads (see
   // DESIGN.md: worker-pool determinism contract).
   DrainWorkerCompletions();
+  // Host fetch responses whose delay elapsed land in the enclave inbox
+  // before it drains, giving fetches a deterministic 1-tick minimum RTT.
+  HostDeliverFetchResponses();
   DrainEnclaveInbox();
   if (raft_ != nullptr) {
     raft_->Tick(now_ms_);
     MaybeCompleteRetirements();
     HandleOwnRetirement();
+    // Asynchronous indexing: absorb newly committed entries under the
+    // per-tick budget (paper §3.4).
+    indexer_.Tick(raft_->commit_seqno(),
+                  [this](uint64_t seqno, indexing::CommittedEntry* out) {
+                    return DecodeCommittedEntry(seqno, out);
+                  });
+    historical_->Tick(now_ms_);
     // Signature submission goes last: nothing else may claim the seqno the
     // signed root reserves before the blocking drain commits it.
     MaybeEmitSignature(now_ms_);
@@ -230,6 +252,10 @@ void Node::DrainEnclaveInbox() {
   uint32_t type;
   Bytes payload;
   while (boundary_.EnclaveReceive(&type, &payload)) {
+    if (type == kLedgerFetchResponse) {
+      EnclaveHandleFetchResponse(payload);
+      continue;
+    }
     if (type != kInboundNet) continue;
     BufReader r(payload);
     auto from = r.Str();
@@ -269,6 +295,10 @@ void Node::DrainEnclaveOutbox() {
   uint32_t type;
   Bytes payload;
   while (boundary_.HostReceive(&type, &payload)) {
+    if (type == kLedgerFetchRequest) {
+      HostServeLedgerFetch(payload);
+      continue;
+    }
     if (type != kOutboundNet) continue;
     BufReader r(payload);
     auto to = r.Str();
@@ -277,6 +307,193 @@ void Node::DrainEnclaveOutbox() {
     if (!data.ok()) continue;
     env_->Send(config_.node_id, *to, std::move(*data));
   }
+}
+
+// ----------------------------------------------- historical ledger fetch
+
+void Node::EnclaveSendLedgerFetch(uint64_t lo, uint64_t hi) {
+  tee::LedgerFetchRequest req{lo, hi};
+  if (!boundary_.EnclaveSend(kLedgerFetchRequest, req.Serialize())) {
+    LOG_WARN << config_.node_id << " boundary outbox full, dropping fetch";
+  }
+}
+
+void Node::HostServeLedgerFetch(ByteSpan payload) {
+  auto req = tee::LedgerFetchRequest::Deserialize(payload);
+  if (!req.ok()) return;
+  ++historical_counters_.host_fetch_requests;
+
+  tee::LedgerFetchResponse resp;
+  resp.lo = req->lo;
+  resp.hi = req->hi;
+  resp.ok = true;
+  for (uint64_t seqno = req->lo; seqno <= req->hi; ++seqno) {
+    auto entry = host_ledger_.Get(seqno);
+    if (!entry.ok()) {
+      resp.ok = false;
+      resp.error = entry.status().message();
+      resp.entries.clear();
+      break;
+    }
+    resp.entries.push_back((*entry)->Serialize());
+  }
+  Bytes wire = resp.Serialize();
+
+  // Untrusted-host fault policy: the environment may tell this host to
+  // drop, corrupt, delay or reorder its fetch responses (chaos suites).
+  sim::HostFaults faults =
+      env_ != nullptr ? env_->HostFaultsFor(config_.node_id) : sim::HostFaults{};
+  auto bernoulli = [&](double p) {
+    return p > 0.0 && host_drbg_.Uniform(10000) < static_cast<uint64_t>(p * 10000);
+  };
+  if (bernoulli(faults.drop)) {
+    ++historical_counters_.host_fetch_drops;
+    return;  // the enclave's retry interval recovers
+  }
+  if (bernoulli(faults.corrupt) && !wire.empty()) {
+    wire[host_drbg_.Uniform(wire.size())] ^= 0x01;
+    ++historical_counters_.host_fetch_corrupts;
+  }
+  uint64_t delay = 0;
+  if (faults.extra_delay_max_ms > 0) {
+    delay = host_drbg_.Uniform(faults.extra_delay_max_ms + 1);
+    if (delay > 0) ++historical_counters_.host_fetch_delays;
+  }
+  PendingHostFetch pending;
+  pending.deliver_at_ms = now_ms_ + 1 + delay;  // min 1-tick RTT
+  pending.seq = host_fetch_seq_++;
+  pending.payload = std::move(wire);
+  if (bernoulli(faults.reorder) && !host_fetch_queue_.empty()) {
+    // Swap payloads with a random queued response: both still arrive, but
+    // each at the other's delivery time.
+    size_t i = host_drbg_.Uniform(host_fetch_queue_.size());
+    std::swap(host_fetch_queue_[i].payload, pending.payload);
+    ++historical_counters_.host_fetch_reorders;
+  }
+  host_fetch_queue_.push_back(std::move(pending));
+}
+
+void Node::HostDeliverFetchResponses() {
+  if (host_fetch_queue_.empty()) return;
+  // Deliver due responses in (deliver_at, seq) order for determinism.
+  std::sort(host_fetch_queue_.begin(), host_fetch_queue_.end(),
+            [](const PendingHostFetch& a, const PendingHostFetch& b) {
+              return a.deliver_at_ms != b.deliver_at_ms
+                         ? a.deliver_at_ms < b.deliver_at_ms
+                         : a.seq < b.seq;
+            });
+  size_t delivered = 0;
+  for (PendingHostFetch& pending : host_fetch_queue_) {
+    if (pending.deliver_at_ms > now_ms_) break;
+    if (!boundary_.HostSend(kLedgerFetchResponse, pending.payload)) {
+      LOG_WARN << config_.node_id << " boundary inbox full, dropping fetch "
+               << "response";
+    } else {
+      ++historical_counters_.host_fetch_responses;
+    }
+    ++delivered;
+  }
+  host_fetch_queue_.erase(host_fetch_queue_.begin(),
+                          host_fetch_queue_.begin() + delivered);
+}
+
+void Node::EnclaveHandleFetchResponse(ByteSpan payload) {
+  auto resp = tee::LedgerFetchResponse::Deserialize(payload);
+  if (!resp.ok()) {
+    // A corrupted frame is indistinguishable from a lying host; drop it
+    // and let the retry interval re-fetch.
+    LOG_DEBUG << config_.node_id << " undecodable fetch response: "
+              << resp.status().ToString();
+    return;
+  }
+  historical_->OnFetchResponse(*resp);
+}
+
+uint64_t Node::ReceiptableUpto() const {
+  if (raft_ == nullptr) return 0;
+  uint64_t commit = raft_->commit_seqno();
+  // Largest committed signed root; its boundary covers seqnos < sr.seqno.
+  for (auto it = signed_roots_.rbegin(); it != signed_roots_.rend(); ++it) {
+    if (it->first > commit) continue;
+    uint64_t upto = it->second.seqno > 0 ? it->second.seqno - 1 : 0;
+    return std::min(commit, upto);
+  }
+  return 0;
+}
+
+Result<historical::VerifiedEntry> Node::VerifyFetchedEntry(
+    const ledger::Entry& entry) {
+  // Everything in a fetch response is untrusted host input. Acceptance
+  // requires: (1) the seqno is committed; (2) the entry's recomputed leaf
+  // equals the enclave's own Merkle leaf at that position; (3) a receipt
+  // to a committed signed root verifies against the service identity.
+  if (raft_ == nullptr || entry.seqno == 0 ||
+      entry.seqno > raft_->commit_seqno()) {
+    return Status::Unavailable("fetched entry not committed yet");
+  }
+  crypto::Sha256Digest ws_digest = entry.WriteSetDigest();
+  Bytes leaf_content = merkle::TransactionLeafContent(
+      entry.view, entry.seqno, ws_digest, entry.claims_digest);
+  auto expected_leaf = tree_.LeafAt(entry.seqno - 1);
+  if (!expected_leaf.ok()) {
+    return Status::Unavailable("no tree leaf for fetched entry");
+  }
+  if (merkle::LeafHash(leaf_content) != *expected_leaf) {
+    ++historical_counters_.entries_rejected;
+    return Status::PermissionDenied("fetched entry contradicts Merkle tree");
+  }
+  ASSIGN_OR_RETURN(
+      merkle::Receipt receipt,
+      BuildReceiptForDigests(entry.view, entry.seqno, ws_digest,
+                             entry.claims_digest));
+  RETURN_IF_ERROR(receipt.Verify(
+      ByteSpan(service_identity_.data(), service_identity_.size())));
+
+  Bytes private_plain;
+  if (!entry.private_sealed.empty()) {
+    if (encryptor_ == nullptr) {
+      return Status::Unavailable("no ledger secret for fetched entry");
+    }
+    auto aad = PublicAadDigest(entry.public_ws);
+    auto opened = encryptor_->Open(entry.view, entry.seqno,
+                                   entry.private_sealed,
+                                   ByteSpan(aad.data(), aad.size()));
+    if (!opened.ok()) {
+      ++historical_counters_.entries_rejected;
+      return Status::PermissionDenied("fetched entry fails decryption");
+    }
+    private_plain = opened.take();
+  }
+  ASSIGN_OR_RETURN(kv::WriteSet writes,
+                   kv::WriteSet::Parse(entry.public_ws, private_plain));
+
+  historical::VerifiedEntry out;
+  out.entry = entry;
+  out.writes = std::move(writes);
+  out.receipt = std::move(receipt);
+  ++historical_counters_.entries_verified;
+  return out;
+}
+
+bool Node::DecodeCommittedEntry(uint64_t seqno,
+                                indexing::CommittedEntry* out) {
+  auto entry = host_ledger_.Get(seqno);
+  if (!entry.ok()) return false;  // e.g. pre-snapshot seqnos on a joiner
+  Bytes private_plain;
+  if (!(*entry)->private_sealed.empty() && encryptor_ != nullptr) {
+    auto aad = PublicAadDigest((*entry)->public_ws);
+    auto opened = encryptor_->Open((*entry)->view, (*entry)->seqno,
+                                   (*entry)->private_sealed,
+                                   ByteSpan(aad.data(), aad.size()));
+    if (!opened.ok()) return false;
+    private_plain = opened.take();
+  }
+  auto ws = kv::WriteSet::Parse((*entry)->public_ws, private_plain);
+  if (!ws.ok()) return false;
+  out->view = (*entry)->view;
+  out->seqno = (*entry)->seqno;
+  out->writes = ws.take();
+  return true;
 }
 
 // ----------------------------------------------------- node channels
@@ -564,6 +781,7 @@ void Node::OnRollback(uint64_t seqno) {
          pending_sig_verifies_.back().seqno > seqno) {
     pending_sig_verifies_.pop_back();
   }
+  indexer_.OnRollback(seqno);
   txs_since_signature_ = 0;
 }
 
@@ -642,30 +860,8 @@ void Node::OnCommit(uint64_t seqno) {
   if (!s.ok()) {
     LOG_ERROR << config_.node_id << " compact: " << s.ToString();
   }
-  // Feed newly committed entries to the indexing strategies (paper §3.4:
-  // "the indexer pre-processes in-order each transaction in the ledger as
-  // it is committed").
-  if (!indexing_strategies_.empty()) {
-    for (uint64_t i = indexed_upto_ + 1; i <= seqno; ++i) {
-      auto entry = host_ledger_.Get(i);
-      if (!entry.ok()) continue;
-      Bytes private_plain;
-      if (!(*entry)->private_sealed.empty() && encryptor_ != nullptr) {
-        auto aad = PublicAadDigest((*entry)->public_ws);
-        auto opened = encryptor_->Open((*entry)->view, (*entry)->seqno,
-                                       (*entry)->private_sealed,
-                                       ByteSpan(aad.data(), aad.size()));
-        if (opened.ok()) private_plain = opened.take();
-      }
-      auto ws = kv::WriteSet::Parse((*entry)->public_ws, private_plain);
-      if (ws.ok()) {
-        for (auto& strategy : indexing_strategies_) {
-          strategy->OnCommittedEntry((*entry)->view, (*entry)->seqno, *ws);
-        }
-      }
-    }
-    indexed_upto_ = std::max(indexed_upto_, seqno);
-  }
+  // Committed entries are fed to the indexing strategies asynchronously,
+  // under a per-tick budget, by indexer_.Tick (paper §3.4).
   MaybeSnapshot();
 }
 

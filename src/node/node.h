@@ -42,6 +42,8 @@
 #include "merkle/receipt.h"
 #include "node/app.h"
 #include "node/config.h"
+#include "node/historical.h"
+#include "node/indexing.h"
 #include "rpc/endpoints.h"
 #include "rpc/session.h"
 #include "sim/environment.h"
@@ -103,6 +105,20 @@ class Node : public consensus::RaftCallbacks {
     uint64_t verify_failures = 0;  // signatures that failed verification
   };
   const CryptoOpCounters& crypto_ops() const { return crypto_ops_; }
+  // Host-fetch / historical-query telemetry (GET /node/historical).
+  struct HistoricalCounters {
+    uint64_t host_fetch_requests = 0;   // fetch requests the host served
+    uint64_t host_fetch_responses = 0;  // responses delivered to the enclave
+    uint64_t host_fetch_drops = 0;      // responses dropped by fault policy
+    uint64_t host_fetch_corrupts = 0;   // responses bit-flipped
+    uint64_t host_fetch_delays = 0;     // responses given extra delay
+    uint64_t host_fetch_reorders = 0;   // responses swapped in the queue
+    uint64_t entries_verified = 0;      // fetched entries passing verification
+    uint64_t entries_rejected = 0;      // fetched entries failing verification
+  };
+  const HistoricalCounters& historical_counters() const {
+    return historical_counters_;
+  }
   const tee::WorkerPool& worker_pool() const { return worker_pool_; }
   kv::Store& store() { return store_; }
   const kv::Store& store() const { return store_; }
@@ -116,9 +132,16 @@ class Node : public consensus::RaftCallbacks {
     return ledger::SaveToDir(host_ledger_, dir);
   }
 
-  void InstallIndexingStrategy(std::shared_ptr<IndexingStrategy> strategy) {
-    indexing_strategies_.push_back(std::move(strategy));
+  void InstallIndexingStrategy(std::shared_ptr<indexing::Strategy> strategy) {
+    indexer_.Install(std::move(strategy));
   }
+  indexing::Indexer& indexer() { return indexer_; }
+  historical::StateCache& historical() { return *historical_; }
+  const historical::StateCache& historical() const { return *historical_; }
+  // Largest committed seqno a receipt can be built for: the boundary of
+  // the last committed signed root, clamped to the commit point. App-level
+  // historical queries clamp here so every returned entry is provable.
+  uint64_t ReceiptableUpto() const;
 
   // Member-side helper for recovery drills (reads public state).
   Result<Bytes> ExtractRecoveryShare(const std::string& member_id,
@@ -152,6 +175,20 @@ class Node : public consensus::RaftCallbacks {
   void Tick(uint64_t now_ms);
   void DrainEnclaveInbox();
   void DrainEnclaveOutbox();
+  // Host side of the historical fetch loop: serve a fetch request from the
+  // host ledger (applying the environment's host-fault policy), and deliver
+  // queued responses whose delay has elapsed into the enclave inbox.
+  void HostServeLedgerFetch(ByteSpan payload);
+  void HostDeliverFetchResponses();
+  // Enclave side: issue a fetch, and route a response to the state cache.
+  void EnclaveSendLedgerFetch(uint64_t lo, uint64_t hi);
+  void EnclaveHandleFetchResponse(ByteSpan payload);
+  // Verifies one host-fetched entry against the Merkle tree and a signed
+  // root, then decrypts its private writes (see historical::VerifyFn).
+  Result<historical::VerifiedEntry> VerifyFetchedEntry(
+      const ledger::Entry& entry);
+  // Decodes one committed entry from the host ledger for the indexer.
+  bool DecodeCommittedEntry(uint64_t seqno, indexing::CommittedEntry* out);
   void EnclaveProcess(const std::string& from, ByteSpan data);
   // Queues an outbound network message (crosses the boundary).
   void EnclaveSendNet(const std::string& to, ByteSpan data);
@@ -221,6 +258,11 @@ class Node : public consensus::RaftCallbacks {
   void HandleRecoveryShareSubmission(rpc::EndpointContext* ctx);
   void CompleteRecovery(kv::LedgerSecret secret);
   Result<merkle::Receipt> BuildReceipt(uint64_t seqno);
+  // Receipt for explicit digests (the historical path verifies fetched
+  // entries whose digests may predate this node's own tx_digests_).
+  Result<merkle::Receipt> BuildReceiptForDigests(
+      uint64_t view, uint64_t seqno, const crypto::Sha256Digest& write_set,
+      const crypto::Sha256Digest& claims);
 
   // ---------------------------------------------------------- data
 
@@ -231,6 +273,19 @@ class Node : public consensus::RaftCallbacks {
   // ------------------------------ host state
   ledger::Ledger host_ledger_;
   tee::EnclaveBoundary boundary_;
+  // Host-side randomness for the fetch-fault policy. Separate from the
+  // enclave DRBGs so enabling faults does not perturb key generation.
+  crypto::Drbg host_drbg_;
+  // Fetch responses in flight on the host, delivered into the enclave
+  // inbox once their (1 tick + fault-injected) delay elapses.
+  struct PendingHostFetch {
+    uint64_t deliver_at_ms = 0;
+    uint64_t seq = 0;  // FIFO tiebreak within one deliver_at_ms
+    Bytes payload;     // serialized tee::LedgerFetchResponse
+  };
+  std::vector<PendingHostFetch> host_fetch_queue_;
+  uint64_t host_fetch_seq_ = 0;
+  HistoricalCounters historical_counters_;
 
   // ------------------------------ enclave state
   crypto::Drbg drbg_;
@@ -299,8 +354,10 @@ class Node : public consensus::RaftCallbacks {
   std::vector<merkle::Digest> snapshot_leaves_;  // tree leaves at snapshot
   std::vector<consensus::Configuration> snapshot_configs_;
 
-  std::vector<std::shared_ptr<IndexingStrategy>> indexing_strategies_;
-  uint64_t indexed_upto_ = 0;
+  // Historical queries + asynchronous indexing (paper §3.4, §3.6).
+  indexing::Indexer indexer_;
+  std::unique_ptr<historical::StateCache> historical_;
+  NodeContext app_context_;
 
   bool retired_ = false;
   bool integrity_violation_ = false;  // backup saw a bad signature root

@@ -37,30 +37,6 @@ Bytes WrapWire(WireKind kind, ByteSpan payload) {
   return out;
 }
 
-// Splits "/path?k=v&k2=v2" into the path and a param map.
-std::pair<std::string, std::map<std::string, std::string>> SplitQuery(
-    const std::string& raw_path) {
-  size_t q = raw_path.find('?');
-  if (q == std::string::npos) return {raw_path, {}};
-  std::map<std::string, std::string> params;
-  std::string rest = raw_path.substr(q + 1);
-  size_t pos = 0;
-  while (pos < rest.size()) {
-    size_t amp = rest.find('&', pos);
-    std::string pair = amp == std::string::npos ? rest.substr(pos)
-                                                : rest.substr(pos, amp - pos);
-    size_t eq = pair.find('=');
-    if (eq != std::string::npos) {
-      params[pair.substr(0, eq)] = pair.substr(eq + 1);
-    } else if (!pair.empty()) {
-      params[pair] = "";
-    }
-    if (amp == std::string::npos) break;
-    pos = amp + 1;
-  }
-  return {raw_path.substr(0, q), params};
-}
-
 // Verifies the detached governance request signature (COSE-Sign1 analogue):
 // x-ccf-signature header = hex signature over SHA-256 of the body, under
 // the caller's certificate key.
@@ -215,7 +191,7 @@ void Node::DispatchRequest(const std::string& session_peer,
   // Determine whether this request can execute locally: read-only
   // endpoints are served by any node (paper §4.3); writes go to the
   // primary. Session consistency: once forwarded, always forwarded.
-  auto [path, query] = SplitQuery(request.path);
+  std::string path = http::ParseTarget(request.path).path;
   bool read_only = false;
   const rpc::EndpointSpec* spec = registry_.Find(request.method, path);
   if (spec != nullptr) {
@@ -265,7 +241,8 @@ void Node::ForwardToPrimary(const std::string& session_peer,
 
 http::Response Node::ExecuteRequest(const http::Request& request,
                                     const rpc::CallerIdentity& caller) {
-  auto [path, query] = SplitQuery(request.path);
+  http::ParsedTarget target = http::ParseTarget(request.path);
+  const std::string& path = target.path;
   http::Response error;
 
   const rpc::EndpointSpec* spec = registry_.Find(request.method, path);
@@ -322,10 +299,11 @@ http::Response Node::ExecuteRequest(const http::Request& request,
     }
 
     kv::Tx tx = store_.BeginTx();
-    // Stash query params as header-like fields for handlers.
+    // Handlers read query params via EndpointContext::Param, which checks
+    // the query string first; the legacy x-query-* headers are still
+    // stashed so pre-query-string handlers and clients keep working.
     http::Request annotated = request;
-    annotated.path = path;
-    for (const auto& [k, v] : query) {
+    for (const auto& [k, v] : target.params) {
       annotated.headers["x-query-" + k] = v;
     }
     rpc::EndpointContext qctx(&tx, &annotated, caller);
@@ -466,10 +444,8 @@ void Node::InstallFrameworkEndpoints() {
   registry_.Install(
       "GET", "/node/tx",
       {[this](EndpointContext* ctx) {
-         uint64_t view = std::strtoull(
-             ctx->request().GetHeader("x-query-view").c_str(), nullptr, 10);
-         uint64_t seqno = std::strtoull(
-             ctx->request().GetHeader("x-query-seqno").c_str(), nullptr, 10);
+         uint64_t view = ctx->ParamU64("view");
+         uint64_t seqno = ctx->ParamU64("seqno");
          json::Object out;
          out["view"] = view;
          out["seqno"] = seqno;
@@ -543,8 +519,7 @@ void Node::InstallFrameworkEndpoints() {
   registry_.Install(
       "GET", "/node/receipt",
       {[this](EndpointContext* ctx) {
-         uint64_t seqno = std::strtoull(
-             ctx->request().GetHeader("x-query-seqno").c_str(), nullptr, 10);
+         uint64_t seqno = ctx->ParamU64("seqno");
          auto receipt = BuildReceipt(seqno);
          if (!receipt.ok()) {
            ctx->SetError(404, receipt.status().message());
@@ -624,7 +599,7 @@ void Node::InstallFrameworkEndpoints() {
   registry_.Install(
       "GET", "/gov/proposal",
       {[this](EndpointContext* ctx) {
-         std::string id = ctx->request().GetHeader("x-query-id");
+         std::string id = ctx->Param("id");
          auto proposal = gov::ProposalManager::GetProposal(&ctx->tx(), id);
          auto info = gov::ProposalManager::GetInfo(&ctx->tx(), id);
          if (!proposal.ok() || !info.ok()) {
@@ -643,6 +618,46 @@ void Node::InstallFrameworkEndpoints() {
       "POST", "/gov/recovery_share",
       {[this](EndpointContext* ctx) { HandleRecoveryShareSubmission(ctx); },
        AuthPolicy::kMemberCert, /*read_only=*/false});
+
+  // Historical-query / indexing telemetry (operator view of paper §3.4/3.6).
+  registry_.Install(
+      "GET", "/node/historical",
+      {[this](EndpointContext* ctx) {
+         const historical::StateCache::Stats& cs = historical_->stats();
+         const indexing::Indexer::Stats& is = indexer_.stats();
+         json::Object out;
+         out["cache_requests"] = cs.requests;
+         out["cache_hits"] = cs.hits;
+         out["cache_fetches"] = cs.fetches;
+         out["cache_retries"] = cs.retries;
+         out["cache_timeouts"] = cs.timeouts;
+         out["cache_failures"] = cs.failures;
+         out["cache_entries_accepted"] = cs.entries_accepted;
+         out["cache_entries_rejected"] = cs.entries_rejected;
+         out["cache_stale_responses"] = cs.stale_responses;
+         out["cache_evictions"] = cs.evictions;
+         out["cache_expired"] = cs.expired;
+         out["cached_requests"] = static_cast<uint64_t>(
+             historical_->cached_requests());
+         out["indexed_upto"] = indexer_.indexed_upto();
+         out["index_lag"] = indexer_.Lag(
+             raft_ != nullptr ? raft_->commit_seqno() : 0);
+         out["index_entries_fed"] = is.entries_fed;
+         out["index_max_fed_per_tick"] = is.max_fed_per_tick;
+         out["index_decode_failures"] = is.decode_failures;
+         out["receiptable_upto"] = ReceiptableUpto();
+         out["host_fetch_requests"] = historical_counters_.host_fetch_requests;
+         out["host_fetch_responses"] =
+             historical_counters_.host_fetch_responses;
+         out["host_fetch_drops"] = historical_counters_.host_fetch_drops;
+         out["host_fetch_corrupts"] = historical_counters_.host_fetch_corrupts;
+         out["host_fetch_delays"] = historical_counters_.host_fetch_delays;
+         out["host_fetch_reorders"] = historical_counters_.host_fetch_reorders;
+         out["entries_verified"] = historical_counters_.entries_verified;
+         out["entries_rejected"] = historical_counters_.entries_rejected;
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
 
   registry_.Install(
       "GET", "/node/api",
@@ -665,6 +680,17 @@ Result<merkle::Receipt> Node::BuildReceipt(uint64_t seqno) {
   if (seqno > tx_digests_.size()) {
     return Status::NotFound("no digest recorded for seqno");
   }
+  return BuildReceiptForDigests(ViewAtSeqno(seqno), seqno,
+                                tx_digests_[seqno - 1].write_set,
+                                tx_digests_[seqno - 1].claims);
+}
+
+Result<merkle::Receipt> Node::BuildReceiptForDigests(
+    uint64_t view, uint64_t seqno, const crypto::Sha256Digest& write_set,
+    const crypto::Sha256Digest& claims) {
+  if (raft_ == nullptr || seqno == 0 || seqno > raft_->commit_seqno()) {
+    return Status::NotFound("transaction is not committed");
+  }
   // Find the first committed signature transaction whose signed root
   // covers seqno. Under worker_async the signature entry at key `first`
   // may carry a root over a shorter prefix (sr.seqno <= first), so the
@@ -680,10 +706,10 @@ Result<merkle::Receipt> Node::BuildReceipt(uint64_t seqno) {
   const merkle::SignedRoot& sr = it->second;
 
   merkle::Receipt receipt;
-  receipt.view = ViewAtSeqno(seqno);
+  receipt.view = view;
   receipt.seqno = seqno;
-  receipt.write_set_digest = tx_digests_[seqno - 1].write_set;
-  receipt.claims_digest = tx_digests_[seqno - 1].claims;
+  receipt.write_set_digest = write_set;
+  receipt.claims_digest = claims;
   ASSIGN_OR_RETURN(receipt.proof, tree_.GetProof(seqno - 1, sr.seqno - 1));
   receipt.signed_root = sr;
   // The receipt carries the signing node's certificate. We may not be the

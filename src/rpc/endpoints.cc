@@ -1,10 +1,22 @@
 #include "rpc/endpoints.h"
 
+#include <cstdlib>
+
 namespace ccf::rpc {
 
 Result<json::Value> EndpointContext::Params() const {
   if (request_->body.empty()) return json::Value(json::Object{});
   return json::Parse(ToString(request_->body));
+}
+
+std::string EndpointContext::Param(const std::string& name) const {
+  std::string value = request_->QueryParam(name);
+  if (value.empty()) value = request_->GetHeader("x-query-" + name);
+  return value;
+}
+
+uint64_t EndpointContext::ParamU64(const std::string& name) const {
+  return std::strtoull(Param(name).c_str(), nullptr, 10);
 }
 
 void EndpointContext::SetJsonResponse(int status, const json::Value& body) {

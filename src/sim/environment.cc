@@ -69,6 +69,21 @@ void Environment::SetFaultsAmong(const std::vector<std::string>& ids,
 
 void Environment::ClearLinkFaults() { link_faults_.clear(); }
 
+void Environment::SetHostFaults(const std::string& id, HostFaults faults) {
+  if (faults.Any()) {
+    host_faults_[id] = faults;
+  } else {
+    host_faults_.erase(id);
+  }
+}
+
+HostFaults Environment::HostFaultsFor(const std::string& id) const {
+  auto it = host_faults_.find(id);
+  return it != host_faults_.end() ? it->second : HostFaults{};
+}
+
+void Environment::ClearHostFaults() { host_faults_.clear(); }
+
 void Environment::At(uint64_t at_ms, std::function<void()> action) {
   scheduled_.emplace(std::make_pair(at_ms, next_sequence_++),
                      std::move(action));

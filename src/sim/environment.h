@@ -34,6 +34,23 @@ struct EnvOptions {
   uint64_t seed = 42;
 };
 
+// Fault policy for a node's untrusted host serving its own enclave
+// (historical ledger fetches, tee/messages.h): the host may drop, corrupt,
+// delay, or reorder the responses it owes the enclave. Draws come from the
+// node's own seeded host-side DRBG (node/node.cc), not the environment's,
+// so injecting these faults never perturbs network delivery order.
+struct HostFaults {
+  double drop = 0.0;     // response silently discarded
+  double corrupt = 0.0;  // one byte of the response flipped
+  double reorder = 0.0;  // response swapped with another queued response
+  uint64_t extra_delay_max_ms = 0;  // uniform extra latency in [0, max]
+
+  bool Any() const {
+    return drop > 0.0 || corrupt > 0.0 || reorder > 0.0 ||
+           extra_delay_max_ms > 0;
+  }
+};
+
 // Per-directed-link fault policy. Probabilities are in [0, 1]; draws come
 // from the environment's seeded DRBG so behaviour is deterministic.
 struct LinkFaults {
@@ -83,6 +100,13 @@ class Environment {
   void SetFaultsAmong(const std::vector<std::string>& ids, LinkFaults faults);
   // Removes every per-link fault policy.
   void ClearLinkFaults();
+
+  // Installs a host-fault policy for process `id` (replacing any previous
+  // policy; a default-constructed HostFaults clears it). The node reads it
+  // back with HostFaultsFor when serving enclave ledger fetches.
+  void SetHostFaults(const std::string& id, HostFaults faults);
+  HostFaults HostFaultsFor(const std::string& id) const;
+  void ClearHostFaults();
 
   // Schedules `action` to run at virtual time `at_ms` (or the next Step if
   // already past). Actions run before deliveries, ordered by (time,
@@ -146,6 +170,7 @@ class Environment {
   std::set<std::pair<std::string, std::string>> partitions_;
   std::set<std::pair<std::string, std::string>> one_way_blocks_;
   std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
+  std::map<std::string, HostFaults> host_faults_;
   // Per (from, to) pair: last scheduled delivery time, enforcing FIFO
   // ordering per directed link (streams behave like TCP; STLS relies on
   // in-order records). Reordered and duplicated messages bypass the clamp.

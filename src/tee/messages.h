@@ -1,0 +1,106 @@
+// Ring-buffer message types across the host/enclave boundary, shared by
+// both halves of a node (node/node.cc) and by anything that inspects the
+// boundary traffic.
+//
+// Network payloads (kInboundNet / kOutboundNet) wrap a (peer, bytes) pair.
+// Historical ledger fetches (paper §3.5 / §4.3): the enclave can only
+// reconstruct state inside its bounded retained-roots window, so committed
+// entries older than that are requested back from the untrusted host's
+// ledger with kLedgerFetchRequest and returned with kLedgerFetchResponse.
+// Everything in a fetch response is UNTRUSTED until the enclave has
+// re-verified it against its Merkle tree and a signed root
+// (node/historical.h).
+
+#ifndef CCF_TEE_MESSAGES_H_
+#define CCF_TEE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf::tee {
+
+enum BoundaryMessageType : uint32_t {
+  kInboundNet = 1,         // host -> enclave: network payload from a peer
+  kOutboundNet = 2,        // enclave -> host: network payload to a peer
+  kLedgerFetchRequest = 3,   // enclave -> host: committed entries [lo, hi]
+  kLedgerFetchResponse = 4,  // host -> enclave: the (untrusted) entries
+};
+
+// Enclave -> host: serve committed ledger entries with seqnos in [lo, hi]
+// (inclusive, 1-based) from the host ledger.
+struct LedgerFetchRequest {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  Bytes Serialize() const {
+    BufWriter w;
+    w.U64(lo);
+    w.U64(hi);
+    return w.Take();
+  }
+
+  static Result<LedgerFetchRequest> Deserialize(ByteSpan data) {
+    BufReader r(data);
+    LedgerFetchRequest req;
+    ASSIGN_OR_RETURN(req.lo, r.U64());
+    ASSIGN_OR_RETURN(req.hi, r.U64());
+    if (req.lo == 0 || req.hi < req.lo) {
+      return Status::InvalidArgument("bad ledger fetch range");
+    }
+    return req;
+  }
+};
+
+// Host -> enclave: the serialized ledger entries for [lo, hi] in order,
+// or ok=false with a diagnostic when the host ledger does not hold the
+// full range (e.g. seqnos before a snapshot-join base).
+struct LedgerFetchResponse {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool ok = false;
+  std::string error;           // only meaningful when !ok
+  std::vector<Bytes> entries;  // serialized ledger::Entry, one per seqno
+
+  Bytes Serialize() const {
+    BufWriter w;
+    w.U64(lo);
+    w.U64(hi);
+    w.Bool(ok);
+    w.Str(error);
+    w.U64(entries.size());
+    for (const Bytes& e : entries) w.Blob(e);
+    return w.Take();
+  }
+
+  static Result<LedgerFetchResponse> Deserialize(ByteSpan data) {
+    BufReader r(data);
+    LedgerFetchResponse resp;
+    ASSIGN_OR_RETURN(resp.lo, r.U64());
+    ASSIGN_OR_RETURN(resp.hi, r.U64());
+    ASSIGN_OR_RETURN(resp.ok, r.Bool());
+    ASSIGN_OR_RETURN(resp.error, r.Str());
+    ASSIGN_OR_RETURN(uint64_t n, r.U64());
+    if (resp.ok && (resp.lo == 0 || resp.hi < resp.lo ||
+                    n != resp.hi - resp.lo + 1)) {
+      return Status::InvalidArgument("fetch response entry count mismatch");
+    }
+    if (n > r.remaining()) {
+      return Status::OutOfRange("fetch response truncated");
+    }
+    resp.entries.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSIGN_OR_RETURN(Bytes e, r.Blob());
+      resp.entries.push_back(std::move(e));
+    }
+    return resp;
+  }
+};
+
+}  // namespace ccf::tee
+
+#endif  // CCF_TEE_MESSAGES_H_

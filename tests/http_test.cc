@@ -201,5 +201,67 @@ TEST(Http, SerializeRespectsCallerContentLength) {
   EXPECT_EQ(wire.find("content-length", first + 1), std::string::npos);
 }
 
+TEST(HttpTarget, UrlDecode) {
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%2Fapp%2Flog"), "/app/log");
+  // Malformed escapes fall through literally instead of being rejected.
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+  EXPECT_EQ(UrlDecode("%2"), "%2");
+}
+
+TEST(HttpTarget, ParseTargetSplitsPathAndParams) {
+  ParsedTarget t = ParseTarget("/app/log/historical?id=42&seqno=17");
+  EXPECT_EQ(t.path, "/app/log/historical");
+  ASSERT_EQ(t.params.size(), 2u);
+  EXPECT_EQ(t.params.at("id"), "42");
+  EXPECT_EQ(t.params.at("seqno"), "17");
+}
+
+TEST(HttpTarget, ParseTargetEdgeCases) {
+  // No query string: the whole target is the path.
+  EXPECT_EQ(ParseTarget("/app/log").path, "/app/log");
+  EXPECT_TRUE(ParseTarget("/app/log").params.empty());
+  // Trailing '?' and empty pairs are tolerated.
+  EXPECT_TRUE(ParseTarget("/x?").params.empty());
+  EXPECT_EQ(ParseTarget("/x?a=1&&b=2").params.size(), 2u);
+  // Key without '=' gets an empty value; bare '=' (empty key) is dropped.
+  ParsedTarget t = ParseTarget("/x?flag&=orphan");
+  ASSERT_EQ(t.params.size(), 1u);
+  EXPECT_EQ(t.params.at("flag"), "");
+  // Percent-encoded keys and values decode.
+  EXPECT_EQ(ParseTarget("/x?msg=hello%20world").params.at("msg"),
+            "hello world");
+}
+
+TEST(HttpTarget, RequestQueryParamHelpers) {
+  Request req;
+  req.method = "GET";
+  req.path = "/app/balance?account=alice&threshold=1000";
+  EXPECT_EQ(req.PathOnly(), "/app/balance");
+  EXPECT_EQ(req.QueryParam("account"), "alice");
+  EXPECT_EQ(req.QueryParam("threshold"), "1000");
+  EXPECT_EQ(req.QueryParam("missing"), "");
+  auto all = req.QueryParams();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+// Query strings survive the wire: the raw target (path + query) must
+// round-trip through serialization so enclave-side handlers can parse it.
+TEST(HttpTarget, QueryStringSurvivesSerialization) {
+  Request req;
+  req.method = "GET";
+  req.path = "/app/log?id=7&seqno=3";
+  RequestParser parser;
+  parser.Feed(req.Serialize());
+  auto r = parser.Next();
+  ASSERT_TRUE(r.ok() && r->has_value());
+  EXPECT_EQ((*r)->path, "/app/log?id=7&seqno=3");
+  EXPECT_EQ((*r)->PathOnly(), "/app/log");
+  EXPECT_EQ((*r)->QueryParam("id"), "7");
+}
+
 }  // namespace
 }  // namespace ccf::http

@@ -238,6 +238,69 @@ TEST(LedgerFiles, LoadPostSnapshotDirAdoptsBase) {
   EXPECT_TRUE(loaded->Append(MakeEntry(2, 11)).ok());
 }
 
+// Historical fetches ask the host ledger for arbitrary committed seqnos;
+// after a snapshot prune the entries below base_seqno_ are gone and Get
+// must report NotFound (the enclave treats that as a permanent host-side
+// failure for the range), while everything above the base stays servable.
+TEST(Ledger, GetAroundBaseAfterSetBase) {
+  Ledger ledger;
+  ledger.SetBase(5);
+  for (uint64_t i = 6; i <= 10; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+  }
+  EXPECT_FALSE(ledger.Get(0).ok());
+  EXPECT_FALSE(ledger.Get(4).ok());
+  EXPECT_FALSE(ledger.Get(5).ok());  // exactly at the base: pruned
+  ASSERT_TRUE(ledger.Get(6).ok());
+  EXPECT_EQ((*ledger.Get(6))->seqno, 6u);
+  ASSERT_TRUE(ledger.Get(10).ok());
+  EXPECT_FALSE(ledger.Get(11).ok());
+}
+
+TEST(LedgerFiles, GetAroundBaseAfterSnapshotLoad) {
+  TempDir dir;
+  Ledger pruned;
+  pruned.SetBase(7);
+  for (uint64_t i = 8; i <= 12; ++i) {
+    ASSERT_TRUE(pruned.Append(MakeEntry(3, i)).ok());
+  }
+  ASSERT_TRUE(SaveToDir(pruned, dir.path()).ok());
+
+  auto loaded = LoadFromDir(dir.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->base_seqno(), 7u);
+  // The boundary is exact: base itself is pruned, base+1 is the first
+  // servable entry.
+  EXPECT_FALSE(loaded->Get(7).ok());
+  ASSERT_TRUE(loaded->Get(8).ok());
+  EXPECT_EQ((*loaded->Get(8))->public_ws, ToBytes("pub-8"));
+  ASSERT_TRUE(loaded->Get(12).ok());
+  EXPECT_FALSE(loaded->Get(13).ok());
+}
+
+// A view change truncates the suffix and the new primary re-appends
+// different entries at the same seqnos; Get must serve the replacement
+// content, never the truncated original.
+TEST(Ledger, GetAfterTruncateThenReappend) {
+  Ledger ledger;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+  }
+  ledger.Truncate(6);
+  EXPECT_FALSE(ledger.Get(7).ok());
+  EXPECT_FALSE(ledger.Get(10).ok());
+  ASSERT_TRUE(ledger.Get(6).ok());
+
+  Entry replacement = MakeEntry(2, 7);
+  replacement.public_ws = ToBytes("replacement-7");
+  ASSERT_TRUE(ledger.Append(std::move(replacement)).ok());
+  ASSERT_TRUE(ledger.Get(7).ok());
+  EXPECT_EQ((*ledger.Get(7))->view, 2u);
+  EXPECT_EQ((*ledger.Get(7))->public_ws, ToBytes("replacement-7"));
+  // Seqnos beyond the re-appended head remain unavailable.
+  EXPECT_FALSE(ledger.Get(8).ok());
+}
+
 TEST(LedgerFiles, EmptyLedgerRoundTrip) {
   TempDir dir;
   Ledger ledger;
