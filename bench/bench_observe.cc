@@ -1,0 +1,164 @@
+// Observability subsystem overhead: the per-record hot-path cost of each
+// metric kind (one relaxed atomic RMW by design, DESIGN.md observe
+// section), the read-side cost of serializing a populated registry to
+// JSON and Prometheus text, and the end-to-end request metrics a short
+// instrumented service run produces.
+//
+// Results go to BENCH_observe.json (or the path given as the first
+// non-flag argument) for scripts/bench_diff.py. --smoke / CCF_BENCH_SMOKE=1
+// shrinks the run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "observe/metrics.h"
+
+namespace ccf::bench {
+namespace {
+
+double NsPerOp(std::chrono::steady_clock::time_point t0, uint64_t ops) {
+  double ns = std::chrono::duration<double, std::nano>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return ops > 0 ? ns / static_cast<double>(ops) : 0;
+}
+
+int RunAll(const std::string& json_path, bool smoke) {
+  const uint64_t hot_ops = smoke ? 1'000'000 : 50'000'000;
+  const uint64_t requests = smoke ? 200 : 2000;
+
+  json::Object root;
+  root["smoke"] = smoke;
+
+  // Hot path: a relaxed RMW per record, no locks, no allocation.
+  observe::Registry reg;
+  observe::Counter* counter = reg.GetCounter("bench.counter");
+  observe::Gauge* gauge = reg.GetGauge("bench.gauge");
+  observe::Histogram* hist = reg.GetHistogram("bench.histogram");
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < hot_ops; ++i) counter->Inc();
+  double counter_ns = NsPerOp(t0, hot_ops);
+
+  t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < hot_ops; ++i) gauge->Set(i);
+  double gauge_ns = NsPerOp(t0, hot_ops);
+
+  t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < hot_ops; ++i) hist->Record(i & 0xFFFFF);
+  double histogram_ns = NsPerOp(t0, hot_ops);
+
+  if (counter->value() != hot_ops || hist->count() != hot_ops) {
+    std::fprintf(stderr, "hot-path self check failed\n");
+    return 1;
+  }
+  json::Object hotpath;
+  hotpath["counter_ns"] = counter_ns;
+  hotpath["gauge_ns"] = gauge_ns;
+  hotpath["histogram_ns"] = histogram_ns;
+  root["hotpath"] = json::Value(std::move(hotpath));
+  std::printf("hot path (%llu ops each): counter %.1f ns, gauge %.1f ns, "
+              "histogram %.1f ns\n",
+              static_cast<unsigned long long>(hot_ops), counter_ns, gauge_ns,
+              histogram_ns);
+
+  // Instrumented service: closed-loop writes, then read the registry the
+  // way GET /node/metrics does.
+  ServiceHarness h;
+  h.AddUser("user0");
+  node::Node* n0 = h.StartGenesis();
+  if (n0 == nullptr) {
+    std::fprintf(stderr, "genesis failed\n");
+    return 1;
+  }
+  node::Client* client = h.UserClient("user0");
+  ClosedLoopDriver driver(&h.env());
+  driver.AddStream(client, [](uint64_t s) { return MakeWriteRequest(s); },
+                   16);
+  auto stats = driver.Run(requests);
+  if (stats.errors > 0) {
+    std::fprintf(stderr, "service run saw %llu errors\n",
+                 static_cast<unsigned long long>(stats.errors));
+    return 1;
+  }
+
+  const observe::Histogram* lat =
+      n0->metrics().FindHistogram("rpc.latency_us.POST /app/log");
+  if (lat == nullptr || lat->count() < requests) {
+    std::fprintf(stderr, "request latency histogram missing or short\n");
+    return 1;
+  }
+  observe::Histogram::Snapshot snap = lat->GetSnapshot();
+  json::Object service;
+  service["requests"] = static_cast<uint64_t>(stats.completed);
+  service["tx_per_s"] = stats.throughput();
+  service["rpc_p50_us"] = snap.p50;
+  service["rpc_p99_us"] = snap.p99;
+  root["service"] = json::Value(std::move(service));
+  std::printf("service: %llu writes at %.0f tx/s, rpc p50 %llu us, "
+              "p99 %llu us\n",
+              static_cast<unsigned long long>(stats.completed),
+              stats.throughput(), static_cast<unsigned long long>(snap.p50),
+              static_cast<unsigned long long>(snap.p99));
+
+  // Exposition cost over the genuinely populated node registry.
+  const int expo_iters = smoke ? 20 : 200;
+  t0 = std::chrono::steady_clock::now();
+  size_t json_bytes = 0;
+  for (int i = 0; i < expo_iters; ++i) {
+    json_bytes = n0->metrics().ToJson().Dump().size();
+  }
+  double to_json_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      expo_iters;
+  t0 = std::chrono::steady_clock::now();
+  size_t prom_bytes = 0;
+  for (int i = 0; i < expo_iters; ++i) {
+    prom_bytes = n0->metrics().ToPrometheus().size();
+  }
+  double to_prom_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      expo_iters;
+  json::Object exposition;
+  exposition["json_bytes"] = static_cast<uint64_t>(json_bytes);
+  exposition["prometheus_bytes"] = static_cast<uint64_t>(prom_bytes);
+  exposition["to_json_ms"] = to_json_ms;
+  exposition["to_prometheus_ms"] = to_prom_ms;
+  root["exposition"] = json::Value(std::move(exposition));
+  std::printf("exposition: ToJson %.3f ms (%zu B), ToPrometheus %.3f ms "
+              "(%zu B)\n",
+              to_json_ms, json_bytes, to_prom_ms, prom_bytes);
+
+  std::string dumped = json::Value(std::move(root)).DumpPretty();
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(dumped.data(), 1, dumped.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccf::bench
+
+int main(int argc, char** argv) {
+  bool smoke = ccf::bench::SmokeMode();
+  std::string json_path = "BENCH_observe.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  return ccf::bench::RunAll(json_path, smoke);
+}

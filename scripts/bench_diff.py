@@ -1,16 +1,18 @@
 #!/usr/bin/env python3
 """Compare two benchmark JSON files from the same bench binary.
 
-Understands BENCH_signatures.json (bench_fig8_signatures) and
-BENCH_historical.json (bench_historical); the format is detected from the
-file contents.
+Understands BENCH_signatures.json (bench_fig8_signatures),
+BENCH_historical.json (bench_historical) and BENCH_observe.json
+(bench_observe); the format is detected from the file contents.
 
 Usage:
     scripts/bench_diff.py OLD.json NEW.json [--threshold PCT]
 
 Prints per-metric deltas, flagging regressions beyond the threshold
 (default 10%). Exit code is 1 when any flagged metric regressed, so it can
-gate CI.
+gate CI. A missing baseline file is not an error (exit 0 with a notice):
+the first run of a new bench has nothing to compare against. Metrics
+present on only one side are reported and skipped, never crashed on.
 
 Stdlib only.
 """
@@ -20,9 +22,18 @@ import json
 import sys
 
 
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+def load(path, role):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        print(f"note: {role} file {path} does not exist; "
+              "nothing to compare (not an error on a first run)")
+        return None
+    except json.JSONDecodeError as e:
+        print(f"note: {role} file {path} is not valid JSON ({e}); "
+              "skipping comparison")
+        return None
 
 
 def fmt_delta(old, new):
@@ -45,10 +56,16 @@ def main():
                     help="flag regressions beyond this percentage")
     args = ap.parse_args()
 
-    old, new = load(args.old), load(args.new)
+    old, new = load(args.old, "baseline"), load(args.new, "new")
+    if old is None or new is None:
+        return 0
     regressions = []
 
     def check(name, old_v, new_v, lower_is_better):
+        if old_v is None or new_v is None:
+            side = "new run" if old_v is None else "baseline"
+            print(f"  {name:<44} (only in {side}; skipped)")
+            return
         delta = fmt_delta(old_v, new_v)
         worse = (new_v > old_v) if lower_is_better else (new_v < old_v)
         flag = ""
@@ -75,10 +92,37 @@ def main():
         for section, metrics in sections:
             old_s, new_s = old.get(section, {}), new.get(section, {})
             for metric, lower_is_better in metrics:
-                if metric not in old_s or metric not in new_s:
+                if metric not in old_s and metric not in new_s:
                     continue
-                check(f"{section} {metric}", old_s[metric], new_s[metric],
-                      lower_is_better)
+                check(f"{section} {metric}", old_s.get(metric),
+                      new_s.get(metric), lower_is_better)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0f}%:")
+            for r in regressions:
+                print(f"  - {r}")
+            return 1
+        print("\nno regressions beyond threshold")
+        return 0
+
+    # BENCH_observe.json (bench_observe): flat sections of scalars.
+    if "hotpath" in old or "hotpath" in new:
+        print(f"{'observability subsystem':<46} {'old':>12} {'new':>12}")
+        sections = (
+            ("hotpath", (("counter_ns", True), ("gauge_ns", True),
+                         ("histogram_ns", True))),
+            ("service", (("tx_per_s", False), ("rpc_p50_us", True),
+                         ("rpc_p99_us", True))),
+            ("exposition", (("to_json_ms", True),
+                            ("to_prometheus_ms", True))),
+        )
+        for section, metrics in sections:
+            old_s, new_s = old.get(section, {}), new.get(section, {})
+            for metric, lower_is_better in metrics:
+                if metric not in old_s and metric not in new_s:
+                    continue
+                check(f"{section} {metric}", old_s.get(metric),
+                      new_s.get(metric), lower_is_better)
         if regressions:
             print(f"\n{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0f}%:")
@@ -97,8 +141,10 @@ def main():
             continue
         label = row.get("label", "?")
         for metric in ("p50_us", "p99_us", "mean_spike_us", "spike_ratio"):
-            check(f"{label} {metric}", prev.get(metric, 0),
-                  row.get(metric, 0), lower_is_better=True)
+            if metric not in prev and metric not in row:
+                continue
+            check(f"{label} {metric}", prev.get(metric),
+                  row.get(metric), lower_is_better=True)
 
     print(f"\n{'throughput (tx/s; higher is better)':<46} "
           f"{'old':>12} {'new':>12}")

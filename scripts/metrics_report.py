@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Pretty-print CCF metrics JSON.
+
+Accepts either shape and detects which it was given:
+  - a node snapshot from GET /node/metrics
+    ({"node_id": ..., "metrics": {counters, gauges, histograms, series}})
+  - a sim::MetricsAggregator end-of-run report
+    ({"env": ..., "nodes": {id: registry}, "watched": {...}})
+
+Usage:
+    scripts/metrics_report.py [FILE]          # default: stdin
+    scripts/metrics_report.py --filter rpc.   # only metrics containing a substring
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values):
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return SPARK_CHARS[1] * len(values)
+    idx = [int((v - lo) / span * (len(SPARK_CHARS) - 1)) for v in values]
+    return "".join(SPARK_CHARS[i] for i in idx)
+
+
+def match(name, needle):
+    return needle is None or needle in name
+
+
+def print_registry(reg, needle, indent=""):
+    counters = reg.get("counters", {})
+    if any(match(n, needle) for n in counters):
+        print(f"{indent}counters:")
+        for name in sorted(counters):
+            if not match(name, needle):
+                continue
+            print(f"{indent}  {name:<52} {counters[name]:>14,}")
+
+    gauges = reg.get("gauges", {})
+    if any(match(n, needle) for n in gauges):
+        print(f"{indent}gauges:{'':<48} {'value':>14} {'max':>14}")
+        for name in sorted(gauges):
+            if not match(name, needle):
+                continue
+            g = gauges[name]
+            print(f"{indent}  {name:<52} {g.get('value', 0):>14,} "
+                  f"{g.get('max', 0):>14,}")
+
+    hists = reg.get("histograms", {})
+    if any(match(n, needle) for n in hists):
+        print(f"{indent}histograms:{'':<30} {'count':>10} {'p50':>9} "
+              f"{'p90':>9} {'p99':>9} {'max':>9}")
+        for name in sorted(hists):
+            if not match(name, needle):
+                continue
+            h = hists[name]
+            print(f"{indent}  {name:<39} {h.get('count', 0):>10,} "
+                  f"{h.get('p50', 0):>9,} {h.get('p90', 0):>9,} "
+                  f"{h.get('p99', 0):>9,} {h.get('max', 0):>9,}")
+
+    series = reg.get("series", {})
+    for name in sorted(series):
+        if not match(name, needle):
+            continue
+        s = series[name]
+        points = s.get("points", [])
+        values = [v for _, v in points]
+        window = ""
+        if points:
+            window = f"t=[{points[0][0]}..{points[-1][0]}]ms "
+        print(f"{indent}series {name}: {s.get('total', 0)} samples "
+              f"(kept {len(points)}/{s.get('capacity', 0)}) {window}"
+              f"|{sparkline(values)}|")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", nargs="?", help="metrics JSON (default: stdin)")
+    ap.add_argument("--filter", dest="needle", default=None,
+                    help="only show metrics whose name contains this")
+    args = ap.parse_args()
+
+    try:
+        if args.file:
+            with open(args.file) as f:
+                doc = json.load(f)
+        else:
+            doc = json.load(sys.stdin)
+    except (FileNotFoundError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    if "nodes" in doc:  # aggregator end-of-run report
+        env = doc.get("env", {})
+        if env:
+            print(f"run: {env.get('duration_ms', 0):,} virtual ms, "
+                  f"{env.get('messages_sent', 0):,} msgs sent, "
+                  f"{env.get('messages_delivered', 0):,} delivered, "
+                  f"{env.get('messages_dropped', 0):,} dropped")
+        for node_id in sorted(doc.get("nodes", {})):
+            print(f"\n== node {node_id} ==")
+            print_registry(doc["nodes"][node_id], args.needle, indent="  ")
+        watched = doc.get("watched", {})
+        for node_id in sorted(watched):
+            for metric in sorted(watched[node_id]):
+                s = watched[node_id][metric]
+                points = s.get("points", [])
+                values = [v for _, v in points]
+                print(f"\nwatched {node_id}/{metric}: "
+                      f"{s.get('total', 0)} samples |{sparkline(values)}|")
+                if values:
+                    print(f"  last={values[-1]:,} min={min(values):,} "
+                          f"max={max(values):,}")
+    elif "metrics" in doc:  # GET /node/metrics snapshot
+        print(f"node {doc.get('node_id', '?')}")
+        print_registry(doc["metrics"], args.needle)
+    else:  # bare registry JSON
+        print_registry(doc, args.needle)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,12 +119,24 @@ void RaftNode::Tick(uint64_t now_ms) {
   }
 }
 
+void RaftNode::BindMetrics(observe::Registry* reg) {
+  m_elections_ = reg->GetCounter("consensus.elections");
+  m_became_primary_ = reg->GetCounter("consensus.became_primary");
+  m_view_ = reg->GetGauge("consensus.view");
+  m_commit_ = reg->GetGauge("consensus.commit_seqno");
+  m_append_batch_ = reg->GetHistogram("consensus.append_batch_entries");
+  m_commit_latency_ = reg->GetHistogram("consensus.commit_latency_ms");
+  m_view_->Set(view_);
+  m_commit_->Set(commit_seqno_);
+}
+
 // ------------------------------------------------------------ Transitions
 
 void RaftNode::BecomeBackup(uint64_t view) {
   bool changed = role_ != Role::kBackup || view != view_;
   view_ = view;
   role_ = Role::kBackup;
+  if (m_view_ != nullptr) m_view_->Set(view_);
   votes_granted_.clear();
   ResetElectionTimer();
   if (changed) {
@@ -136,6 +148,8 @@ void RaftNode::BecomeBackup(uint64_t view) {
 void RaftNode::BecomeCandidate() {
   role_ = Role::kCandidate;
   ++view_;
+  if (m_elections_ != nullptr) m_elections_->Inc();
+  if (m_view_ != nullptr) m_view_->Set(view_);
   leader_.reset();
   voted_for_ = id_;
   voted_in_view_ = view_;
@@ -165,6 +179,7 @@ void RaftNode::BecomePrimary() {
   role_ = Role::kPrimary;
   leader_ = id_;
   became_primary_ms_ = now_ms_;
+  if (m_became_primary_ != nullptr) m_became_primary_->Inc();
   role_history_.push_back(RoleEvent{now_ms_, view_, role_});
 
   // Paper §4.2: the new primary discards any transactions after its last
@@ -266,6 +281,9 @@ void RaftNode::TruncateLog(uint64_t seqno) {
     last_sig_seqno_ = base_seqno_;
     last_sig_view_ = base_view_;
   }
+  // Rolled-back entries will never commit under our stamp.
+  submit_time_ms_.erase(submit_time_ms_.upper_bound(seqno),
+                        submit_time_ms_.end());
   cb_->OnRollback(seqno);
 }
 
@@ -316,6 +334,7 @@ Status RaftNode::Replicate(uint64_t seqno, std::shared_ptr<const Bytes> data,
   entry.reconfig = std::move(reconfig);
   entry.data = std::move(data);
   AppendToLog(std::move(entry), /*remote_origin=*/false);
+  if (m_commit_latency_ != nullptr) submit_time_ms_[seqno] = now_ms_;
 
   // Signature transactions flush eagerly (they gate commit latency);
   // regular entries ride the next heartbeat or the ack-driven stream
@@ -399,6 +418,7 @@ void RaftNode::SendAppendEntries(const NodeId& peer) {
   for (uint64_t s = next; s <= end; ++s) {
     req.entries.push_back(EntryAt(s));
   }
+  if (m_append_batch_ != nullptr) m_append_batch_->Record(req.entries.size());
   last_sent_ms_[peer] = now_ms_;
   cb_->Send(peer, Message{id_, req});
 }
@@ -438,6 +458,16 @@ void RaftNode::AdvanceCommitAsPrimary() {
 void RaftNode::SetCommit(uint64_t seqno) {
   if (seqno <= commit_seqno_) return;
   commit_seqno_ = seqno;
+  if (m_commit_ != nullptr) m_commit_->Set(commit_seqno_);
+  if (m_commit_latency_ != nullptr) {
+    // Drain submit stamps up to the new commit point; virtual-time delta,
+    // so the histogram is reproducible from the seed.
+    auto it = submit_time_ms_.begin();
+    while (it != submit_time_ms_.end() && it->first <= commit_seqno_) {
+      m_commit_latency_->Record(now_ms_ - it->second);
+      it = submit_time_ms_.erase(it);
+    }
+  }
   RetireOldConfigs();
   cb_->OnCommit(commit_seqno_);
 }

@@ -32,6 +32,7 @@
 
 #include "consensus/types.h"
 #include "crypto/hmac.h"
+#include "observe/metrics.h"
 
 namespace ccf::consensus {
 
@@ -157,6 +158,12 @@ class RaftNode {
   // Figure 5 / Table 2 scenarios). Resets derived state accordingly.
   void TestInstallLog(std::vector<LogEntry> entries, uint64_t view);
 
+  // Registers consensus metrics (elections, primary transitions, view and
+  // commit gauges, append batch sizes, submit->commit latency in virtual
+  // ms). Metrics are write-only -- nothing here feeds back into protocol
+  // decisions, so instrumented and unbound nodes behave identically.
+  void BindMetrics(observe::Registry* reg);
+
  private:
   RaftNode(NodeId id, RaftConfig config, RaftCallbacks* callbacks);
 
@@ -223,6 +230,18 @@ class RaftNode {
   std::map<NodeId, uint64_t> last_response_ms_;
   std::map<NodeId, uint64_t> last_sent_ms_;
   uint64_t became_primary_ms_ = 0;
+
+  // Observability (null until BindMetrics; every use is null-guarded).
+  observe::Counter* m_elections_ = nullptr;
+  observe::Counter* m_became_primary_ = nullptr;
+  observe::Gauge* m_view_ = nullptr;
+  observe::Gauge* m_commit_ = nullptr;
+  observe::Histogram* m_append_batch_ = nullptr;
+  observe::Histogram* m_commit_latency_ = nullptr;
+  // Virtual-time submit stamps for entries this node replicated as
+  // primary; drained into m_commit_latency_ when commit passes them,
+  // pruned on rollback.
+  std::map<uint64_t, uint64_t> submit_time_ms_;
 };
 
 }  // namespace ccf::consensus

@@ -48,6 +48,14 @@ class RingBuffer {
 
   size_t capacity() const { return capacity_; }
 
+  // Bytes reserved but not yet consumed (headers and pad messages
+  // included). Approximate under concurrent producers; used for occupancy
+  // gauges.
+  size_t used_bytes() const {
+    return static_cast<size_t>(head_.load(std::memory_order_acquire) -
+                               tail_.load(std::memory_order_acquire));
+  }
+
   // Largest payload a buffer of this capacity can carry.
   size_t max_payload_size() const { return capacity_ / 2 - kHeaderSize; }
 

@@ -74,10 +74,69 @@ Node::Node(NodeConfig config, Application* app, sim::Environment* env)
   app_context_.receiptable_seqno = [this] { return ReceiptableUpto(); };
   app_context_.commit_seqno = [this] { return commit_seqno(); };
   app_context_.now_ms = [this] { return now_ms_; };
+  BindNodeMetrics();
+  boundary_.BindMetrics(&metrics_);
+  worker_pool_.BindMetrics(&metrics_);
   InstallFrameworkEndpoints();
   if (app_ != nullptr) {
     app_->RegisterEndpoints(&registry_, app_context_);
   }
+}
+
+void Node::BindNodeMetrics() {
+  crypto_metrics_.signs = metrics_.GetCounter("crypto.signs");
+  crypto_metrics_.signs_deferred = metrics_.GetCounter("crypto.signs_deferred");
+  crypto_metrics_.verifies_single =
+      metrics_.GetCounter("crypto.verifies_single");
+  crypto_metrics_.verifies_batched =
+      metrics_.GetCounter("crypto.verifies_batched");
+  crypto_metrics_.verify_batches = metrics_.GetCounter("crypto.verify_batches");
+  crypto_metrics_.verify_failures =
+      metrics_.GetCounter("crypto.verify_failures");
+  historical_metrics_.host_fetch_requests =
+      metrics_.GetCounter("historical.host_fetch_requests");
+  historical_metrics_.host_fetch_responses =
+      metrics_.GetCounter("historical.host_fetch_responses");
+  historical_metrics_.host_fetch_drops =
+      metrics_.GetCounter("historical.host_fetch_drops");
+  historical_metrics_.host_fetch_corrupts =
+      metrics_.GetCounter("historical.host_fetch_corrupts");
+  historical_metrics_.host_fetch_delays =
+      metrics_.GetCounter("historical.host_fetch_delays");
+  historical_metrics_.host_fetch_reorders =
+      metrics_.GetCounter("historical.host_fetch_reorders");
+  historical_metrics_.entries_verified =
+      metrics_.GetCounter("historical.entries_verified");
+  historical_metrics_.entries_rejected =
+      metrics_.GetCounter("historical.entries_rejected");
+  m_channel_rekeys_ = metrics_.GetCounter("channel.rekeys");
+  m_index_upto_ = metrics_.GetGauge("index.upto");
+  m_index_lag_ = metrics_.GetGauge("index.lag");
+  m_ledger_entries_ = metrics_.GetGauge("ledger.entries");
+}
+
+Node::CryptoOpCounters Node::crypto_ops() const {
+  CryptoOpCounters c;
+  c.signs = crypto_metrics_.signs->value();
+  c.signs_deferred = crypto_metrics_.signs_deferred->value();
+  c.verifies_single = crypto_metrics_.verifies_single->value();
+  c.verifies_batched = crypto_metrics_.verifies_batched->value();
+  c.verify_batches = crypto_metrics_.verify_batches->value();
+  c.verify_failures = crypto_metrics_.verify_failures->value();
+  return c;
+}
+
+Node::HistoricalCounters Node::historical_counters() const {
+  HistoricalCounters h;
+  h.host_fetch_requests = historical_metrics_.host_fetch_requests->value();
+  h.host_fetch_responses = historical_metrics_.host_fetch_responses->value();
+  h.host_fetch_drops = historical_metrics_.host_fetch_drops->value();
+  h.host_fetch_corrupts = historical_metrics_.host_fetch_corrupts->value();
+  h.host_fetch_delays = historical_metrics_.host_fetch_delays->value();
+  h.host_fetch_reorders = historical_metrics_.host_fetch_reorders->value();
+  h.entries_verified = historical_metrics_.entries_verified->value();
+  h.entries_rejected = historical_metrics_.entries_rejected->value();
+  return h;
 }
 
 Node::~Node() {
@@ -143,6 +202,7 @@ void Node::InitGenesis(const ServiceInit& init) {
   raft_ = std::make_unique<consensus::RaftNode>(
       config_.node_id, config_.raft, std::set<std::string>{config_.node_id},
       /*start_as_primary=*/true, this);
+  raft_->BindMetrics(&metrics_);
 
   // The genesis transaction (paper §5): constitution, consortium, code id,
   // this node, and the service identity, in one transaction.
@@ -240,6 +300,10 @@ void Node::Tick(uint64_t now_ms) {
     // Signature submission goes last: nothing else may claim the seqno the
     // signed root reserves before the blocking drain commits it.
     MaybeEmitSignature(now_ms_);
+    // Per-tick observability gauges (write-only; nothing reads them back).
+    m_index_upto_->Set(indexer_.indexed_upto());
+    m_index_lag_->Set(indexer_.Lag(raft_->commit_seqno()));
+    m_ledger_entries_->Set(host_ledger_.last_seqno());
   }
   DrainEnclaveOutbox();
 }
@@ -321,7 +385,7 @@ void Node::EnclaveSendLedgerFetch(uint64_t lo, uint64_t hi) {
 void Node::HostServeLedgerFetch(ByteSpan payload) {
   auto req = tee::LedgerFetchRequest::Deserialize(payload);
   if (!req.ok()) return;
-  ++historical_counters_.host_fetch_requests;
+  historical_metrics_.host_fetch_requests->Inc();
 
   tee::LedgerFetchResponse resp;
   resp.lo = req->lo;
@@ -347,17 +411,17 @@ void Node::HostServeLedgerFetch(ByteSpan payload) {
     return p > 0.0 && host_drbg_.Uniform(10000) < static_cast<uint64_t>(p * 10000);
   };
   if (bernoulli(faults.drop)) {
-    ++historical_counters_.host_fetch_drops;
+    historical_metrics_.host_fetch_drops->Inc();
     return;  // the enclave's retry interval recovers
   }
   if (bernoulli(faults.corrupt) && !wire.empty()) {
     wire[host_drbg_.Uniform(wire.size())] ^= 0x01;
-    ++historical_counters_.host_fetch_corrupts;
+    historical_metrics_.host_fetch_corrupts->Inc();
   }
   uint64_t delay = 0;
   if (faults.extra_delay_max_ms > 0) {
     delay = host_drbg_.Uniform(faults.extra_delay_max_ms + 1);
-    if (delay > 0) ++historical_counters_.host_fetch_delays;
+    if (delay > 0) historical_metrics_.host_fetch_delays->Inc();
   }
   PendingHostFetch pending;
   pending.deliver_at_ms = now_ms_ + 1 + delay;  // min 1-tick RTT
@@ -368,7 +432,7 @@ void Node::HostServeLedgerFetch(ByteSpan payload) {
     // each at the other's delivery time.
     size_t i = host_drbg_.Uniform(host_fetch_queue_.size());
     std::swap(host_fetch_queue_[i].payload, pending.payload);
-    ++historical_counters_.host_fetch_reorders;
+    historical_metrics_.host_fetch_reorders->Inc();
   }
   host_fetch_queue_.push_back(std::move(pending));
 }
@@ -389,7 +453,7 @@ void Node::HostDeliverFetchResponses() {
       LOG_WARN << config_.node_id << " boundary inbox full, dropping fetch "
                << "response";
     } else {
-      ++historical_counters_.host_fetch_responses;
+      historical_metrics_.host_fetch_responses->Inc();
     }
     ++delivered;
   }
@@ -439,7 +503,7 @@ Result<historical::VerifiedEntry> Node::VerifyFetchedEntry(
     return Status::Unavailable("no tree leaf for fetched entry");
   }
   if (merkle::LeafHash(leaf_content) != *expected_leaf) {
-    ++historical_counters_.entries_rejected;
+    historical_metrics_.entries_rejected->Inc();
     return Status::PermissionDenied("fetched entry contradicts Merkle tree");
   }
   ASSIGN_OR_RETURN(
@@ -459,7 +523,7 @@ Result<historical::VerifiedEntry> Node::VerifyFetchedEntry(
                                    entry.private_sealed,
                                    ByteSpan(aad.data(), aad.size()));
     if (!opened.ok()) {
-      ++historical_counters_.entries_rejected;
+      historical_metrics_.entries_rejected->Inc();
       return Status::PermissionDenied("fetched entry fails decryption");
     }
     private_plain = opened.take();
@@ -471,7 +535,7 @@ Result<historical::VerifiedEntry> Node::VerifyFetchedEntry(
   out.entry = entry;
   out.writes = std::move(writes);
   out.receipt = std::move(receipt);
-  ++historical_counters_.entries_verified;
+  historical_metrics_.entries_verified->Inc();
   return out;
 }
 
@@ -512,23 +576,28 @@ std::optional<crypto::PublicKeyBytes> Node::NodePublicKey(
   return info->cert.public_key;
 }
 
-Result<Bytes> Node::ChannelKeyFor(const std::string& peer) {
+Result<Bytes> Node::ChannelKeyFor(const std::string& peer, uint32_t epoch) {
   auto peer_key = NodePublicKey(peer);
   if (!peer_key.has_value()) {
     return Status::NotFound("no public key known for node " + peer);
   }
   ASSIGN_OR_RETURN(Bytes shared, node_key_.DeriveSharedSecret(*peer_key));
-  // Derivation is symmetric in the pair of node ids.
+  // Derivation is symmetric in the pair of node ids. The epoch rolls the
+  // key when a direction's AEAD message counter nears the nonce limit:
+  // static-static ECDH always yields the same shared secret, so freshness
+  // must come from the HKDF info input.
   std::string lo = std::min(config_.node_id, peer);
   std::string hi = std::max(config_.node_id, peer);
   return crypto::Hkdf(shared, ToBytes("ccf.channel.v1"),
-                      ToBytes(lo + "|" + hi), 32);
+                      ToBytes(lo + "|" + hi + "|e" + std::to_string(epoch)),
+                      32);
 }
 
-crypto::AesGcm* Node::ChannelGcmFor(const std::string& peer) {
-  auto it = channel_gcm_.find(peer);
-  if (it != channel_gcm_.end()) return it->second.get();
-  auto key = ChannelKeyFor(peer);
+crypto::AesGcm* Node::ChannelGcmFor(const std::string& peer, uint32_t epoch) {
+  ChannelState& ch = channels_[peer];
+  auto it = ch.gcm_by_epoch.find(epoch);
+  if (it != ch.gcm_by_epoch.end()) return it->second.get();
+  auto key = ChannelKeyFor(peer, epoch);
   if (!key.ok()) {
     LOG_DEBUG << config_.node_id << " cannot reach " << peer << ": "
               << key.status().ToString();
@@ -536,18 +605,52 @@ crypto::AesGcm* Node::ChannelGcmFor(const std::string& peer) {
   }
   auto gcm = std::make_unique<crypto::AesGcm>(*key);
   crypto::AesGcm* ptr = gcm.get();
-  channel_gcm_[peer] = std::move(gcm);
+  ch.gcm_by_epoch[epoch] = std::move(gcm);
+  // Bound the cache: keep only the newest few epochs (send + both sides
+  // of an in-flight rekey).
+  while (ch.gcm_by_epoch.size() > 4) {
+    ch.gcm_by_epoch.erase(ch.gcm_by_epoch.begin());
+  }
   return ptr;
+}
+
+uint64_t Node::channel_send_counter(const std::string& peer) const {
+  auto it = channels_.find(peer);
+  return it != channels_.end() ? it->second.send_counter : 0;
+}
+
+uint32_t Node::channel_send_epoch(const std::string& peer) const {
+  auto it = channels_.find(peer);
+  return it != channels_.end() ? it->second.send_epoch : 0;
+}
+
+void Node::TestForceChannelCounter(const std::string& peer, uint64_t value) {
+  channels_[peer].send_counter = value;
 }
 
 void Node::SendOnChannel(const std::string& peer, uint8_t channel_type,
                          ByteSpan payload) {
-  crypto::AesGcm* gcm_ptr = ChannelGcmFor(peer);
+  ChannelState& ch = channels_[peer];
+  if (ch.send_counter >= kChannelRekeyAt) {
+    // Fail closed before the GCM nonce space can be exhausted: tear the
+    // send context down and re-derive under the next epoch.
+    ch.gcm_by_epoch.erase(ch.send_epoch);
+    ++ch.send_epoch;
+    ch.send_counter = 0;
+    m_channel_rekeys_->Inc();
+    LOG_INFO << config_.node_id << " rekeying channel to " << peer
+             << " (epoch " << ch.send_epoch << ")";
+  }
+  crypto::AesGcm* gcm_ptr = ChannelGcmFor(peer, ch.send_epoch);
   if (gcm_ptr == nullptr) return;
   crypto::AesGcm& gcm = *gcm_ptr;
   BufWriter ivw;
-  ivw.U64(channel_send_counter_[peer]++);
-  ivw.U32(static_cast<uint32_t>(config_.node_id.size()));  // direction split
+  ivw.U64(ch.send_counter++);
+  // Direction split: the two directions of one epoch's key must never
+  // share an IV. A lo/hi direction bit guarantees that for any pair of
+  // distinct node ids (a length-based split would collide for same-length
+  // ids like "n0"/"n1").
+  ivw.U32(config_.node_id < peer ? 0u : 1u);
   Bytes inner;
   inner.push_back(channel_type);
   Append(&inner, payload);
@@ -555,15 +658,18 @@ void Node::SendOnChannel(const std::string& peer, uint8_t channel_type,
   Bytes sealed = gcm.Seal(ivw.data(), inner, aad);
 
   BufWriter w;
+  w.U32(ch.send_epoch);
   w.Blob(ivw.data());
   w.Raw(sealed);
   EnclaveSendNet(peer, WrapWire(kNodeChannel, w.data()));
 }
 
 void Node::HandleChannelMessage(const std::string& peer, ByteSpan payload) {
-  crypto::AesGcm* gcm_ptr = ChannelGcmFor(peer);
-  if (gcm_ptr == nullptr) return;
   BufReader r(payload);
+  auto epoch = r.U32();
+  if (!epoch.ok()) return;
+  crypto::AesGcm* gcm_ptr = ChannelGcmFor(peer, *epoch);
+  if (gcm_ptr == nullptr) return;
   auto iv = r.Blob();
   if (!iv.ok() || iv->size() != crypto::kGcmIvSize) return;
   auto sealed = r.Raw(r.remaining());
@@ -811,7 +917,7 @@ void Node::VerifyCommittedSignatures(uint64_t commit_seqno) {
       LOG_ERROR << config_.node_id << " signature at " << p.seqno
                 << " from unknown node " << p.sr.node_id;
       integrity_violation_ = true;
-      ++crypto_ops_.verify_failures;
+      crypto_metrics_.verify_failures->Inc();
     } else {
       job.pub = *pub;
       jobs.push_back(std::move(job));
@@ -821,14 +927,14 @@ void Node::VerifyCommittedSignatures(uint64_t commit_seqno) {
   if (jobs.empty()) return;
 
   if (jobs.size() == 1) {
-    ++crypto_ops_.verifies_single;
+    crypto_metrics_.verifies_single->Inc();
     const VerifyJob& job = jobs.front();
     if (!crypto::Verify(ByteSpan(job.pub.data(), job.pub.size()), job.payload,
                         ByteSpan(job.sig.data(), job.sig.size()))) {
       LOG_ERROR << config_.node_id << " bad signature at " << job.seqno
                 << " from " << job.signer;
       integrity_violation_ = true;
-      ++crypto_ops_.verify_failures;
+      crypto_metrics_.verify_failures->Inc();
     }
     return;
   }
@@ -841,15 +947,15 @@ void Node::VerifyCommittedSignatures(uint64_t commit_seqno) {
   }
   std::vector<bool> ok;
   bool all = crypto::VerifyBatch(items, &verify_drbg_, &ok);
-  ++crypto_ops_.verify_batches;
-  crypto_ops_.verifies_batched += jobs.size();
+  crypto_metrics_.verify_batches->Inc();
+  crypto_metrics_.verifies_batched->Inc(jobs.size());
   if (!all) {
     for (size_t i = 0; i < jobs.size(); ++i) {
       if (ok[i]) continue;
       LOG_ERROR << config_.node_id << " bad signature at " << jobs[i].seqno
                 << " from " << jobs[i].signer;
       integrity_violation_ = true;
-      ++crypto_ops_.verify_failures;
+      crypto_metrics_.verify_failures->Inc();
     }
   }
 }
@@ -1056,7 +1162,7 @@ void Node::EmitSignature() {
   sr.root = tree_.Root();
   sr.node_id = config_.node_id;
   sr.signature = node_key_.Sign(sr.SignedPayload());
-  ++crypto_ops_.signs;
+  crypto_metrics_.signs->Inc();
   CommitSignedRoot(sr);
 }
 
@@ -1087,8 +1193,8 @@ void Node::SubmitDeferredSignature() {
   sr->root = tree_.Root();
   sr->node_id = config_.node_id;
   sig_inflight_ = true;
-  ++crypto_ops_.signs;
-  ++crypto_ops_.signs_deferred;
+  crypto_metrics_.signs->Inc();
+  crypto_metrics_.signs_deferred->Inc();
   worker_pool_.Submit(
       [this, sr] { sr->signature = node_key_.Sign(sr->SignedPayload()); },
       [this, sr] {

@@ -44,6 +44,7 @@
 #include "node/config.h"
 #include "node/historical.h"
 #include "node/indexing.h"
+#include "observe/metrics.h"
 #include "rpc/endpoints.h"
 #include "rpc/session.h"
 #include "sim/environment.h"
@@ -94,8 +95,14 @@ class Node : public consensus::RaftCallbacks {
   consensus::RaftNode& raft() { return *raft_; }
   const consensus::RaftNode& raft() const { return *raft_; }
 
+  // Unified metrics registry (tee boundary, worker pool, consensus, rpc,
+  // crypto/historical counters; exposed via GET /node/metrics).
+  observe::Registry& metrics() { return metrics_; }
+  const observe::Registry& metrics() const { return metrics_; }
+
   // Crypto op telemetry (also surfaced via GET /node/crypto_ops). Merkle
-  // hashing counters live in tree().stats().
+  // hashing counters live in tree().stats(). The values live in the
+  // metrics registry; this is a point-in-time snapshot of them.
   struct CryptoOpCounters {
     uint64_t signs = 0;            // signature transactions signed
     uint64_t signs_deferred = 0;   // of which went through the worker pool
@@ -104,8 +111,9 @@ class Node : public consensus::RaftCallbacks {
     uint64_t verify_batches = 0;   // VerifyBatch invocations
     uint64_t verify_failures = 0;  // signatures that failed verification
   };
-  const CryptoOpCounters& crypto_ops() const { return crypto_ops_; }
-  // Host-fetch / historical-query telemetry (GET /node/historical).
+  CryptoOpCounters crypto_ops() const;
+  // Host-fetch / historical-query telemetry (GET /node/historical);
+  // registry-backed snapshot, like crypto_ops().
   struct HistoricalCounters {
     uint64_t host_fetch_requests = 0;   // fetch requests the host served
     uint64_t host_fetch_responses = 0;  // responses delivered to the enclave
@@ -116,9 +124,16 @@ class Node : public consensus::RaftCallbacks {
     uint64_t entries_verified = 0;      // fetched entries passing verification
     uint64_t entries_rejected = 0;      // fetched entries failing verification
   };
-  const HistoricalCounters& historical_counters() const {
-    return historical_counters_;
-  }
+  HistoricalCounters historical_counters() const;
+
+  // Node-to-node channel AEAD state (tests / operator). A channel rekeys
+  // (fail closed: fresh HKDF epoch, counter reset) before its per-epoch
+  // message counter can reach the GCM nonce limit.
+  static constexpr uint64_t kChannelRekeyAt = uint64_t{1} << 48;
+  uint64_t channel_send_counter(const std::string& peer) const;
+  uint32_t channel_send_epoch(const std::string& peer) const;
+  // Test-only: jump the counter next to the threshold to exercise rekey.
+  void TestForceChannelCounter(const std::string& peer, uint64_t value);
   const tee::WorkerPool& worker_pool() const { return worker_pool_; }
   kv::Store& store() { return store_; }
   const kv::Store& store() const { return store_; }
@@ -199,8 +214,9 @@ class Node : public consensus::RaftCallbacks {
   void HandleChannelMessage(const std::string& peer, ByteSpan payload);
   void SendOnChannel(const std::string& peer, uint8_t channel_type,
                      ByteSpan payload);
-  Result<Bytes> ChannelKeyFor(const std::string& peer);
-  crypto::AesGcm* ChannelGcmFor(const std::string& peer);
+  Result<Bytes> ChannelKeyFor(const std::string& peer, uint32_t epoch);
+  crypto::AesGcm* ChannelGcmFor(const std::string& peer, uint32_t epoch);
+  void BindNodeMetrics();
   std::optional<crypto::PublicKeyBytes> NodePublicKey(
       const std::string& node_id);
 
@@ -210,8 +226,12 @@ class Node : public consensus::RaftCallbacks {
                        const http::Request& request);
   void RespondToSession(const std::string& session_peer,
                         const http::Response& response);
+  // Timed wrapper: runs ExecuteRequestInner and records per-endpoint
+  // request/status/latency metrics.
   http::Response ExecuteRequest(const http::Request& request,
                                 const rpc::CallerIdentity& caller);
+  http::Response ExecuteRequestInner(const http::Request& request,
+                                     const rpc::CallerIdentity& caller);
   http::Response ExecuteScriptedEndpoint(const std::string& key,
                                          const json::Value& spec,
                                          const http::Request& request,
@@ -270,6 +290,11 @@ class Node : public consensus::RaftCallbacks {
   Application* app_;
   sim::Environment* env_;
 
+  // Declared before every instrumented member so bound metric pointers
+  // outlive their users (destruction is reverse order; worker_pool_ is
+  // last and its in-flight completions may still record).
+  observe::Registry metrics_;
+
   // ------------------------------ host state
   ledger::Ledger host_ledger_;
   tee::EnclaveBoundary boundary_;
@@ -285,7 +310,6 @@ class Node : public consensus::RaftCallbacks {
   };
   std::vector<PendingHostFetch> host_fetch_queue_;
   uint64_t host_fetch_seq_ = 0;
-  HistoricalCounters historical_counters_;
 
   // ------------------------------ enclave state
   crypto::Drbg drbg_;
@@ -322,11 +346,19 @@ class Node : public consensus::RaftCallbacks {
   };
   std::map<std::string, UserSession> sessions_;
 
-  // Node-to-node channel receive/send state. Pair keys are derived once
-  // per peer (static-static ECDH) and cached.
-  std::map<std::string, uint64_t> channel_send_counter_;
+  // Node-to-node channel receive/send state. Pair keys are derived per
+  // (peer, epoch) from static-static ECDH via HKDF and cached; the send
+  // epoch advances (rekey) before the AEAD message counter can approach
+  // the nonce limit, and receivers derive whatever epoch the wire names.
+  struct ChannelState {
+    uint64_t send_counter = 0;
+    uint32_t send_epoch = 0;
+    // Small per-epoch AEAD cache (our send epoch + the peer's, which may
+    // briefly differ around a rekey); pruned to the newest few.
+    std::map<uint32_t, std::unique_ptr<crypto::AesGcm>> gcm_by_epoch;
+  };
+  std::map<std::string, ChannelState> channels_;
   std::map<std::string, crypto::PublicKeyBytes> known_node_keys_;
-  std::map<std::string, std::unique_ptr<crypto::AesGcm>> channel_gcm_;
 
   // Forwarded requests awaiting a primary response: correlation -> session.
   uint64_t next_correlation_ = 1;
@@ -377,7 +409,32 @@ class Node : public consensus::RaftCallbacks {
   // deterministic runs replay identical combiners.
   crypto::Drbg verify_drbg_;
 
-  CryptoOpCounters crypto_ops_;
+  // Registry-backed counters (bound once in BindNodeMetrics; the structs
+  // mirror the snapshot types above).
+  struct CryptoOpMetrics {
+    observe::Counter* signs = nullptr;
+    observe::Counter* signs_deferred = nullptr;
+    observe::Counter* verifies_single = nullptr;
+    observe::Counter* verifies_batched = nullptr;
+    observe::Counter* verify_batches = nullptr;
+    observe::Counter* verify_failures = nullptr;
+  };
+  CryptoOpMetrics crypto_metrics_;
+  struct HistoricalMetrics {
+    observe::Counter* host_fetch_requests = nullptr;
+    observe::Counter* host_fetch_responses = nullptr;
+    observe::Counter* host_fetch_drops = nullptr;
+    observe::Counter* host_fetch_corrupts = nullptr;
+    observe::Counter* host_fetch_delays = nullptr;
+    observe::Counter* host_fetch_reorders = nullptr;
+    observe::Counter* entries_verified = nullptr;
+    observe::Counter* entries_rejected = nullptr;
+  };
+  HistoricalMetrics historical_metrics_;
+  observe::Counter* m_channel_rekeys_ = nullptr;
+  observe::Gauge* m_index_upto_ = nullptr;
+  observe::Gauge* m_index_lag_ = nullptr;
+  observe::Gauge* m_ledger_entries_ = nullptr;
 
   // Declared last so it is destroyed first: in-flight jobs may touch other
   // members, which must still be alive while the destructor joins.

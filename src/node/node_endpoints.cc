@@ -2,6 +2,7 @@
 // protocol, and disaster recovery for ccf::node::Node.
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/buffer.h"
 #include "common/hex.h"
@@ -241,6 +242,19 @@ void Node::ForwardToPrimary(const std::string& session_peer,
 
 http::Response Node::ExecuteRequest(const http::Request& request,
                                     const rpc::CallerIdentity& caller) {
+  auto t0 = std::chrono::steady_clock::now();
+  http::Response response = ExecuteRequestInner(request, caller);
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  rpc::RecordEndpointMetrics(&metrics_, request.method,
+                             http::ParseTarget(request.path).path,
+                             response.status, static_cast<uint64_t>(us));
+  return response;
+}
+
+http::Response Node::ExecuteRequestInner(const http::Request& request,
+                                         const rpc::CallerIdentity& caller) {
   http::ParsedTarget target = http::ParseTarget(request.path);
   const std::string& path = target.path;
   http::Response error;
@@ -467,26 +481,48 @@ void Node::InstallFrameworkEndpoints() {
        },
        AuthPolicy::kNoAuth, /*read_only=*/true});
 
-  // Crypto op telemetry (operator view of the offload/batch pipeline).
+  // Crypto op telemetry. Thin alias over the metrics registry (the
+  // generic endpoint is GET /node/metrics); keeps the original flat keys.
   registry_.Install(
       "GET", "/node/crypto_ops",
       {[this](EndpointContext* ctx) {
          const merkle::MerkleTree::Stats& ts = tree_.stats();
+         CryptoOpCounters ops = crypto_ops();
          json::Object out;
          out["merkle_leaf_hashes"] = ts.leaf_hashes;
          out["merkle_interior_hashes"] = ts.interior_hashes;
          out["merkle_batched_leaves"] = ts.batched_leaves;
          out["merkle_x4_groups"] = ts.x4_groups;
-         out["signs"] = crypto_ops_.signs;
-         out["signs_deferred"] = crypto_ops_.signs_deferred;
-         out["verifies_single"] = crypto_ops_.verifies_single;
-         out["verifies_batched"] = crypto_ops_.verifies_batched;
-         out["verify_batches"] = crypto_ops_.verify_batches;
-         out["verify_failures"] = crypto_ops_.verify_failures;
+         out["signs"] = ops.signs;
+         out["signs_deferred"] = ops.signs_deferred;
+         out["verifies_single"] = ops.verifies_single;
+         out["verifies_batched"] = ops.verifies_batched;
+         out["verify_batches"] = ops.verify_batches;
+         out["verify_failures"] = ops.verify_failures;
          out["worker_threads"] = static_cast<uint64_t>(
              worker_pool_.worker_count());
          out["worker_jobs_submitted"] = worker_pool_.submitted();
          out["worker_jobs_drained"] = worker_pool_.drained();
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
+  // Generic metrics exposition: every registry metric, as JSON or (with
+  // ?format=prometheus) Prometheus text. Only aggregate numbers cross
+  // this boundary -- see DESIGN.md on what enclave code may record.
+  registry_.Install(
+      "GET", "/node/metrics",
+      {[this](EndpointContext* ctx) {
+         if (ctx->Param("format") == "prometheus") {
+           http::Response& resp = ctx->response();
+           resp.status = 200;
+           resp.headers["content-type"] = "text/plain; version=0.0.4";
+           resp.body = ToBytes(metrics_.ToPrometheus());
+           return;
+         }
+         json::Object out;
+         out["node_id"] = config_.node_id;
+         out["metrics"] = metrics_.ToJson();
          ctx->SetJsonResponse(200, json::Value(std::move(out)));
        },
        AuthPolicy::kNoAuth, /*read_only=*/true});
@@ -625,6 +661,7 @@ void Node::InstallFrameworkEndpoints() {
       {[this](EndpointContext* ctx) {
          const historical::StateCache::Stats& cs = historical_->stats();
          const indexing::Indexer::Stats& is = indexer_.stats();
+         HistoricalCounters hc = historical_counters();
          json::Object out;
          out["cache_requests"] = cs.requests;
          out["cache_hits"] = cs.hits;
@@ -646,15 +683,14 @@ void Node::InstallFrameworkEndpoints() {
          out["index_max_fed_per_tick"] = is.max_fed_per_tick;
          out["index_decode_failures"] = is.decode_failures;
          out["receiptable_upto"] = ReceiptableUpto();
-         out["host_fetch_requests"] = historical_counters_.host_fetch_requests;
-         out["host_fetch_responses"] =
-             historical_counters_.host_fetch_responses;
-         out["host_fetch_drops"] = historical_counters_.host_fetch_drops;
-         out["host_fetch_corrupts"] = historical_counters_.host_fetch_corrupts;
-         out["host_fetch_delays"] = historical_counters_.host_fetch_delays;
-         out["host_fetch_reorders"] = historical_counters_.host_fetch_reorders;
-         out["entries_verified"] = historical_counters_.entries_verified;
-         out["entries_rejected"] = historical_counters_.entries_rejected;
+         out["host_fetch_requests"] = hc.host_fetch_requests;
+         out["host_fetch_responses"] = hc.host_fetch_responses;
+         out["host_fetch_drops"] = hc.host_fetch_drops;
+         out["host_fetch_corrupts"] = hc.host_fetch_corrupts;
+         out["host_fetch_delays"] = hc.host_fetch_delays;
+         out["host_fetch_reorders"] = hc.host_fetch_reorders;
+         out["entries_verified"] = hc.entries_verified;
+         out["entries_rejected"] = hc.entries_rejected;
          ctx->SetJsonResponse(200, json::Value(std::move(out)));
        },
        AuthPolicy::kNoAuth, /*read_only=*/true});
@@ -957,6 +993,7 @@ Status Node::InstallJoinResponse(const json::Value& body) {
   host_ledger_.SetBase(snap.seqno);
   raft_ = std::make_unique<consensus::RaftNode>(consensus::RaftNode::Joiner(
       config_.node_id, config_.raft, snap.view, snap.seqno, configs, this));
+  raft_->BindMetrics(&metrics_);
   join_pending_ = false;
   join_session_.reset();
   LOG_INFO << config_.node_id << " joined at snapshot " << snap.seqno;
@@ -1014,6 +1051,7 @@ void Node::InitRecovery(ledger::Ledger restored) {
   raft_ = std::make_unique<consensus::RaftNode>(consensus::RaftNode::Joiner(
       config_.node_id, config_.raft, base_view, base,
       {consensus::Configuration{0, {config_.node_id}}}, this));
+  raft_->BindMetrics(&metrics_);
   // A single-node configuration elects itself at the first timeout; the
   // recovery-declaration transaction is emitted in OnRoleChange.
 }

@@ -1,0 +1,250 @@
+#include "observe/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace ccf::observe {
+
+// ------------------------------------------------------------- Histogram
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v < kSubCount) return static_cast<size_t>(v);
+  // Octave o holds [2^o, 2^(o+1)), o >= kSubBits; the top kSubBits bits
+  // after the leading one pick the linear sub-bucket.
+  uint32_t o = 63 - static_cast<uint32_t>(std::countl_zero(v));
+  uint64_t sub = (v >> (o - kSubBits)) & (kSubCount - 1);
+  return kSubCount + (o - kSubBits) * kSubCount + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubCount) return static_cast<uint64_t>(index);
+  size_t rel = index - kSubCount;
+  uint32_t o = kSubBits + static_cast<uint32_t>(rel / kSubCount);
+  uint64_t sub = rel % kSubCount;
+  uint64_t lower = (uint64_t{kSubCount} + sub) << (o - kSubBits);
+  uint64_t width = uint64_t{1} << (o - kSubBits);
+  return lower + width - 1;
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // Never report past the exact max (the last bucket may extend
+      // beyond any recorded value).
+      uint64_t ub = BucketUpperBound(i);
+      uint64_t m = max();
+      return ub < m ? ub : m;
+    }
+  }
+  return max();
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+// ------------------------------------------------------------ TimeSeries
+
+TimeSeries::TimeSeries(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void TimeSeries::Sample(uint64_t t_ms, uint64_t value) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back({t_ms, value});
+  } else {
+    ring_[total_ % capacity_] = {t_ms, value};
+  }
+  ++total_;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::Samples() const {
+  std::vector<Point> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    uint64_t start = total_ % capacity_;  // oldest surviving sample
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- Registry
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.gauge || e.histogram || e.series) return nullptr;
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter || e.histogram || e.series) return nullptr;
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter || e.gauge || e.series) return nullptr;
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return e.histogram.get();
+}
+
+TimeSeries* Registry::GetTimeSeries(const std::string& name,
+                                    size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter || e.gauge || e.histogram) return nullptr;
+  if (!e.series) e.series = std::make_unique<TimeSeries>(capacity);
+  return e.series.get();
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.counter.get() : nullptr;
+}
+
+const Gauge* Registry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.gauge.get() : nullptr;
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.histogram.get() : nullptr;
+}
+
+uint64_t Registry::ScalarValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0;
+  if (it->second.counter) return it->second.counter->value();
+  if (it->second.gauge) return it->second.gauge->value();
+  return 0;
+}
+
+json::Value Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Object counters;
+  json::Object gauges;
+  json::Object histograms;
+  json::Object series;
+  for (const auto& [name, e] : metrics_) {
+    if (e.counter != nullptr) {
+      counters[name] = e.counter->value();
+    } else if (e.gauge != nullptr) {
+      json::Object g;
+      g["value"] = e.gauge->value();
+      g["max"] = e.gauge->max();
+      gauges[name] = std::move(g);
+    } else if (e.histogram != nullptr) {
+      Histogram::Snapshot s = e.histogram->GetSnapshot();
+      json::Object h;
+      h["count"] = s.count;
+      h["sum"] = s.sum;
+      h["max"] = s.max;
+      h["p50"] = s.p50;
+      h["p90"] = s.p90;
+      h["p99"] = s.p99;
+      histograms[name] = std::move(h);
+    } else if (e.series != nullptr) {
+      json::Object t;
+      t["capacity"] = static_cast<uint64_t>(e.series->capacity());
+      t["total"] = e.series->total_samples();
+      json::Array points;
+      for (const TimeSeries::Point& p : e.series->Samples()) {
+        points.push_back(json::Value(json::Array{json::Value(p.t_ms),
+                                                 json::Value(p.value)}));
+      }
+      t["points"] = std::move(points);
+      series[name] = std::move(t);
+    }
+  }
+  json::Object out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  out["series"] = std::move(series);
+  return json::Value(std::move(out));
+}
+
+std::string PrometheusName(const std::string& prefix,
+                           const std::string& name) {
+  std::string out = prefix.empty() ? "" : prefix + "_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string Registry::ToPrometheus(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : metrics_) {
+    std::string pn = PrometheusName(prefix, name);
+    if (e.counter != nullptr) {
+      out << "# TYPE " << pn << " counter\n"
+          << pn << " " << e.counter->value() << "\n";
+    } else if (e.gauge != nullptr) {
+      out << "# TYPE " << pn << " gauge\n"
+          << pn << " " << e.gauge->value() << "\n"
+          << "# TYPE " << pn << "_max gauge\n"
+          << pn << "_max " << e.gauge->max() << "\n";
+    } else if (e.histogram != nullptr) {
+      Histogram::Snapshot s = e.histogram->GetSnapshot();
+      out << "# TYPE " << pn << " summary\n"
+          << pn << "{quantile=\"0.5\"} " << s.p50 << "\n"
+          << pn << "{quantile=\"0.9\"} " << s.p90 << "\n"
+          << pn << "{quantile=\"0.99\"} " << s.p99 << "\n"
+          << pn << "_count " << s.count << "\n"
+          << pn << "_sum " << s.sum << "\n"
+          << pn << "_max " << s.max << "\n";
+    }
+    // TimeSeries is report-only; it has no Prometheus exposition.
+  }
+  return out.str();
+}
+
+}  // namespace ccf::observe

@@ -1,0 +1,192 @@
+// Unified observability: a registry of named metrics shared by every
+// layer of the stack (paper §8 measures the service exclusively through
+// throughput and tail-latency series; this subsystem is the first-class
+// home for those measurements).
+//
+// Design constraints, in order:
+//   1. Hot-path cost is one relaxed atomic RMW. Counters, gauges, and
+//      histogram records never take a lock and never allocate; callers
+//      resolve the metric pointer once (creation is mutex-guarded, the
+//      pointer is stable for the registry's lifetime) and keep it.
+//   2. Instrumentation must not perturb determinism. Metrics are
+//      write-only from the instrumented code: no control flow ever reads
+//      a metric, and recording draws no randomness. A chaos run with the
+//      registry read at the end is bit-identical to one where it is
+//      ignored (asserted by the chaos suites).
+//   3. Bounded memory. Histograms have a fixed bucket layout (log-scaled,
+//      16 sub-buckets per power of two, ~6.7% worst-case relative error on
+//      percentile estimates) and TimeSeries is a bounded ring buffer.
+//   4. Boundary rule: enclave code records only aggregate numbers
+//      (counts, sizes, durations) — never payload bytes, keys, or any
+//      value derived from confidential state — so host-visible exposition
+//      (GET /node/metrics, run reports) leaks nothing the ledger's public
+//      half does not already reveal (see DESIGN.md, observe section).
+
+#ifndef CCF_OBSERVE_METRICS_H_
+#define CCF_OBSERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace ccf::observe {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written value plus its high-water mark (ring occupancy, queue
+// depth, lag). Set() is the hot-path operation.
+class Gauge {
+ public:
+  void Set(uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Fixed-bucket log-scaled histogram (HdrHistogram layout): values below
+// 2^kSubBits are recorded exactly; above that, each power-of-two octave is
+// split into 2^kSubBits linear sub-buckets, so a bucket's width is at most
+// 1/16 of its lower bound. Record() is one relaxed fetch_add (plus a CAS
+// loop for the exact max). Percentiles are estimated on read by walking
+// the cumulative bucket counts and reporting the bucket's upper bound,
+// which bounds the relative overestimate by 1/16 (~6.7%); the self-check
+// test asserts this against an exact sort.
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBits = 4;
+  static constexpr uint32_t kSubCount = 1u << kSubBits;  // 16
+  // Buckets: [0, 16) exact + 60 octaves (2^4 .. 2^63) of 16 sub-buckets.
+  static constexpr size_t kBucketCount = kSubCount + (64 - kSubBits) * kSubCount;
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  // Upper bound of the bucket containing the q-th quantile (q in [0, 1]).
+  // Returns 0 for an empty histogram.
+  uint64_t Quantile(double q) const;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+  };
+  Snapshot GetSnapshot() const;
+
+  // Bucket index for a value, and the largest value mapping to a bucket
+  // (exposed for the self-check test).
+  static size_t BucketIndex(uint64_t v);
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+};
+
+// Bounded ring buffer of (t_ms, value) samples. Driven by the
+// deterministic simulation clock, so a chaos run's series is replayable
+// from the seed. Single-writer (the sampling loop); reads are for
+// end-of-run reports.
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t capacity = 256);
+
+  void Sample(uint64_t t_ms, uint64_t value);
+
+  struct Point {
+    uint64_t t_ms;
+    uint64_t value;
+  };
+  // Samples in recording order (oldest surviving first).
+  std::vector<Point> Samples() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total_samples() const { return total_; }
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<Point> ring_;
+};
+
+// Named metrics, one namespace per node. Get* creates on first use
+// (mutex-guarded) and returns a stable pointer; instrumented code caches
+// it. Metric kinds share one namespace: reusing a name with a different
+// kind returns nullptr (programming error, surfaced loudly in tests).
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  TimeSeries* GetTimeSeries(const std::string& name, size_t capacity = 256);
+
+  // Read-side lookups (nullptr when absent or of a different kind).
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Value of a counter or gauge by name; 0 when absent. The aggregator's
+  // kind-agnostic sampling hook.
+  uint64_t ScalarValue(const std::string& name) const;
+
+  // Full snapshot:
+  //   {"counters": {name: n}, "gauges": {name: {"value", "max"}},
+  //    "histograms": {name: {"count","sum","max","p50","p90","p99"}},
+  //    "series": {name: {"capacity","total","points":[[t,v],...]}}}
+  json::Value ToJson() const;
+
+  // Prometheus text exposition. Metric names are sanitized to
+  // [a-zA-Z0-9_:] and prefixed; histograms export summary-style quantile
+  // lines plus _count/_sum/_max.
+  std::string ToPrometheus(const std::string& prefix = "ccf") const;
+
+ private:
+  struct Entry {
+    // Exactly one is set.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<TimeSeries> series;
+  };
+
+  mutable std::mutex mu_;  // guards map shape only; metrics are atomic
+  std::map<std::string, Entry> metrics_;
+};
+
+// "ccf_" + name with every character outside [a-zA-Z0-9_:] replaced by
+// '_': "rpc.latency_us.GET /app/log" -> "rpc_latency_us_GET__app_log".
+std::string PrometheusName(const std::string& prefix, const std::string& name);
+
+}  // namespace ccf::observe
+
+#endif  // CCF_OBSERVE_METRICS_H_

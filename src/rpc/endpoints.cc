@@ -49,4 +49,23 @@ std::vector<std::string> EndpointRegistry::List() const {
   return out;
 }
 
+void RecordEndpointMetrics(observe::Registry* reg, const std::string& method,
+                           const std::string& path, int status,
+                           uint64_t latency_us) {
+  if (reg == nullptr) return;
+  std::string key = method + " " + path;
+  observe::Counter* requests = reg->GetCounter("rpc.requests." + key);
+  if (requests != nullptr) requests->Inc();
+  const char* klass = "other";
+  if (status >= 200 && status < 300) klass = "2xx";
+  else if (status >= 300 && status < 400) klass = "3xx";
+  else if (status >= 400 && status < 500) klass = "4xx";
+  else if (status >= 500 && status < 600) klass = "5xx";
+  observe::Counter* by_status =
+      reg->GetCounter(std::string("rpc.status.") + klass);
+  if (by_status != nullptr) by_status->Inc();
+  observe::Histogram* latency = reg->GetHistogram("rpc.latency_us." + key);
+  if (latency != nullptr) latency->Record(latency_us);
+}
+
 }  // namespace ccf::rpc

@@ -21,6 +21,7 @@
 #include "http/http.h"
 #include "json/json.h"
 #include "kv/store.h"
+#include "observe/metrics.h"
 
 namespace ccf::rpc {
 
@@ -96,6 +97,15 @@ class EndpointRegistry {
  private:
   std::map<std::string, EndpointSpec> endpoints_;  // "METHOD path"
 };
+
+// Records one executed request into `reg`: a per-endpoint request counter
+// ("rpc.requests.<METHOD path>"), a status-class counter ("rpc.status.2xx"
+// etc.), and a per-endpoint latency histogram ("rpc.latency_us.<METHOD
+// path>"). Latency is wall-clock and write-only -- it never feeds back
+// into execution, so deterministic runs are unaffected by its variance.
+void RecordEndpointMetrics(observe::Registry* reg, const std::string& method,
+                           const std::string& path, int status,
+                           uint64_t latency_us);
 
 }  // namespace ccf::rpc
 

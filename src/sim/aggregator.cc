@@ -1,0 +1,88 @@
+#include "sim/aggregator.h"
+
+namespace ccf::sim {
+
+void MetricsAggregator::Track(const std::string& node_id,
+                              const observe::Registry* registry) {
+  nodes_[node_id] = registry;
+}
+
+void MetricsAggregator::Untrack(const std::string& node_id) {
+  // Keep the sampled series: a crashed node's history is still part of
+  // the run report, we just stop reading its (soon to be dead) registry.
+  nodes_.erase(node_id);
+}
+
+void MetricsAggregator::Watch(const std::string& metric_name) {
+  watched_.push_back(metric_name);
+}
+
+void MetricsAggregator::Attach(Environment* env, uint64_t sample_every_ms) {
+  env_ = env;
+  sample_every_ms_ = sample_every_ms == 0 ? 1 : sample_every_ms;
+  env->AddStepObserver([this](uint64_t now_ms) {
+    if (now_ms % sample_every_ms_ == 0) SampleAll(now_ms);
+  });
+}
+
+void MetricsAggregator::SampleAll(uint64_t now_ms) {
+  for (const auto& [id, reg] : nodes_) {
+    for (const std::string& name : watched_) {
+      auto key = std::make_pair(id, name);
+      auto it = series_.find(key);
+      if (it == series_.end()) {
+        it = series_.emplace(key, observe::TimeSeries(series_capacity_)).first;
+      }
+      it->second.Sample(now_ms, reg->ScalarValue(name));
+    }
+  }
+}
+
+json::Value MetricsAggregator::Report() const {
+  json::Object env;
+  if (env_ != nullptr) {
+    env["duration_ms"] = env_->now_ms();
+    env["messages_sent"] = static_cast<uint64_t>(env_->messages_sent());
+    env["messages_delivered"] =
+        static_cast<uint64_t>(env_->messages_delivered());
+    env["messages_dropped"] = static_cast<uint64_t>(env_->messages_dropped());
+    env["messages_duplicated"] =
+        static_cast<uint64_t>(env_->messages_duplicated());
+    env["messages_reordered"] =
+        static_cast<uint64_t>(env_->messages_reordered());
+  }
+
+  json::Object nodes;
+  for (const auto& [id, reg] : nodes_) nodes[id] = reg->ToJson();
+
+  json::Object watched;
+  for (const auto& [key, ts] : series_) {
+    const auto& [node_id, metric] = key;
+    json::Object entry;
+    entry["total"] = ts.total_samples();
+    json::Array points;
+    for (const auto& p : ts.Samples()) {
+      json::Array point;
+      point.emplace_back(p.t_ms);
+      point.emplace_back(p.value);
+      points.emplace_back(std::move(point));
+    }
+    entry["points"] = std::move(points);
+    auto it = watched.find(node_id);
+    if (it == watched.end()) {
+      json::Object per_node;
+      per_node[metric] = json::Value(std::move(entry));
+      watched[node_id] = json::Value(std::move(per_node));
+    } else {
+      it->second.AsObject()[metric] = json::Value(std::move(entry));
+    }
+  }
+
+  json::Object report;
+  report["env"] = json::Value(std::move(env));
+  report["nodes"] = json::Value(std::move(nodes));
+  report["watched"] = json::Value(std::move(watched));
+  return json::Value(std::move(report));
+}
+
+}  // namespace ccf::sim

@@ -1,0 +1,62 @@
+// Environment-level metrics aggregation: snapshots every tracked node's
+// observe::Registry on the deterministic sim clock and emits a structured
+// end-of-run report (consumed by the chaos suites and benches).
+//
+// The aggregator is strictly read-only over the registries: it samples
+// counter/gauge values into its own TimeSeries rings and serializes
+// snapshots, but never mutates a metric and never draws randomness, so
+// attaching it cannot perturb a deterministic run.
+
+#ifndef CCF_SIM_AGGREGATOR_H_
+#define CCF_SIM_AGGREGATOR_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "observe/metrics.h"
+#include "sim/environment.h"
+
+namespace ccf::sim {
+
+class MetricsAggregator {
+ public:
+  explicit MetricsAggregator(size_t series_capacity = 512)
+      : series_capacity_(series_capacity) {}
+
+  // Registers a node's registry for snapshotting. The registry must
+  // outlive the aggregator (or be Untracked first).
+  void Track(const std::string& node_id, const observe::Registry* registry);
+  void Untrack(const std::string& node_id);
+
+  // Samples the named counter/gauge (via Registry::ScalarValue) into a
+  // bounded per-node TimeSeries at every sampling step.
+  void Watch(const std::string& metric_name);
+
+  // Hooks the aggregator into the environment's step loop, sampling every
+  // `sample_every_ms` virtual milliseconds. Coexists with other step
+  // observers (Environment::AddStepObserver).
+  void Attach(Environment* env, uint64_t sample_every_ms = 10);
+
+  // Structured end-of-run report:
+  //   {"env": {"duration_ms", "messages_sent", ...},
+  //    "nodes": {node_id: <Registry::ToJson()>},
+  //    "watched": {node_id: {metric: {"total", "points": [[t, v], ...]}}}}
+  json::Value Report() const;
+
+ private:
+  void SampleAll(uint64_t now_ms);
+
+  Environment* env_ = nullptr;
+  size_t series_capacity_;
+  uint64_t sample_every_ms_ = 10;
+  std::map<std::string, const observe::Registry*> nodes_;
+  std::vector<std::string> watched_;
+  // (node_id, metric name) -> sampled series.
+  std::map<std::pair<std::string, std::string>, observe::TimeSeries> series_;
+};
+
+}  // namespace ccf::sim
+
+#endif  // CCF_SIM_AGGREGATOR_H_

@@ -89,8 +89,13 @@ void Environment::At(uint64_t at_ms, std::function<void()> action) {
                      std::move(action));
 }
 
+void Environment::AddStepObserver(std::function<void(uint64_t)> observer) {
+  step_observers_.push_back(std::move(observer));
+}
+
 void Environment::SetStepObserver(std::function<void(uint64_t)> observer) {
-  step_observer_ = std::move(observer);
+  step_observers_.clear();
+  step_observers_.push_back(std::move(observer));
 }
 
 bool Environment::Blocked(const std::string& a, const std::string& b) const {
@@ -199,7 +204,7 @@ void Environment::Step(uint64_t ms) {
     for (auto& [id, process] : processes_) {
       if (process.up) process.ticker(now_ms_);
     }
-    if (step_observer_) step_observer_(now_ms_);
+    for (auto& observer : step_observers_) observer(now_ms_);
   }
 }
 

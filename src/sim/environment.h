@@ -114,7 +114,10 @@ class Environment {
   void At(uint64_t at_ms, std::function<void()> action);
 
   // Observer invoked at the end of every simulated millisecond (after
-  // deliveries and ticks) — the invariant checker's hook.
+  // deliveries and ticks). Multiple observers run in registration order
+  // (e.g. the invariant checker and the metrics aggregator coexist).
+  void AddStepObserver(std::function<void(uint64_t now_ms)> observer);
+  // Legacy single-slot form: clears previously added observers first.
   void SetStepObserver(std::function<void(uint64_t now_ms)> observer);
 
   // Schedules a message. Drops happen at send time (per the drop
@@ -180,7 +183,7 @@ class Environment {
   // Scheduled actions, ordered by (time, insertion sequence).
   std::multimap<std::pair<uint64_t, uint64_t>, std::function<void()>>
       scheduled_;
-  std::function<void(uint64_t)> step_observer_;
+  std::vector<std::function<void(uint64_t)>> step_observers_;
 };
 
 }  // namespace ccf::sim

@@ -51,7 +51,7 @@ void InvariantChecker::Track(const std::string& id, const RaftNode* raft,
 void InvariantChecker::Untrack(const std::string& id) { nodes_.erase(id); }
 
 void InvariantChecker::Attach(Environment* env) {
-  env->SetStepObserver([this](uint64_t now_ms) { ObserveAll(now_ms); });
+  env->AddStepObserver([this](uint64_t now_ms) { ObserveAll(now_ms); });
 }
 
 void InvariantChecker::AddViolation(uint64_t now_ms, const std::string& what) {

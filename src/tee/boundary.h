@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "crypto/gcm.h"
 #include "ds/ringbuffer.h"
+#include "observe/metrics.h"
 
 namespace ccf::tee {
 
@@ -47,10 +48,22 @@ class EnclaveBoundary {
   uint64_t host_to_enclave_count() const { return h2e_count_; }
   uint64_t enclave_to_host_count() const { return e2h_count_; }
 
+  // Registers per-direction metrics (message counts, full-ring stalls,
+  // ring occupancy gauges whose max() is the high-water mark). Call once,
+  // before traffic; unbound boundaries record nothing.
+  void BindMetrics(observe::Registry* reg);
+
  private:
-  bool Send(ds::RingBuffer* rb, std::atomic<uint64_t>* counter, uint32_t type,
-            ByteSpan payload);
-  bool Receive(ds::RingBuffer* rb, uint32_t* type, Bytes* payload);
+  struct DirMetrics {
+    observe::Counter* messages = nullptr;
+    observe::Counter* stalls = nullptr;
+    observe::Gauge* ring_used = nullptr;
+  };
+
+  bool Send(ds::RingBuffer* rb, std::atomic<uint64_t>* counter,
+            const DirMetrics& dm, uint32_t type, ByteSpan payload);
+  bool Receive(ds::RingBuffer* rb, const DirMetrics& dm, uint32_t* type,
+               Bytes* payload);
 
   TeeMode mode_;
   ds::RingBuffer host_to_enclave_;
@@ -61,6 +74,8 @@ class EnclaveBoundary {
   std::atomic<uint64_t> seal_counter_{0};
   std::atomic<uint64_t> h2e_count_{0};
   std::atomic<uint64_t> e2h_count_{0};
+  DirMetrics h2e_metrics_;
+  DirMetrics e2h_metrics_;
 };
 
 }  // namespace ccf::tee

@@ -40,20 +40,29 @@ void WorkerPool::WorkerMain() {
   }
 }
 
+void WorkerPool::BindMetrics(observe::Registry* reg) {
+  m_submitted_ = reg->GetCounter("tee.worker.jobs_submitted");
+  m_drained_ = reg->GetCounter("tee.worker.jobs_drained");
+  m_queue_depth_ = reg->GetGauge("tee.worker.queue_depth");
+}
+
 void WorkerPool::Submit(Job job, Job completion) {
   auto task = std::make_shared<Task>();
   task->completion = std::move(completion);
   ++submitted_;
+  if (m_submitted_ != nullptr) m_submitted_->Inc();
   if (threads_.empty()) {
     // Synchronous mode: the job runs right here at the submission point;
     // only the completion waits for the drain.
     job();
     task->finished = true;
     pending_.push_back(std::move(task));
+    if (m_queue_depth_ != nullptr) m_queue_depth_->Set(pending_.size());
     return;
   }
   task->job = std::move(job);
   pending_.push_back(task);
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Set(pending_.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -76,8 +85,10 @@ size_t WorkerPool::Drain(bool wait_all) {
     pending_.pop_front();
     ++drained_;
     ++ran;
+    if (m_drained_ != nullptr) m_drained_->Inc();
     task->completion();
   }
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Set(pending_.size());
   return ran;
 }
 

@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "observe/metrics.h"
+
 namespace ccf::tee {
 
 class WorkerPool {
@@ -62,6 +64,10 @@ class WorkerPool {
   uint64_t submitted() const { return submitted_; }
   uint64_t drained() const { return drained_; }
 
+  // Registers a queue-depth gauge (undrained tasks; max() is the
+  // high-water mark) plus submit/drain counters. Call before traffic.
+  void BindMetrics(observe::Registry* reg);
+
  private:
   struct Task {
     Job job;
@@ -84,6 +90,9 @@ class WorkerPool {
   std::vector<std::thread> threads_;
   uint64_t submitted_ = 0;
   uint64_t drained_ = 0;
+  observe::Counter* m_submitted_ = nullptr;
+  observe::Counter* m_drained_ = nullptr;
+  observe::Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace ccf::tee

@@ -1,0 +1,195 @@
+// Self-checks for the observability subsystem (registered under the
+// "observe" ctest label): histogram bucket math and percentile accuracy
+// against an exact sort, counter/histogram atomicity under concurrent
+// writers (meaningful under TSan), registry namespace rules, time-series
+// ring behaviour, and Prometheus name sanitization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "observe/metrics.h"
+
+namespace ccf::observe {
+namespace {
+
+TEST(Histogram, BucketIndexRoundTrip) {
+  // Values below 2^kSubBits land in exact buckets.
+  for (uint64_t v = 0; v < Histogram::kSubCount; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v);
+  }
+  // Every probed value maps to a bucket whose upper bound contains it,
+  // and the upper bound maps back to the same bucket.
+  std::vector<uint64_t> probes = {16, 17, 31, 32, 100, 1000, 4095, 4096};
+  for (int shift = 5; shift < 64; ++shift) {
+    probes.push_back((uint64_t{1} << shift) - 1);
+    probes.push_back(uint64_t{1} << shift);
+    if (shift < 63) probes.push_back((uint64_t{1} << shift) + 3);
+  }
+  for (uint64_t v : probes) {
+    size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kBucketCount) << v;
+    uint64_t ub = Histogram::BucketUpperBound(idx);
+    EXPECT_GE(ub, v) << v;
+    EXPECT_EQ(Histogram::BucketIndex(ub), idx) << v;
+    // Bucket width bounds the relative error: upper bound at most
+    // (1 + 1/16) of the value for anything past the exact range.
+    if (v >= Histogram::kSubCount) {
+      EXPECT_LE(ub - v, v / Histogram::kSubCount) << v;
+    }
+  }
+}
+
+TEST(Histogram, QuantileMatchesExactSortWithinBucketError) {
+  crypto::Drbg rng("observe-selfcheck", 1);
+  Histogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform spread over ~6 orders of magnitude, the shape of a
+    // latency distribution with a long tail.
+    uint64_t magnitude = rng.Uniform(20);
+    uint64_t v = (uint64_t{1} << magnitude) + rng.Uniform(1 + (uint64_t{1} << magnitude));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.max(), values.back());
+
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    size_t rank = static_cast<size_t>(q * static_cast<double>(values.size()));
+    if (rank == 0) rank = 1;
+    uint64_t exact = values[rank - 1];
+    uint64_t est = h.Quantile(q);
+    // The estimate reports the containing bucket's upper bound, so it
+    // never undershoots and overshoots by at most 1/16 relative.
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(est, exact + exact / Histogram::kSubCount + 1) << "q=" << q;
+  }
+  // Degenerate quantiles stay in range.
+  EXPECT_GE(h.Quantile(0.0), values.front());
+  EXPECT_EQ(h.Quantile(1.0), values.back());
+}
+
+TEST(Histogram, EmptyAndSingleValue) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.GetSnapshot().count, 0u);
+  h.Record(42);
+  Histogram::Snapshot s = h.GetSnapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 42u);
+  EXPECT_EQ(s.max, 42u);
+  // A single sample: every percentile is that sample (clamped to max).
+  EXPECT_EQ(s.p50, 42u);
+  EXPECT_EQ(s.p99, 42u);
+}
+
+TEST(ConcurrentWriters, CountersAndHistogramsStayConsistent) {
+  Registry reg;
+  Counter* c = reg.GetCounter("contended.counter");
+  Histogram* h = reg.GetHistogram("contended.histogram");
+  Gauge* g = reg.GetGauge("contended.gauge");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        h->Record(i + 1);
+        g->Set(static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  EXPECT_EQ(h->sum(), kThreads * (kPerThread * (kPerThread + 1) / 2));
+  EXPECT_EQ(h->max(), kPerThread);
+  // The gauge's high-water mark saw the global maximum.
+  EXPECT_EQ(g->max(), uint64_t{kThreads - 1} * kPerThread + kPerThread - 1);
+}
+
+TEST(Registry, KindMismatchReturnsNull) {
+  Registry reg;
+  ASSERT_NE(reg.GetCounter("a.metric"), nullptr);
+  EXPECT_EQ(reg.GetGauge("a.metric"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("a.metric"), nullptr);
+  EXPECT_EQ(reg.GetTimeSeries("a.metric"), nullptr);
+  // Same kind, same name: same stable pointer.
+  EXPECT_EQ(reg.GetCounter("a.metric"), reg.GetCounter("a.metric"));
+  // Read-side lookups respect kinds too.
+  EXPECT_NE(reg.FindCounter("a.metric"), nullptr);
+  EXPECT_EQ(reg.FindGauge("a.metric"), nullptr);
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+}
+
+TEST(Registry, ScalarValueReadsCountersAndGauges) {
+  Registry reg;
+  reg.GetCounter("c")->Inc(7);
+  reg.GetGauge("g")->Set(9);
+  reg.GetHistogram("h")->Record(5);
+  EXPECT_EQ(reg.ScalarValue("c"), 7u);
+  EXPECT_EQ(reg.ScalarValue("g"), 9u);
+  EXPECT_EQ(reg.ScalarValue("h"), 0u);  // histograms are not scalars
+  EXPECT_EQ(reg.ScalarValue("missing"), 0u);
+}
+
+TEST(TimeSeries, RingOverwritesOldestAndKeepsOrder) {
+  TimeSeries ts(4);
+  for (uint64_t i = 0; i < 10; ++i) ts.Sample(i * 10, i);
+  EXPECT_EQ(ts.total_samples(), 10u);
+  auto samples = ts.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].value, 6 + i);
+    EXPECT_EQ(samples[i].t_ms, (6 + i) * 10);
+  }
+}
+
+TEST(Exposition, JsonAndPrometheusShapes) {
+  Registry reg;
+  reg.GetCounter("rpc.requests.GET /app/log")->Inc(3);
+  reg.GetGauge("tee.h2e.ring_used_bytes")->Set(128);
+  reg.GetHistogram("rpc.latency_us.GET /app/log")->Record(250);
+
+  json::Value j = reg.ToJson();
+  const json::Value* counters = j.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetInt("rpc.requests.GET /app/log"), 3);
+  const json::Value* gauges = j.Get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* ring = gauges->Get("tee.h2e.ring_used_bytes");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->GetInt("value"), 128);
+  EXPECT_EQ(ring->GetInt("max"), 128);
+  const json::Value* hists = j.Get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* lat = hists->Get("rpc.latency_us.GET /app/log");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->GetInt("count"), 1);
+
+  std::string prom = reg.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE ccf_rpc_requests_GET__app_log counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ccf_rpc_requests_GET__app_log 3"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(prom.find("ccf_tee_h2e_ring_used_bytes_max 128"),
+            std::string::npos);
+}
+
+TEST(Exposition, PrometheusNameSanitization) {
+  EXPECT_EQ(PrometheusName("ccf", "rpc.latency_us.GET /app/log"),
+            "ccf_rpc_latency_us_GET__app_log");
+  EXPECT_EQ(PrometheusName("ccf", "simple"), "ccf_simple");
+  EXPECT_EQ(PrometheusName("x", "a:b-c"), "x_a:b_c");
+}
+
+}  // namespace
+}  // namespace ccf::observe

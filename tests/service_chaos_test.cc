@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -23,6 +25,7 @@
 #include "ledger/ledger.h"
 #include "merkle/receipt.h"
 #include "node/audit.h"
+#include "sim/aggregator.h"
 #include "tests/service_harness.h"
 
 namespace ccf::testing {
@@ -37,6 +40,10 @@ struct ChaosOutcome {
   // Post-convergence per-node digest (commit seqno, Merkle root, committed
   // KV state) -- compared across worker_threads settings.
   std::string final_state;
+  // End-of-run metrics report (sim::MetricsAggregator JSON) when requested.
+  // Reading metrics must not perturb the run: schedule/trace/final_state
+  // are asserted identical with and without it.
+  std::string report;
 };
 
 void HealEverything(ServiceHarness* h) {
@@ -68,7 +75,8 @@ bool Quiesced(ServiceHarness* h) {
   return last > 0;
 }
 
-ChaosOutcome RunServiceChaos(uint64_t seed, uint64_t worker_threads = 0) {
+ChaosOutcome RunServiceChaos(uint64_t seed, uint64_t worker_threads = 0,
+                             bool with_metrics_report = false) {
   ChaosOutcome out;
   std::ostringstream schedule;
   std::ostringstream trace;
@@ -95,6 +103,19 @@ ChaosOutcome RunServiceChaos(uint64_t seed, uint64_t worker_threads = 0) {
     return out;
   }
   sim::InvariantChecker& checker = h.EnableInvariantChecker();
+
+  // Optional metrics aggregation riding alongside the invariant checker
+  // (both are Environment step observers). Strictly read-only over each
+  // node's registry, so attaching it must not change the run.
+  sim::MetricsAggregator aggregator;
+  if (with_metrics_report) {
+    for (const std::string& id : kNodeIds) {
+      aggregator.Track(id, &h.node(id)->metrics());
+    }
+    aggregator.Watch("consensus.commit_seqno");
+    aggregator.Watch("tee.e2h.ring_used_bytes");
+    aggregator.Attach(&h.env(), /*sample_every_ms=*/20);
+  }
 
   // Committed baseline data before the faults start.
   {
@@ -241,6 +262,7 @@ ChaosOutcome RunServiceChaos(uint64_t seed, uint64_t worker_threads = 0) {
        << "\n";
   }
   out.final_state = fs.str();
+  if (with_metrics_report) out.report = aggregator.Report().Dump();
   return out;
 }
 
@@ -268,6 +290,77 @@ TEST(ServiceChaosDeterminism, SameSeedSameTrace) {
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.failure, b.failure);
   EXPECT_EQ(a.final_state, b.final_state);
+}
+
+// The observability determinism contract (DESIGN.md, observe section):
+// metrics are write-only, so a run whose registries are sampled every 20ms
+// and serialized into a report is bit-identical -- same fault schedule,
+// same per-round trace, same final state -- to one where the metrics are
+// recorded but never read.
+TEST(ServiceChaosMetrics, ReportDoesNotPerturbDeterminism) {
+  ChaosOutcome unread = RunServiceChaos(7);
+  ChaosOutcome read = RunServiceChaos(7, /*worker_threads=*/0,
+                                      /*with_metrics_report=*/true);
+  EXPECT_EQ(unread.schedule, read.schedule);
+  EXPECT_EQ(unread.trace, read.trace);
+  EXPECT_EQ(unread.failure, read.failure);
+  EXPECT_EQ(unread.final_state, read.final_state);
+  EXPECT_TRUE(unread.report.empty());
+  EXPECT_FALSE(read.report.empty());
+}
+
+// The end-of-run report carries the signals the paper's evaluation relies
+// on: a submit->commit latency histogram (recorded in virtual time on the
+// primary) and tee ring-buffer high-water marks on every node.
+TEST(ServiceChaosMetrics, ReportContainsConsensusAndBoundarySignals) {
+  ChaosOutcome out = RunServiceChaos(5, /*worker_threads=*/0,
+                                     /*with_metrics_report=*/true);
+  ASSERT_TRUE(out.failure.empty()) << out.failure;
+  auto report = json::Parse(out.report);
+  ASSERT_TRUE(report.ok());
+
+  const json::Value* env = report->Get("env");
+  ASSERT_NE(env, nullptr);
+  EXPECT_GT(env->GetInt("messages_sent"), 0);
+  EXPECT_GT(env->GetInt("duration_ms"), 0);
+
+  const json::Value* nodes = report->Get("nodes");
+  ASSERT_NE(nodes, nullptr);
+  int64_t commit_latency_samples = 0;
+  for (const std::string& id : kNodeIds) {
+    const json::Value* node = nodes->Get(id);
+    ASSERT_NE(node, nullptr) << id;
+    const json::Value* hist = node->Get("histograms");
+    ASSERT_NE(hist, nullptr) << id;
+    const json::Value* latency = hist->Get("consensus.commit_latency_ms");
+    if (latency != nullptr) {
+      commit_latency_samples += latency->GetInt("count");
+    }
+    // Every node moved bytes across its enclave boundary.
+    const json::Value* gauges = node->Get("gauges");
+    ASSERT_NE(gauges, nullptr) << id;
+    const json::Value* ring = gauges->Get("tee.e2h.ring_used_bytes");
+    ASSERT_NE(ring, nullptr) << id;
+    EXPECT_GT(ring->GetInt("max"), 0) << id;
+  }
+  // Whichever node(s) held the primacy recorded submit->commit latencies.
+  EXPECT_GT(commit_latency_samples, 0);
+
+  // Watched counters/gauges were sampled into bounded time series.
+  const json::Value* watched = report->Get("watched");
+  ASSERT_NE(watched, nullptr);
+  const json::Value* n0 = watched->Get("n0");
+  ASSERT_NE(n0, nullptr);
+  const json::Value* series = n0->Get("consensus.commit_seqno");
+  ASSERT_NE(series, nullptr);
+  EXPECT_GT(series->GetInt("total"), 0);
+
+  // CCF_METRICS_REPORT=<path> dumps the report for inspection with
+  // scripts/metrics_report.py (the EXPERIMENTS.md observability example).
+  if (const char* path = std::getenv("CCF_METRICS_REPORT")) {
+    std::ofstream f(path);
+    f << report->DumpPretty() << "\n";
+  }
 }
 
 // The worker-pool determinism contract (DESIGN.md): with worker_async off,
