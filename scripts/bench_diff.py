@@ -2,8 +2,9 @@
 """Compare two benchmark JSON files from the same bench binary.
 
 Understands BENCH_signatures.json (bench_fig8_signatures),
-BENCH_historical.json (bench_historical) and BENCH_observe.json
-(bench_observe); the format is detected from the file contents.
+BENCH_historical.json (bench_historical), BENCH_observe.json
+(bench_observe) and BENCH_snapshots.json (bench_snapshots); the format is
+detected from the file contents.
 
 Usage:
     scripts/bench_diff.py OLD.json NEW.json [--threshold PCT]
@@ -96,6 +97,36 @@ def main():
                     continue
                 check(f"{section} {metric}", old_s.get(metric),
                       new_s.get(metric), lower_is_better)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0f}%:")
+            for r in regressions:
+                print(f"  - {r}")
+            return 1
+        print("\nno regressions beyond threshold")
+        return 0
+
+    # BENCH_snapshots.json (bench_snapshots): per-mode row lists keyed by
+    # ledger length.
+    if "join" in old or "join" in new:
+        print(f"{'join time (s; lower is better)':<46} "
+              f"{'old':>12} {'new':>12}")
+        old_j, new_j = old.get("join", {}), new.get("join", {})
+        for mode in ("snapshot", "replay"):
+            old_rows = {r.get("ledger_entries"): r
+                        for r in old_j.get(mode, [])}
+            for row in new_j.get(mode, []):
+                n = row.get("ledger_entries")
+                prev = old_rows.get(n)
+                if prev is None:
+                    print(f"  (new config: {mode} ledger={n})")
+                    continue
+                label = f"{mode} ledger={n}"
+                check(f"{label} wall_seconds", prev.get("wall_seconds"),
+                      row.get("wall_seconds"), lower_is_better=True)
+                check(f"{label} entries_replayed",
+                      prev.get("entries_replayed"),
+                      row.get("entries_replayed"), lower_is_better=True)
         if regressions:
             print(f"\n{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0f}%:")

@@ -75,6 +75,7 @@ class Status {
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
 
   // Human-readable "CODE: message" string for logs and test failures.
   std::string ToString() const {

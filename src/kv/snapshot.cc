@@ -88,4 +88,30 @@ Status InstallSnapshot(const Snapshot& snapshot, Store* store) {
   return Status::Ok();
 }
 
+State FilterState(const State& state, bool public_only) {
+  State out;
+  state.maps.ForEach([&](const std::string& name, const MapEntry& entry) {
+    if (IsPublicMap(name) == public_only) {
+      out.maps = out.maps.Put(name, entry);
+    }
+    return true;
+  });
+  return out;
+}
+
+Result<State> MergeStates(const State& a, const State& b) {
+  State out = a;
+  Status status = Status::Ok();
+  b.maps.ForEach([&](const std::string& name, const MapEntry& entry) {
+    if (out.maps.Get(name) != nullptr) {
+      status = Status::FailedPrecondition("kv: merge overlap on map " + name);
+      return false;
+    }
+    out.maps = out.maps.Put(name, entry);
+    return true;
+  });
+  RETURN_IF_ERROR(status);
+  return out;
+}
+
 }  // namespace ccf::kv

@@ -33,6 +33,16 @@ Snapshot TakeSnapshot(const Store& store, uint64_t view);
 // Installs a snapshot into `store` (replaces all state).
 Status InstallSnapshot(const Snapshot& snapshot, Store* store);
 
+// Splits a state by map visibility (writeset.h IsPublicMap): the returned
+// state holds only the public (or only the private) maps. Used by the
+// snapshot bundle, which ships public maps in plain text and seals the
+// private maps with the ledger secret (node/snapshots.h).
+State FilterState(const State& state, bool public_only);
+
+// Re-joins two disjoint halves produced by FilterState. Maps present in
+// both inputs are a FailedPrecondition (the halves were not disjoint).
+Result<State> MergeStates(const State& a, const State& b);
+
 }  // namespace ccf::kv
 
 #endif  // CCF_KV_SNAPSHOT_H_

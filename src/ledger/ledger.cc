@@ -53,6 +53,16 @@ crypto::Sha256Digest Entry::WriteSetDigest() const {
   return crypto::Sha256::Hash(w.data());
 }
 
+Status Ledger::SetBase(uint64_t base) {
+  if (!entries_.empty()) {
+    return Status::FailedPrecondition(
+        "ledger: SetBase on non-empty ledger (last seqno " +
+        std::to_string(last_seqno()) + ")");
+  }
+  base_seqno_ = base;
+  return Status::Ok();
+}
+
 Status Ledger::Append(Entry entry) {
   if (entry.seqno != last_seqno() + 1) {
     return Status::FailedPrecondition(
@@ -63,18 +73,42 @@ Status Ledger::Append(Entry entry) {
 }
 
 Result<const Entry*> Ledger::Get(uint64_t seqno) const {
-  if (seqno <= base_seqno_ || seqno > last_seqno()) {
+  if (seqno <= base_seqno_) {
+    return Status::OutOfRange("ledger: seqno " + std::to_string(seqno) +
+                              " compacted below snapshot horizon " +
+                              std::to_string(base_seqno_));
+  }
+  if (seqno > last_seqno()) {
     return Status::NotFound("ledger: no entry at seqno " +
                             std::to_string(seqno));
   }
   return &entries_[seqno - base_seqno_ - 1];
 }
 
-void Ledger::Truncate(uint64_t seqno) {
-  if (seqno < base_seqno_) return;
+Status Ledger::Truncate(uint64_t seqno) {
+  if (seqno < base_seqno_) {
+    return Status::FailedPrecondition(
+        "ledger: cannot truncate to " + std::to_string(seqno) +
+        " below snapshot base " + std::to_string(base_seqno_));
+  }
   if (seqno - base_seqno_ < entries_.size()) {
     entries_.resize(seqno - base_seqno_);
   }
+  return Status::Ok();
+}
+
+Status Ledger::RetireBelow(uint64_t horizon) {
+  if (horizon <= base_seqno_) return Status::Ok();
+  if (horizon > last_seqno()) {
+    return Status::FailedPrecondition(
+        "ledger: cannot retire below " + std::to_string(horizon) +
+        " past last seqno " + std::to_string(last_seqno()));
+  }
+  entries_.erase(entries_.begin(),
+                 entries_.begin() +
+                     static_cast<ptrdiff_t>(horizon - base_seqno_));
+  base_seqno_ = horizon;
+  return Status::Ok();
 }
 
 namespace {
@@ -167,10 +201,13 @@ Status SaveToDir(const Ledger& ledger, const std::string& dir) {
         break;
       }
     }
+    // Closed committed-range chunk "ledger_<first>-<last>"; the trailing
+    // unsigned suffix is the open chunk "ledger_<first>".
     std::string name =
-        "ledger_" + std::to_string(ledger.base_seqno() + chunk_start + 1) +
-        "-" + std::to_string(ledger.base_seqno() + end + 1) +
-        (closed ? ".chunk" : ".partial");
+        "ledger_" + std::to_string(ledger.base_seqno() + chunk_start + 1);
+    if (closed) {
+      name += "-" + std::to_string(ledger.base_seqno() + end + 1);
+    }
     RETURN_IF_ERROR(WriteChunk(dir + "/" + name, entries, chunk_start, end));
     chunk_start = end + 1;
   }
@@ -196,7 +233,7 @@ Result<Ledger> LoadFromDir(const std::string& dir) {
   // After a snapshot, the earliest chunk on disk starts past seqno 1; the
   // restored ledger's base is whatever precedes that first chunk.
   if (!files.empty() && files[0].first > 0) {
-    ledger.SetBase(files[0].first - 1);
+    RETURN_IF_ERROR(ledger.SetBase(files[0].first - 1));
   }
   for (const auto& [first, path] : files) {
     ASSIGN_OR_RETURN(std::vector<Entry> entries, ReadChunk(path));

@@ -54,20 +54,30 @@ struct Entry {
 class Ledger {
  public:
   // Declares that entries up to `base` live in the snapshot, not here.
-  // Only valid while empty.
-  void SetBase(uint64_t base) {
-    if (entries_.empty()) base_seqno_ = base;
-  }
+  // Only valid while empty: re-basing a non-empty ledger would silently
+  // orphan its entries, so that is a loud FailedPrecondition.
+  Status SetBase(uint64_t base);
   uint64_t base_seqno() const { return base_seqno_; }
 
   // Appends the next entry; entry.seqno must equal last_seqno()+1.
   Status Append(Entry entry);
 
+  // NotFound past the tail; OutOfRange at or below the base (the entry
+  // existed but was retired below the snapshot horizon — definitive, a
+  // caller must not retry).
   Result<const Entry*> Get(uint64_t seqno) const;
   uint64_t last_seqno() const { return base_seqno_ + entries_.size(); }
 
   // Removes all entries with seqno > `seqno` (consensus rollback).
-  void Truncate(uint64_t seqno);
+  // Truncating exactly at the base empties the suffix; truncating below it
+  // is a FailedPrecondition — the prefix up to base is snapshot-covered
+  // committed state and can never roll back.
+  Status Truncate(uint64_t seqno);
+
+  // Snapshot compaction: drops every entry with seqno <= `horizon` and
+  // advances the base to `horizon`. A horizon at or below the current base
+  // is an ok no-op; a horizon past the tail is a FailedPrecondition.
+  Status RetireBelow(uint64_t horizon);
 
   const std::vector<Entry>& entries() const { return entries_; }
 
@@ -79,9 +89,11 @@ class Ledger {
 // ------------------------------------------------------- Physical files
 
 // Writes `ledger` as chunk files under `dir` (created if needed). Each
-// chunk ends at a signature transaction; a final partial chunk holds any
-// trailing unsigned suffix. Files are named
-// "ledger_<first>-<last>.chunk" (".partial" for the unsigned suffix).
+// committed-range chunk ends at a signature transaction and is named
+// "ledger_<first>-<last>"; a trailing unsigned suffix is written as the
+// open chunk "ledger_<first>" (matching the real CCF's chunk layout).
+// Chunks entirely below the ledger's base (retired below the snapshot
+// horizon) are simply absent.
 Status SaveToDir(const Ledger& ledger, const std::string& dir);
 
 // Scans `dir`, validates framing and contiguity, and rebuilds the ledger.

@@ -48,6 +48,15 @@ struct NodeConfig {
   uint64_t signature_interval_ms = 100;
   // Snapshots of committed state are produced every this many commits.
   uint64_t snapshot_interval_txs = 1000;
+  // Joiners ask the service for a verified snapshot bundle and bootstrap
+  // from it plus the ledger suffix (paper §4.4); off = full replay via
+  // consensus catch-up (the pre-snapshot baseline, kept for benchmarks).
+  bool join_from_snapshot = true;
+  // After the host persists a verified snapshot at seqno S, retire ledger
+  // chunks entirely below S (bounding host disk and memory). Off by
+  // default: auditing and full-replay recovery need the whole ledger
+  // unless an operator opts into the snapshot horizon.
+  bool snapshot_retire_ledger = false;
   // How many full KV store roots to retain for rollback / historical
   // reads before falling back to write-set replay (0 = unlimited). Kept
   // comfortably above the signature interval so common rollbacks stay

@@ -65,6 +65,13 @@ StateCache::Lookup StateCache::GetRange(uint64_t lo, uint64_t hi,
         out.error = req.error;
         requests_.erase(it);
         return out;
+      case RequestState::kCompacted:
+        // Definitive: the range was retired below the snapshot horizon.
+        // Keep the request cached so repeat queries answer immediately
+        // instead of re-fetching what the host no longer has.
+        out.error = req.error;
+        out.horizon = req.horizon;
+        return out;
     }
   }
   RangeRequest req;
@@ -110,6 +117,15 @@ void StateCache::OnFetchResponse(const tee::LedgerFetchResponse& response) {
   RangeRequest& req = it->second;
   if (req.state != RequestState::kFetching) return;
   if (!response.ok) {
+    if (response.compacted) {
+      // Not transient: these seqnos were retired below the snapshot
+      // horizon and no amount of retrying brings them back.
+      req.state = RequestState::kCompacted;
+      req.error = "compacted below snapshot horizon";
+      req.horizon = response.horizon;
+      ++stats_.compacted;
+      return;
+    }
     req.state = RequestState::kFailed;
     req.error = "host: " + response.error;
     ++stats_.failures;

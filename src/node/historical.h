@@ -45,9 +45,10 @@ struct VerifiedEntry {
 };
 
 enum class RequestState {
-  kFetching,  // host fetch in flight (or awaiting retry)
-  kReady,     // all entries verified, store materialized
-  kFailed,    // timeout or host error; reported once, then forgotten
+  kFetching,   // host fetch in flight (or awaiting retry)
+  kReady,      // all entries verified, store materialized
+  kFailed,     // timeout or host error; reported once, then forgotten
+  kCompacted,  // retired below the snapshot horizon; definitive (sticky)
 };
 
 // A cached [lo, hi] range request.
@@ -56,6 +57,7 @@ struct RangeRequest {
   uint64_t hi = 0;
   RequestState state = RequestState::kFetching;
   std::string error;
+  uint64_t horizon = 0;  // meaningful for kCompacted
 
   // Index (seqno - lo); empty slots are unverified (awaiting [re]fetch).
   std::vector<std::optional<VerifiedEntry>> entries;
@@ -92,12 +94,16 @@ class StateCache {
     RequestState state = RequestState::kFetching;
     const RangeRequest* request = nullptr;  // non-null iff kReady
     uint64_t retry_after_ms = 0;            // meaningful for kFetching
-    std::string error;                      // meaningful for kFailed
+    std::string error;                      // meaningful for kFailed/kCompacted
+    uint64_t horizon = 0;                   // meaningful for kCompacted
   };
 
   // Requests [lo, hi]; starts a fetch on first sight. The returned pointer
   // is valid until the next non-const call on the cache. A kFailed result
-  // also forgets the request, so the next identical call starts fresh.
+  // also forgets the request, so the next identical call starts fresh. A
+  // kCompacted result is definitive — the entries were retired below the
+  // host's snapshot horizon — so it is cached (until TTL) and answered
+  // without re-fetching: clients get a terminal 404, never a retry loop.
   Lookup GetRange(uint64_t lo, uint64_t hi, uint64_t now_ms);
 
   // Delivers a host fetch response (from the ringbuffer). Fills matching
@@ -120,7 +126,8 @@ class StateCache {
     uint64_t fetches = 0;
     uint64_t retries = 0;
     uint64_t timeouts = 0;
-    uint64_t failures = 0;  // host-reported errors
+    uint64_t failures = 0;   // host-reported errors
+    uint64_t compacted = 0;  // ranges retired below the snapshot horizon
     uint64_t entries_accepted = 0;
     uint64_t entries_rejected = 0;   // failed verification (corrupt)
     uint64_t stale_responses = 0;    // response for a forgotten request

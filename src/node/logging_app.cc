@@ -54,6 +54,16 @@ void RespondAccepted(rpc::EndpointContext* ctx, uint64_t retry_after_ms) {
       std::to_string(retry_after_ms);
 }
 
+// Terminal 404 for seqnos retired below the host's snapshot horizon: the
+// entries are gone for good, so clients must not keep retrying.
+void RespondCompacted(rpc::EndpointContext* ctx,
+                      const historical::StateCache::Lookup& lookup) {
+  json::Object out;
+  out["error"] = lookup.error;
+  out["horizon"] = lookup.horizon;
+  ctx->SetJsonResponse(404, json::Value(std::move(out)));
+}
+
 // The message written to `id` by the verified entry at `seqno`.
 std::optional<std::string> MessageInEntry(
     const historical::VerifiedEntry& entry, const std::string& id) {
@@ -140,6 +150,9 @@ void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
            case historical::RequestState::kFailed:
              ctx->SetError(503, lookup.error);
              return;
+           case historical::RequestState::kCompacted:
+             RespondCompacted(ctx, lookup);
+             return;
            case historical::RequestState::kReady:
              break;
          }
@@ -193,6 +206,9 @@ void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
              return;
            case historical::RequestState::kFailed:
              ctx->SetError(503, lookup.error);
+             return;
+           case historical::RequestState::kCompacted:
+             RespondCompacted(ctx, lookup);
              return;
            case historical::RequestState::kReady:
              break;

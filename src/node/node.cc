@@ -37,6 +37,7 @@ using tee::kInboundNet;
 using tee::kLedgerFetchRequest;
 using tee::kLedgerFetchResponse;
 using tee::kOutboundNet;
+using tee::kSnapshotWrite;
 
 Bytes WrapWire(WireKind kind, ByteSpan payload) {
   Bytes out;
@@ -113,6 +114,15 @@ void Node::BindNodeMetrics() {
   m_index_upto_ = metrics_.GetGauge("index.upto");
   m_index_lag_ = metrics_.GetGauge("index.lag");
   m_ledger_entries_ = metrics_.GetGauge("ledger.entries");
+  snapshot_metrics_.taken = metrics_.GetCounter("snapshot.taken");
+  snapshot_metrics_.evidence_committed =
+      metrics_.GetCounter("snapshot.evidence_committed");
+  snapshot_metrics_.persisted = metrics_.GetCounter("snapshot.persisted");
+  snapshot_metrics_.persist_drops =
+      metrics_.GetCounter("snapshot.persist_drops");
+  snapshot_metrics_.persist_corrupts =
+      metrics_.GetCounter("snapshot.persist_corrupts");
+  m_ledger_base_ = metrics_.GetGauge("ledger.base");
 }
 
 Node::CryptoOpCounters Node::crypto_ops() const {
@@ -179,7 +189,59 @@ std::unique_ptr<Node> Node::CreateRecovery(NodeConfig config,
                                            Application* app,
                                            sim::Environment* env) {
   auto node = std::unique_ptr<Node>(new Node(config, app, env));
-  node->InitRecovery(std::move(restored));
+  node->InitRecovery(std::move(restored), std::nullopt);
+  node->RegisterWithEnvironment();
+  return node;
+}
+
+Result<std::unique_ptr<Node>> Node::CreateRecoveryFromDir(
+    NodeConfig config, const std::string& dir, Application* app,
+    sim::Environment* env) {
+  ASSIGN_OR_RETURN(ledger::Ledger restored, ledger::LoadFromDir(dir));
+  std::optional<SnapshotBundle> bundle;
+  if (restored.base_seqno() > 0) {
+    // Chunks below the snapshot horizon were retired: the suffix alone is
+    // useless without the matching verified snapshot bundle.
+    ASSIGN_OR_RETURN(SnapshotBundle b, LoadLatestBundleFromDir(dir));
+    if (b.seqno != restored.base_seqno()) {
+      return Status::Corruption(
+          "recovery: snapshot at " + std::to_string(b.seqno) +
+          " does not match ledger base " +
+          std::to_string(restored.base_seqno()));
+    }
+    RETURN_IF_ERROR(VerifyBundleContent(b));
+    // The evidence entry inside the bundle must be the same bytes the
+    // persisted ledger carries at that seqno: the bundle and the ledger
+    // suffix must tell one story.
+    ASSIGN_OR_RETURN(const ledger::Entry* ev_entry,
+                     restored.Get(b.evidence_seqno));
+    if (ev_entry->Serialize() != b.evidence_entry) {
+      return Status::Corruption(
+          "recovery: ledger entry at " + std::to_string(b.evidence_seqno) +
+          " disagrees with the bundle's evidence entry");
+    }
+    // Receipt check against the service identity recorded in the snapshot
+    // itself. Like ledger-based recovery this is trust-on-first-use for
+    // the old identity: an operator substituting an entire self-consistent
+    // ledger+snapshot is out of scope (the recovered service gets a new
+    // identity either way, making the recovery evident to verifiers).
+    kv::Store probe;
+    ASSIGN_OR_RETURN(kv::State pub, RestorePublicState(b));
+    probe.InstallState(std::move(pub), b.seqno);
+    auto raw = probe.GetStr(tables::kServiceInfo, tables::kCurrentKey);
+    if (!raw.has_value()) {
+      return Status::Corruption("recovery: snapshot has no service info");
+    }
+    ASSIGN_OR_RETURN(json::Value j, json::Parse(*raw));
+    ASSIGN_OR_RETURN(gov::ServiceInfo info, gov::ServiceInfo::FromJson(j));
+    ASSIGN_OR_RETURN(crypto::Certificate cert,
+                     crypto::Certificate::Deserialize(info.cert));
+    RETURN_IF_ERROR(VerifyBundle(
+        b, ByteSpan(cert.public_key.data(), cert.public_key.size())));
+    bundle = std::move(b);
+  }
+  auto node = std::unique_ptr<Node>(new Node(config, app, env));
+  node->InitRecovery(std::move(restored), std::move(bundle));
   node->RegisterWithEnvironment();
   return node;
 }
@@ -297,13 +359,21 @@ void Node::Tick(uint64_t now_ms) {
                     return DecodeCommittedEntry(seqno, out);
                   });
     historical_->Tick(now_ms_);
+    // Snapshot evidence commits from the tick loop, never from OnCommit
+    // (committing inside a raft callback would re-enter raft). It runs
+    // before the signature so the evidence can be covered promptly.
+    MaybeCommitSnapshotEvidence();
     // Signature submission goes last: nothing else may claim the seqno the
     // signed root reserves before the blocking drain commits it.
     MaybeEmitSignature(now_ms_);
+    // Once a committed signature covers the evidence, attach its receipt
+    // and hand the finished bundle to the host.
+    MaybePersistSnapshot();
     // Per-tick observability gauges (write-only; nothing reads them back).
     m_index_upto_->Set(indexer_.indexed_upto());
     m_index_lag_->Set(indexer_.Lag(raft_->commit_seqno()));
     m_ledger_entries_->Set(host_ledger_.last_seqno());
+    m_ledger_base_->Set(host_ledger_.base_seqno());
   }
   DrainEnclaveOutbox();
 }
@@ -363,6 +433,10 @@ void Node::DrainEnclaveOutbox() {
       HostServeLedgerFetch(payload);
       continue;
     }
+    if (type == kSnapshotWrite) {
+      HostStoreSnapshot(payload);
+      continue;
+    }
     if (type != kOutboundNet) continue;
     BufReader r(payload);
     auto to = r.Str();
@@ -396,6 +470,12 @@ void Node::HostServeLedgerFetch(ByteSpan payload) {
     if (!entry.ok()) {
       resp.ok = false;
       resp.error = entry.status().message();
+      if (entry.status().IsOutOfRange()) {
+        // Retired below the snapshot horizon: definitive, not transient.
+        // The enclave surfaces this as a 404 instead of retrying forever.
+        resp.compacted = true;
+        resp.horizon = host_ledger_.base_seqno();
+      }
       resp.entries.clear();
       break;
     }
@@ -881,7 +961,14 @@ void Node::OnRollback(uint64_t seqno) {
   // the historical leaves at join time), so indices align with seqnos.
   tree_.Truncate(seqno);
   tx_digests_.resize(seqno);
-  host_ledger_.Truncate(seqno);
+  Status truncated = host_ledger_.Truncate(seqno);
+  if (!truncated.ok()) {
+    // Rolling back below the snapshot horizon would mean consensus
+    // disagreed with a committed snapshot -- that cannot be recovered.
+    LOG_ERROR << config_.node_id << " ledger truncate: "
+              << truncated.ToString();
+    integrity_violation_ = true;
+  }
   signed_roots_.erase(signed_roots_.upper_bound(seqno), signed_roots_.end());
   while (!pending_sig_verifies_.empty() &&
          pending_sig_verifies_.back().seqno > seqno) {
@@ -1227,13 +1314,118 @@ void Node::MaybeSnapshot() {
   if (commit < last_snapshot_seqno_ + config_.snapshot_interval_txs) return;
   last_snapshot_seqno_ = commit;
   latest_snapshot_ = kv::TakeSnapshot(store_, ViewAtSeqno(commit));
-  // Keep the matching tree leaves and configuration for joiners.
+  // Keep the matching tree leaves and configurations for joiners. ALL
+  // active configurations are captured: a snapshot taken inside a
+  // reconfiguration window has two, and a joiner seeded with only the
+  // first would run consensus against a stale membership.
   snapshot_leaves_.clear();
   for (uint64_t i = 0; i < commit; ++i) {
     auto leaf = tree_.LeafAt(i);
     if (leaf.ok()) snapshot_leaves_.push_back(*leaf);
   }
-  snapshot_configs_ = {raft_->active_configs().front()};
+  snapshot_configs_ = raft_->active_configs();
+  snapshot_evidence_due_ = true;
+  snapshot_metrics_.taken->Inc();
+}
+
+void Node::MaybeCommitSnapshotEvidence() {
+  if (!snapshot_evidence_due_ || !raft_->IsPrimary()) return;
+  if (!latest_snapshot_.has_value() || encryptor_ == nullptr) return;
+  snapshot_evidence_due_ = false;
+
+  auto state = kv::DeserializeState(latest_snapshot_->data);
+  if (!state.ok()) {
+    LOG_ERROR << config_.node_id << " snapshot state undecodable: "
+              << state.status().ToString();
+    return;
+  }
+  SnapshotBundle bundle =
+      BuildBundle(*state, latest_snapshot_->seqno, latest_snapshot_->view,
+                  ledger_secret_, snapshot_leaves_, snapshot_configs_);
+
+  kv::Tx tx = store_.BeginTx();
+  tx.Handle(tables::kSnapshotEvidence)
+      ->PutStr(tables::kCurrentKey, ToString(EvidenceRecord(bundle)));
+  auto committed = CommitAndReplicate(&tx, ledger::EntryType::kInternal);
+  if (!committed.ok()) {
+    // e.g. a concurrent write raced the tx; retry on the next tick.
+    snapshot_evidence_due_ = true;
+    return;
+  }
+  bundle.evidence_seqno = committed->seqno;
+  auto entry = host_ledger_.Get(committed->seqno);
+  if (!entry.ok()) {
+    LOG_ERROR << config_.node_id << " evidence entry missing from ledger";
+    return;
+  }
+  bundle.evidence_entry = (*entry)->Serialize();
+  pending_bundle_ = std::move(bundle);
+  snapshot_metrics_.evidence_committed->Inc();
+}
+
+void Node::MaybePersistSnapshot() {
+  if (!pending_bundle_.has_value() || !raft_->IsPrimary()) return;
+  if (ReceiptableUpto() < pending_bundle_->evidence_seqno) return;
+  auto receipt = BuildReceipt(pending_bundle_->evidence_seqno);
+  if (!receipt.ok()) return;  // signature not committed yet; next tick
+  pending_bundle_->receipt = receipt->Serialize();
+  // Self-check before shipping: anything that fails here would fail on
+  // every joiner and make the snapshot worse than useless.
+  Status verified = VerifyBundle(
+      *pending_bundle_,
+      ByteSpan(service_identity_.data(), service_identity_.size()));
+  if (!verified.ok()) {
+    LOG_ERROR << config_.node_id << " snapshot bundle failed self-check: "
+              << verified.ToString();
+    pending_bundle_.reset();
+    return;
+  }
+  latest_bundle_ = std::move(pending_bundle_);
+  pending_bundle_.reset();
+
+  tee::SnapshotWrite msg;
+  msg.seqno = latest_bundle_->seqno;
+  msg.bundle = latest_bundle_->Serialize();
+  if (!boundary_.EnclaveSend(kSnapshotWrite, msg.Serialize())) {
+    LOG_WARN << config_.node_id << " boundary outbox full, dropping snapshot";
+  }
+  snapshot_metrics_.persisted->Inc();
+}
+
+void Node::HostStoreSnapshot(ByteSpan payload) {
+  auto msg = tee::SnapshotWrite::Deserialize(payload);
+  if (!msg.ok()) return;
+  sim::HostFaults faults =
+      env_ != nullptr ? env_->HostFaultsFor(config_.node_id) : sim::HostFaults{};
+  auto bernoulli = [&](double p) {
+    return p > 0.0 && host_drbg_.Uniform(10000) < static_cast<uint64_t>(p * 10000);
+  };
+  if (bernoulli(faults.snapshot_drop)) {
+    snapshot_metrics_.persist_drops->Inc();
+    return;  // the next snapshot interval produces a fresh bundle
+  }
+  if (bernoulli(faults.snapshot_corrupt) && !msg->bundle.empty()) {
+    msg->bundle[host_drbg_.Uniform(msg->bundle.size())] ^= 0x01;
+    snapshot_metrics_.persist_corrupts->Inc();
+  }
+  // The host stores the bundle as opaque bytes; verification happens in
+  // the enclave of whoever loads it (joiner or recovery node).
+  host_snapshot_bundle_ = std::move(msg->bundle);
+  host_snapshot_seqno_ = msg->seqno;
+  if (config_.snapshot_retire_ledger) {
+    Status retired = host_ledger_.RetireBelow(msg->seqno);
+    if (!retired.ok()) {
+      LOG_WARN << config_.node_id << " chunk retirement: "
+               << retired.ToString();
+    }
+  }
+}
+
+Status Node::SaveSnapshotToDir(const std::string& dir) const {
+  if (host_snapshot_seqno_ == 0) {
+    return Status::NotFound("host holds no snapshot bundle");
+  }
+  return SaveRawBundleToDir(host_snapshot_bundle_, host_snapshot_seqno_, dir);
 }
 
 void Node::MaybeCompleteRetirements() {

@@ -44,6 +44,7 @@
 #include "node/config.h"
 #include "node/historical.h"
 #include "node/indexing.h"
+#include "node/snapshots.h"
 #include "observe/metrics.h"
 #include "rpc/endpoints.h"
 #include "rpc/session.h"
@@ -66,6 +67,13 @@ class Node : public consensus::RaftCallbacks {
                                               ledger::Ledger restored,
                                               Application* app,
                                               sim::Environment* env);
+  // Disaster recovery from a persisted directory: loads the ledger chunks
+  // and, when the ledger starts past seqno 1 (chunks below the snapshot
+  // horizon were retired), requires and verifies the matching snapshot
+  // bundle before bootstrapping from snapshot + suffix (paper §4.4, §5.2).
+  static Result<std::unique_ptr<Node>> CreateRecoveryFromDir(
+      NodeConfig config, const std::string& dir, Application* app,
+      sim::Environment* env);
   ~Node() override;
 
   Node(const Node&) = delete;
@@ -146,6 +154,11 @@ class Node : public consensus::RaftCallbacks {
   Status SaveLedgerToDir(const std::string& dir) const {
     return ledger::SaveToDir(host_ledger_, dir);
   }
+  // Persists the host's latest snapshot bundle (if any) next to the
+  // ledger chunks as "snapshot_<seqno>".
+  Status SaveSnapshotToDir(const std::string& dir) const;
+  // Seqno of the latest snapshot bundle the host holds (0 = none).
+  uint64_t host_snapshot_seqno() const { return host_snapshot_seqno_; }
 
   void InstallIndexingStrategy(std::shared_ptr<indexing::Strategy> strategy) {
     indexer_.Install(std::move(strategy));
@@ -180,7 +193,8 @@ class Node : public consensus::RaftCallbacks {
 
   void InitGenesis(const ServiceInit& init);
   void StartJoin(const std::string& target_node);
-  void InitRecovery(ledger::Ledger restored);
+  void InitRecovery(ledger::Ledger restored,
+                    std::optional<SnapshotBundle> bundle);
   void RegisterWithEnvironment();
   void InstallFrameworkEndpoints();
 
@@ -262,6 +276,17 @@ class Node : public consensus::RaftCallbacks {
   // commit point.
   void VerifyCommittedSignatures(uint64_t commit_seqno);
   void MaybeSnapshot();
+  // Primary-only snapshot evidence/persistence pipeline, driven from Tick
+  // (never from inside OnCommit — committing there would re-enter raft):
+  // commit the evidence transaction for a freshly captured snapshot, then
+  // once the evidence is receipt-provable, attach the receipt and ship
+  // the bundle to the host over the boundary (tee::kSnapshotWrite).
+  void MaybeCommitSnapshotEvidence();
+  void MaybePersistSnapshot();
+  // Host side: store a snapshot bundle the enclave asked to persist,
+  // applying the environment's snapshot fault policy, and retire ledger
+  // chunks below the horizon when configured.
+  void HostStoreSnapshot(ByteSpan payload);
   std::optional<consensus::Configuration> DetectReconfiguration(
       const kv::WriteSet& writes, uint64_t seqno);
   std::set<std::string> TrustedNodesInState() const;
@@ -310,6 +335,10 @@ class Node : public consensus::RaftCallbacks {
   };
   std::vector<PendingHostFetch> host_fetch_queue_;
   uint64_t host_fetch_seq_ = 0;
+  // Latest snapshot bundle persisted by the host (serialized; outside the
+  // trust boundary — re-verified before any install on the way back in).
+  Bytes host_snapshot_bundle_;
+  uint64_t host_snapshot_seqno_ = 0;
 
   // ------------------------------ enclave state
   crypto::Drbg drbg_;
@@ -380,11 +409,20 @@ class Node : public consensus::RaftCallbacks {
   uint64_t last_signature_ms_ = 0;
   uint64_t now_ms_ = 0;
 
-  // Snapshots (host side).
+  // Snapshots. MaybeSnapshot captures the committed state on every node;
+  // the primary then runs the evidence/persistence pipeline: build a
+  // bundle, commit its digest as evidence, wait until a receipt covers
+  // the evidence, and hand the finished bundle to the host and joiners.
   uint64_t last_snapshot_seqno_ = 0;
   std::optional<kv::Snapshot> latest_snapshot_;
   std::vector<merkle::Digest> snapshot_leaves_;  // tree leaves at snapshot
   std::vector<consensus::Configuration> snapshot_configs_;
+  bool snapshot_evidence_due_ = false;  // capture awaiting an evidence tx
+  std::optional<SnapshotBundle> pending_bundle_;  // awaiting its receipt
+  std::optional<SnapshotBundle> latest_bundle_;   // verified, receipted
+  // Bundle a recovery node bootstrapped from (used by CompleteRecovery to
+  // rebuild private state below the suffix).
+  std::optional<SnapshotBundle> recovery_bundle_;
 
   // Historical queries + asynchronous indexing (paper §3.4, §3.6).
   indexing::Indexer indexer_;
@@ -435,6 +473,15 @@ class Node : public consensus::RaftCallbacks {
   observe::Gauge* m_index_upto_ = nullptr;
   observe::Gauge* m_index_lag_ = nullptr;
   observe::Gauge* m_ledger_entries_ = nullptr;
+  struct SnapshotMetrics {
+    observe::Counter* taken = nullptr;
+    observe::Counter* evidence_committed = nullptr;
+    observe::Counter* persisted = nullptr;
+    observe::Counter* persist_drops = nullptr;
+    observe::Counter* persist_corrupts = nullptr;
+  };
+  SnapshotMetrics snapshot_metrics_;
+  observe::Gauge* m_ledger_base_ = nullptr;
 
   // Declared last so it is destroyed first: in-flight jobs may touch other
   // members, which must still be alive while the destructor joins.

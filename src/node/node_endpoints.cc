@@ -833,12 +833,45 @@ void Node::HandleJoinRequest(rpc::EndpointContext* ctx) {
       HexEncode(ByteSpan(service_key_->seed().data(), 32));
   out["ledger_secret"] = HexEncode(ledger_secret_.key);
 
+  // Certificates of the current consensus peers. A joiner whose snapshot
+  // predates (or, for the empty-snapshot baseline, omits) the nodes table
+  // cannot derive node-channel keys for them, yet the raft catch-up that
+  // would teach it those keys is itself delivered over node channels. The
+  // joiner verifies each certificate against the pinned service identity
+  // before trusting it.
+  json::Object peer_certs;
+  for (const consensus::Configuration& cfg : raft_->active_configs()) {
+    for (const std::string& nid : cfg.nodes) {
+      if (peer_certs.count(nid) > 0) continue;
+      auto record = gov::ReadRecord(ctx->tx().Handle(tables::kNodesInfo), nid);
+      if (!record.ok()) continue;
+      auto peer_info = gov::NodeInfo::FromJson(*record);
+      if (!peer_info.ok()) continue;
+      peer_certs[nid] = HexEncode(peer_info->cert.Serialize());
+    }
+  }
+  out["peer_certs"] = std::move(peer_certs);
+
   // Snapshot of committed state (paper §4.4: "nodes can begin from a
-  // snapshot"). Use the latest periodic snapshot or take one now.
+  // snapshot"). A joiner that asked for a verifiable bundle gets the
+  // latest receipted one and checks its evidence receipt against the
+  // pinned service identity before installing anything. Otherwise fall
+  // back to the inline snapshot, whose only protection is the attested
+  // STLS session; a joiner that declined snapshots outright (benchmark
+  // baseline) gets an empty one and replays the full log via catch-up.
+  bool want_snapshot = params->GetBool("want_snapshot");
+  if (want_snapshot && latest_bundle_.has_value()) {
+    out["snapshot_bundle"] = HexEncode(latest_bundle_->Serialize());
+    ctx->SetJsonResponse(200, json::Value(std::move(out)));
+    return;
+  }
   kv::Snapshot snap;
   std::vector<merkle::Digest> leaves;
   std::vector<consensus::Configuration> configs;
-  if (latest_snapshot_.has_value()) {
+  if (!want_snapshot) {
+    snap.data = kv::SerializeState(kv::State{});
+    configs = raft_->active_configs();
+  } else if (latest_snapshot_.has_value()) {
     snap = *latest_snapshot_;
     leaves = snapshot_leaves_;
     configs = snapshot_configs_;
@@ -848,7 +881,10 @@ void Node::HandleJoinRequest(rpc::EndpointContext* ctx) {
       auto leaf = tree_.LeafAt(i);
       if (leaf.ok()) leaves.push_back(*leaf);
     }
-    configs = {raft_->active_configs().front()};
+    // ALL active configurations: inside a reconfiguration window there are
+    // two, and a joiner seeded with only the first would run consensus
+    // against a stale membership.
+    configs = raft_->active_configs();
   }
   out["snapshot_seqno"] = snap.seqno;
   out["snapshot_view"] = snap.view;
@@ -895,6 +931,7 @@ void Node::HandleJoinResponseRecord(ByteSpan record) {
     json::Object body;
     body["node_id"] = config_.node_id;
     body["host"] = config_.host;
+    body["want_snapshot"] = config_.join_from_snapshot;
     body["quote"] = HexEncode(quote.Serialize());
     body["public_key"] = HexEncode(
         ByteSpan(node_key_.public_key().data(), crypto::kPublicKeySize));
@@ -946,7 +983,57 @@ Status Node::InstallJoinResponse(const json::Value& body) {
   ledger_secret_ = kv::LedgerSecret{secret};
   encryptor_ = std::make_unique<kv::TxEncryptor>(ledger_secret_);
 
-  // Install the snapshot.
+  // Seed the node-channel key cache from the served peer certificates:
+  // until catch-up repopulates the nodes table locally, these are the only
+  // way to open channels to the current consensus peers. Nothing is
+  // trusted unless it verifies against the pinned service identity.
+  const json::Value* peers = body.Get("peer_certs");
+  if (peers != nullptr && peers->is_object()) {
+    for (const auto& [nid, cert_hex] : peers->AsObject()) {
+      if (!cert_hex.is_string()) continue;
+      auto cert_bytes = HexDecode(cert_hex.AsString());
+      if (!cert_bytes.ok()) continue;
+      auto cert = crypto::Certificate::Deserialize(*cert_bytes);
+      if (!cert.ok()) continue;
+      if (!crypto::VerifyCertificate(
+               *cert, ByteSpan(service_identity_.data(),
+                               service_identity_.size()))
+               .ok()) {
+        continue;
+      }
+      known_node_keys_[nid] = cert->public_key;
+    }
+  }
+
+  // Verified snapshot bundle (paper §4.4): everything in it is untrusted
+  // until the evidence receipt verifies against the pinned service
+  // identity. A forged or corrupt bundle is rejected here, before any
+  // state is installed.
+  const json::Value* bundle_hex = body.Get("snapshot_bundle");
+  if (bundle_hex != nullptr && bundle_hex->is_string()) {
+    ASSIGN_OR_RETURN(Bytes bundle_bytes, HexDecode(bundle_hex->AsString()));
+    ASSIGN_OR_RETURN(SnapshotBundle bundle,
+                     SnapshotBundle::Deserialize(bundle_bytes));
+    RETURN_IF_ERROR(VerifyBundle(
+        bundle, ByteSpan(service_identity_.data(), service_identity_.size())));
+    ASSIGN_OR_RETURN(kv::State state, RestoreState(bundle, ledger_secret_));
+    store_.InstallState(std::move(state), bundle.seqno);
+    tx_digests_.clear();
+    tx_digests_.resize(bundle.seqno);  // digests for old entries are unknown
+    tree_.AppendLeafHashes(bundle.leaves);
+    RETURN_IF_ERROR(host_ledger_.SetBase(bundle.seqno));
+    raft_ = std::make_unique<consensus::RaftNode>(consensus::RaftNode::Joiner(
+        config_.node_id, config_.raft, bundle.view, bundle.seqno,
+        bundle.configs, this));
+    raft_->BindMetrics(&metrics_);
+    join_pending_ = false;
+    join_session_.reset();
+    LOG_INFO << config_.node_id << " joined from verified snapshot at "
+             << bundle.seqno;
+    return Status::Ok();
+  }
+
+  // Install the inline (legacy) snapshot.
   kv::Snapshot snap;
   snap.seqno = static_cast<uint64_t>(body.GetInt("snapshot_seqno"));
   snap.view = static_cast<uint64_t>(body.GetInt("snapshot_view"));
@@ -990,7 +1077,7 @@ Status Node::InstallJoinResponse(const json::Value& body) {
     return Status::InvalidArgument("join: no configurations");
   }
 
-  host_ledger_.SetBase(snap.seqno);
+  RETURN_IF_ERROR(host_ledger_.SetBase(snap.seqno));
   raft_ = std::make_unique<consensus::RaftNode>(consensus::RaftNode::Joiner(
       config_.node_id, config_.raft, snap.view, snap.seqno, configs, this));
   raft_->BindMetrics(&metrics_);
@@ -1002,7 +1089,8 @@ Status Node::InstallJoinResponse(const json::Value& body) {
 
 // -------------------------------------------------------------- recovery
 
-void Node::InitRecovery(ledger::Ledger restored) {
+void Node::InitRecovery(ledger::Ledger restored,
+                        std::optional<SnapshotBundle> bundle) {
   recovery_pending_ = true;
   // New service identity (paper §5.2: "the newly recovered service will
   // have a new service identity, making it clear a recovery occurred").
@@ -1017,9 +1105,25 @@ void Node::InitRecovery(ledger::Ledger restored) {
                                         "service");
 
   // Replay the public parts of the restored ledger (paper §5.2: "the
-  // public parts of transactions are restored").
+  // public parts of transactions are restored"). When the ledger starts
+  // past a snapshot horizon, the caller (CreateRecoveryFromDir) has
+  // already verified the bundle; public state installs at the snapshot
+  // seqno and only the ledger suffix replays (paper §4.4).
   host_ledger_ = std::move(restored);
   std::vector<Bytes> leaf_contents;
+  if (bundle.has_value()) {
+    auto pub = RestorePublicState(*bundle);
+    if (!pub.ok()) {
+      LOG_ERROR << "recovery: snapshot public state undecodable: "
+                << pub.status().ToString();
+      return;
+    }
+    store_.InstallState(pub.take(), bundle->seqno);
+    tree_.AppendLeafHashes(bundle->leaves);
+    tx_digests_.clear();
+    tx_digests_.resize(bundle->seqno);  // digests for old entries unknown
+    recovery_bundle_ = std::move(bundle);
+  }
   leaf_contents.reserve(host_ledger_.entries().size());
   for (const ledger::Entry& entry : host_ledger_.entries()) {
     auto ws = kv::WriteSet::Parse(entry.public_ws, {});
@@ -1041,7 +1145,10 @@ void Node::InitRecovery(ledger::Ledger restored) {
   // Rebuild the whole tree in one batched pass (4-way SHA-256 kernel).
   tree_.AppendBatch(leaf_contents);
   uint64_t base = host_ledger_.last_seqno();
-  uint64_t base_view = base > 0 ? host_ledger_.entries().back().view : 0;
+  uint64_t base_view =
+      !host_ledger_.entries().empty() ? host_ledger_.entries().back().view
+      : recovery_bundle_.has_value() ? recovery_bundle_->view
+                                     : 0;
   // The recovered service is committed up to the restored ledger end.
   Status compacted = store_.Compact(base);
   if (!compacted.ok()) {
@@ -1103,8 +1210,20 @@ void Node::CompleteRecovery(kv::LedgerSecret secret) {
   encryptor_ = std::make_unique<kv::TxEncryptor>(ledger_secret_);
 
   // Rebuild the store, now decrypting private writes (paper §5.2: "the
-  // previous ledger's private state decrypted").
+  // previous ledger's private state decrypted"). A node that bootstrapped
+  // from a snapshot starts from the bundle's full state (opening its
+  // sealed private half with the recovered secret) and replays only the
+  // ledger suffix on top.
   kv::Store rebuilt;
+  if (recovery_bundle_.has_value()) {
+    auto full = RestoreState(*recovery_bundle_, ledger_secret_);
+    if (!full.ok()) {
+      LOG_ERROR << "recovery: cannot open snapshot private state: "
+                << full.status().ToString();
+      return;
+    }
+    rebuilt.InstallState(full.take(), recovery_bundle_->seqno);
+  }
   for (const ledger::Entry& entry : host_ledger_.entries()) {
     Bytes private_plain;
     if (!entry.private_sealed.empty()) {
@@ -1132,6 +1251,7 @@ void Node::CompleteRecovery(kv::LedgerSecret secret) {
   }
   store_ = std::move(rebuilt);
   recovery_pending_ = false;
+  recovery_bundle_.reset();
   submitted_shares_.clear();
 
   // Re-key the recovery shares under the new consortium state.

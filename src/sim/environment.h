@@ -44,10 +44,17 @@ struct HostFaults {
   double corrupt = 0.0;  // one byte of the response flipped
   double reorder = 0.0;  // response swapped with another queued response
   uint64_t extra_delay_max_ms = 0;  // uniform extra latency in [0, max]
+  // Snapshot I/O faults: the host loses a snapshot bundle the enclave
+  // asked it to persist, or bit-rots the stored copy. Enclave-side
+  // verification must turn a corrupt bundle into a loud rejection, never
+  // an install.
+  double snapshot_drop = 0.0;
+  double snapshot_corrupt = 0.0;
 
   bool Any() const {
     return drop > 0.0 || corrupt > 0.0 || reorder > 0.0 ||
-           extra_delay_max_ms > 0;
+           extra_delay_max_ms > 0 || snapshot_drop > 0.0 ||
+           snapshot_corrupt > 0.0;
   }
 };
 

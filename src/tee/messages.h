@@ -29,6 +29,7 @@ enum BoundaryMessageType : uint32_t {
   kOutboundNet = 2,        // enclave -> host: network payload to a peer
   kLedgerFetchRequest = 3,   // enclave -> host: committed entries [lo, hi]
   kLedgerFetchResponse = 4,  // host -> enclave: the (untrusted) entries
+  kSnapshotWrite = 5,  // enclave -> host: persist a verified snapshot bundle
 };
 
 // Enclave -> host: serve committed ledger entries with seqnos in [lo, hi]
@@ -58,12 +59,16 @@ struct LedgerFetchRequest {
 
 // Host -> enclave: the serialized ledger entries for [lo, hi] in order,
 // or ok=false with a diagnostic when the host ledger does not hold the
-// full range (e.g. seqnos before a snapshot-join base).
+// full range. A range at or below the host's snapshot horizon is reported
+// as compacted=true with the horizon seqno: definitive (the chunks were
+// retired), as opposed to a transient miss a caller may retry.
 struct LedgerFetchResponse {
   uint64_t lo = 0;
   uint64_t hi = 0;
   bool ok = false;
   std::string error;           // only meaningful when !ok
+  bool compacted = false;      // !ok because the range was retired
+  uint64_t horizon = 0;        // host ledger base when compacted
   std::vector<Bytes> entries;  // serialized ledger::Entry, one per seqno
 
   Bytes Serialize() const {
@@ -72,6 +77,8 @@ struct LedgerFetchResponse {
     w.U64(hi);
     w.Bool(ok);
     w.Str(error);
+    w.Bool(compacted);
+    w.U64(horizon);
     w.U64(entries.size());
     for (const Bytes& e : entries) w.Blob(e);
     return w.Take();
@@ -84,6 +91,8 @@ struct LedgerFetchResponse {
     ASSIGN_OR_RETURN(resp.hi, r.U64());
     ASSIGN_OR_RETURN(resp.ok, r.Bool());
     ASSIGN_OR_RETURN(resp.error, r.Str());
+    ASSIGN_OR_RETURN(resp.compacted, r.Bool());
+    ASSIGN_OR_RETURN(resp.horizon, r.U64());
     ASSIGN_OR_RETURN(uint64_t n, r.U64());
     if (resp.ok && (resp.lo == 0 || resp.hi < resp.lo ||
                     n != resp.hi - resp.lo + 1)) {
@@ -98,6 +107,36 @@ struct LedgerFetchResponse {
       resp.entries.push_back(std::move(e));
     }
     return resp;
+  }
+};
+
+// Enclave -> host: persist `bundle` (a serialized node::SnapshotBundle,
+// evidence-committed and receipt-carrying) as the node's latest snapshot.
+// The host copy is outside the trust boundary; anything read back is
+// re-verified against the service identity before install.
+struct SnapshotWrite {
+  uint64_t seqno = 0;
+  Bytes bundle;
+
+  Bytes Serialize() const {
+    BufWriter w;
+    w.U64(seqno);
+    w.Blob(bundle);
+    return w.Take();
+  }
+
+  static Result<SnapshotWrite> Deserialize(ByteSpan data) {
+    BufReader r(data);
+    SnapshotWrite msg;
+    ASSIGN_OR_RETURN(msg.seqno, r.U64());
+    ASSIGN_OR_RETURN(msg.bundle, r.Blob());
+    if (msg.seqno == 0) {
+      return Status::InvalidArgument("snapshot write at seqno 0");
+    }
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("snapshot write: trailing bytes");
+    }
+    return msg;
   }
 };
 

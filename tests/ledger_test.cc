@@ -124,9 +124,9 @@ TEST(LedgerFiles, SaveLoadRoundTrip) {
   }
   std::sort(names.begin(), names.end());
   ASSERT_EQ(names.size(), 3u);
-  EXPECT_EQ(names[0], "ledger_1-5.chunk");
-  EXPECT_EQ(names[1], "ledger_11-12.partial");
-  EXPECT_EQ(names[2], "ledger_6-10.chunk");
+  EXPECT_EQ(names[0], "ledger_1-5");
+  EXPECT_EQ(names[1], "ledger_11");  // open chunk: no last seqno yet
+  EXPECT_EQ(names[2], "ledger_6-10");
 
   auto loaded = LoadFromDir(dir.path());
   ASSERT_TRUE(loaded.ok());
@@ -169,7 +169,7 @@ TEST(LedgerFiles, LoadRejectsCorruptMagic) {
   ASSERT_TRUE(ledger.Append(MakeEntry(1, 1, EntryType::kSignature)).ok());
   ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
   // Corrupt the magic of the chunk file.
-  std::string path = dir.path() + "/ledger_1-1.chunk";
+  std::string path = dir.path() + "/ledger_1-1";
   std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
   f.seekp(0);
   f.write("XXXX", 4);
@@ -184,7 +184,7 @@ TEST(LedgerFiles, LoadRejectsTruncatedFrame) {
     ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
   }
   ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
-  std::string path = dir.path() + "/ledger_1-3.partial";
+  std::string path = dir.path() + "/ledger_1";
   // Chop off the last few bytes.
   auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 3);
@@ -206,7 +206,7 @@ TEST(LedgerFiles, LoadRejectsTrailingFrameLengthFragment) {
       ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
     }
     ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
-    std::string path = dir.path() + "/ledger_1-3.partial";
+    std::string path = dir.path() + "/ledger_1";
     std::ofstream f(path, std::ios::binary | std::ios::app);
     for (int i = 0; i < extra; ++i) f.put('\x7f');
     f.close();
@@ -299,6 +299,98 @@ TEST(Ledger, GetAfterTruncateThenReappend) {
   EXPECT_EQ((*ledger.Get(7))->public_ws, ToBytes("replacement-7"));
   // Seqnos beyond the re-appended head remain unavailable.
   EXPECT_FALSE(ledger.Get(8).ok());
+}
+
+// SetBase used to silently no-op when entries already existed; it now
+// fails loudly so callers cannot end up with a ledger whose base and
+// contents disagree.
+TEST(Ledger, SetBaseFailsOnNonEmptyLedger) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.Append(MakeEntry(1, 1)).ok());
+  Status s = ledger.SetBase(5);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(ledger.base_seqno(), 0u);  // unchanged
+  EXPECT_EQ(ledger.last_seqno(), 1u);
+  // On an empty ledger it succeeds, including re-basing.
+  Ledger fresh;
+  EXPECT_TRUE(fresh.SetBase(3).ok());
+  EXPECT_TRUE(fresh.SetBase(7).ok());
+  EXPECT_EQ(fresh.base_seqno(), 7u);
+}
+
+// Truncation semantics around the base are now defined: truncating below
+// the base is an error (those entries live only in the snapshot), while
+// truncating exactly at the base empties the suffix.
+TEST(Ledger, TruncateAtOrBelowBase) {
+  Ledger ledger;
+  ASSERT_TRUE(ledger.SetBase(5).ok());
+  for (uint64_t i = 6; i <= 10; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+  }
+  Status below = ledger.Truncate(3);
+  EXPECT_FALSE(below.ok());
+  EXPECT_EQ(below.code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(ledger.last_seqno(), 10u);  // untouched on error
+
+  EXPECT_TRUE(ledger.Truncate(5).ok());  // exactly at base: empty suffix
+  EXPECT_EQ(ledger.last_seqno(), 5u);
+  EXPECT_EQ(ledger.base_seqno(), 5u);
+  EXPECT_FALSE(ledger.Get(6).ok());
+  EXPECT_TRUE(ledger.Append(MakeEntry(2, 6)).ok());
+  EXPECT_EQ((*ledger.Get(6))->view, 2u);
+}
+
+// RetireBelow drops the prefix covered by a snapshot and advances the
+// base; retired seqnos answer OutOfRange ("compacted"), distinct from the
+// NotFound past the tail.
+TEST(Ledger, RetireBelowAdvancesBase) {
+  Ledger ledger;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i)).ok());
+  }
+  EXPECT_TRUE(ledger.RetireBelow(6).ok());
+  EXPECT_EQ(ledger.base_seqno(), 6u);
+  EXPECT_EQ(ledger.last_seqno(), 10u);
+  EXPECT_TRUE(ledger.Get(6).status().IsOutOfRange());
+  EXPECT_TRUE(ledger.Get(3).status().IsOutOfRange());
+  EXPECT_TRUE(ledger.Get(11).status().IsNotFound());
+  ASSERT_TRUE(ledger.Get(7).ok());
+  EXPECT_EQ((*ledger.Get(7))->seqno, 7u);
+
+  // Retiring at or below the current base is a no-op.
+  EXPECT_TRUE(ledger.RetireBelow(4).ok());
+  EXPECT_EQ(ledger.base_seqno(), 6u);
+  // Retiring beyond the tail is refused.
+  EXPECT_FALSE(ledger.RetireBelow(11).ok());
+  EXPECT_EQ(ledger.base_seqno(), 6u);
+}
+
+// Retired chunks are absent from the saved directory and the base is
+// re-derived from the first remaining chunk on load.
+TEST(LedgerFiles, RetiredChunksAbsentFromDir) {
+  TempDir dir;
+  Ledger ledger;
+  for (uint64_t i = 1; i <= 12; ++i) {
+    EntryType type =
+        (i % 4 == 0) ? EntryType::kSignature : EntryType::kUser;
+    ASSERT_TRUE(ledger.Append(MakeEntry(1, i, type)).ok());
+  }
+  ASSERT_TRUE(ledger.RetireBelow(8).ok());
+  ASSERT_TRUE(SaveToDir(ledger, dir.path()).ok());
+  std::vector<std::string> names;
+  for (const auto& de : std::filesystem::directory_iterator(dir.path())) {
+    names.push_back(de.path().filename().string());
+  }
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "ledger_9-12");  // retired chunks are gone
+
+  auto loaded = LoadFromDir(dir.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->base_seqno(), 8u);
+  EXPECT_EQ(loaded->last_seqno(), 12u);
+  EXPECT_TRUE(loaded->Get(8).status().IsOutOfRange());
+  ASSERT_TRUE(loaded->Get(9).ok());
 }
 
 TEST(LedgerFiles, EmptyLedgerRoundTrip) {
