@@ -6,8 +6,17 @@
 // |      |   SGX-sim        |   Virtual        |
 // | C++  |  W/s  /  R/s     |  W/s  /  R/s     |
 // | CCL  |  W/s  /  R/s     |  W/s  /  R/s     |
+//
+// Plus the exec-worker sweep (DESIGN.md §12): wall-clock throughput of
+// compute-heavy read-only traffic (/app/hashread) and a contended mixed
+// workload (/app/rmw + reads) as exec_threads grows, with the OCC
+// conflict rate. Written to a JSON file (argv[1], default
+// BENCH_exec.json) that scripts/bench_diff.py can compare across runs.
+// Read-only endpoints skip commit validation, so their throughput should
+// scale near-linearly with workers.
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench/bench_util.h"
 
@@ -96,10 +105,152 @@ Cell Measure(ServiceHarness* h, bool scripted) {
   return cell;
 }
 
+// ------------------------------------------------- exec-worker sweep
+
+struct ExecRow {
+  uint64_t exec_threads = 0;
+  double read_tx_per_s = 0;
+  double mixed_tx_per_s = 0;
+  double conflict_rate = 0;  // conflicts per executed request, mixed phase
+};
+
+// A three-node virtual-mode service with the batch scheduler sized to
+// `exec_threads` (replication is not what this sweep measures).
+std::unique_ptr<ServiceHarness> BuildExecService(uint64_t exec_threads) {
+  auto h = std::make_unique<ServiceHarness>();
+  h->SetConfigTweak([exec_threads](node::NodeConfig* cfg) {
+    cfg->tee_mode = tee::TeeMode::kVirtual;
+    cfg->signature_interval_txs = 100;
+    cfg->signature_interval_ms = 50;
+    cfg->snapshot_interval_txs = 1u << 30;
+    cfg->exec_threads = exec_threads;
+  });
+  for (int u = 0; u < 4; ++u) h->AddUser("user" + std::to_string(u));
+  h->StartGenesis();
+  for (int i = 1; i < 3; ++i) {
+    if (h->JoinAndTrust("n" + std::to_string(i), 20000) == nullptr) {
+      return nullptr;
+    }
+  }
+  return h;
+}
+
+// ~1000 chained SHA-256 rounds plus 2ms of modeled service time per
+// request, so the handler dominates the session overhead. The modeled
+// delay (work_us) is what makes worker overlap visible on a single-core
+// host: hashing alone is CPU-bound and would merely time-slice there,
+// while on a multicore host both components scale with exec_threads.
+http::Request MakeHashReadRequest(uint64_t seq) {
+  http::Request req;
+  req.method = "GET";
+  req.path =
+      "/app/hashread?id=" + std::to_string(seq % 1000) + "&work_us=2000";
+  return req;
+}
+
+// Contended read-modify-write: 8 hot counters shared by every stream, so
+// batches carry genuine OCC conflicts for the serial commit point.
+http::Request MakeRmwRequest(uint64_t seq) {
+  http::Request req;
+  req.method = "POST";
+  req.path = "/app/rmw";
+  req.body = ToBytes("{\"id\": " + std::to_string(seq % 8) + "}");
+  return req;
+}
+
+ExecRow MeasureExec(ServiceHarness* h, uint64_t exec_threads) {
+  ExecRow row;
+  row.exec_threads = exec_threads;
+  node::Node* primary = h->Primary();
+  std::string primary_id = primary->id();
+
+  {
+    // Read-only phase: validation-free, should scale with workers.
+    ClosedLoopDriver driver(&h->env());
+    for (int u = 0; u < 4; ++u) {
+      driver.AddStream(h->UserClient("user" + std::to_string(u), primary_id),
+                       MakeHashReadRequest, kPipeline);
+    }
+    auto stats = driver.Run(kRequests);
+    row.read_tx_per_s = stats.throughput();
+    if (stats.errors > 0) {
+      std::fprintf(stderr, "hashread errors: %llu\n",
+                   static_cast<unsigned long long>(stats.errors));
+    }
+  }
+  {
+    // Mixed phase: half contended writers, half compute reads.
+    uint64_t conflicts0 = primary->metrics().ScalarValue("exec.conflicts");
+    uint64_t requests0 = primary->metrics().ScalarValue("exec.requests");
+    ClosedLoopDriver driver(&h->env());
+    for (int u = 0; u < 4; ++u) {
+      driver.AddStream(h->UserClient("user" + std::to_string(u), primary_id),
+                       u % 2 == 0 ? MakeRmwRequest : MakeHashReadRequest,
+                       kPipeline);
+    }
+    auto stats = driver.Run(kRequests);
+    row.mixed_tx_per_s = stats.throughput();
+    if (stats.errors > 0) {
+      std::fprintf(stderr, "mixed errors: %llu\n",
+                   static_cast<unsigned long long>(stats.errors));
+    }
+    uint64_t conflicts = primary->metrics().ScalarValue("exec.conflicts");
+    uint64_t requests = primary->metrics().ScalarValue("exec.requests");
+    if (requests > requests0) {
+      row.conflict_rate = static_cast<double>(conflicts - conflicts0) /
+                          static_cast<double>(requests - requests0);
+    }
+    h->WaitForCommitEverywhere(h->Primary()->last_seqno(), 30000);
+  }
+  return row;
+}
+
+int RunExecSweep(const std::string& json_path) {
+  std::printf("\nExec-worker sweep: wall-clock tx/s, three-node service\n");
+  std::printf("%-12s %14s %14s %14s\n", "exec_threads", "read tx/s",
+              "mixed tx/s", "conflict rate");
+
+  std::vector<uint64_t> worker_counts =
+      SmokeMode() ? std::vector<uint64_t>{1, 4}
+                  : std::vector<uint64_t>{1, 2, 4};
+  std::vector<ExecRow> rows;
+  for (uint64_t workers : worker_counts) {
+    auto h = BuildExecService(workers);
+    if (h == nullptr) {
+      std::fprintf(stderr, "exec service build failed\n");
+      return 1;
+    }
+    Preload(&h->env(), h->UserClient("user0", "n0"));
+    ExecRow row = MeasureExec(h.get(), workers);
+    std::printf("%-12llu %14.0f %14.0f %14.3f\n",
+                static_cast<unsigned long long>(row.exec_threads),
+                row.read_tx_per_s, row.mixed_tx_per_s, row.conflict_rate);
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  json::Array out_rows;
+  for (const ExecRow& row : rows) {
+    json::Object o;
+    o["exec_threads"] = row.exec_threads;
+    o["read_tx_per_s"] = row.read_tx_per_s;
+    o["mixed_tx_per_s"] = row.mixed_tx_per_s;
+    o["conflict_rate"] = row.conflict_rate;
+    out_rows.push_back(json::Value(std::move(o)));
+  }
+  json::Object root;
+  root["smoke"] = SmokeMode();
+  root["exec"] = json::Value(std::move(out_rows));
+  std::ofstream f(json_path);
+  f << json::Value(std::move(root)).DumpPretty() << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ccf::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccf::bench;
   using ccf::tee::TeeMode;
 
@@ -124,5 +275,6 @@ int main() {
                 cells[1].writes, cells[1].reads);
     std::fflush(stdout);
   }
-  return 0;
+
+  return RunExecSweep(argc > 1 ? argv[1] : "BENCH_exec.json");
 }

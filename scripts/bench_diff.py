@@ -3,7 +3,8 @@
 
 Understands BENCH_signatures.json (bench_fig8_signatures),
 BENCH_historical.json (bench_historical), BENCH_observe.json
-(bench_observe) and BENCH_snapshots.json (bench_snapshots); the format is
+(bench_observe), BENCH_snapshots.json (bench_snapshots) and
+BENCH_exec.json (bench_table5_modes exec-worker sweep); the format is
 detected from the file contents.
 
 Usage:
@@ -154,6 +155,38 @@ def main():
                     continue
                 check(f"{section} {metric}", old_s.get(metric),
                       new_s.get(metric), lower_is_better)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0f}%:")
+            for r in regressions:
+                print(f"  - {r}")
+            return 1
+        print("\nno regressions beyond threshold")
+        return 0
+
+    # BENCH_exec.json (bench_table5_modes exec-worker sweep): rows keyed
+    # by exec_threads. Throughputs are higher-is-better; the conflict rate
+    # is workload-determined, so it is printed for context, not gated.
+    if "exec" in old or "exec" in new:
+        print(f"{'exec-worker sweep':<46} {'old':>12} {'new':>12}")
+        old_rows = {r.get("exec_threads"): r for r in old.get("exec", [])}
+        for row in new.get("exec", []):
+            w = row.get("exec_threads")
+            prev = old_rows.get(w)
+            if prev is None:
+                print(f"  (new config: exec_threads={w})")
+                continue
+            label = f"exec_threads={w}"
+            check(f"{label} read_tx_per_s", prev.get("read_tx_per_s"),
+                  row.get("read_tx_per_s"), lower_is_better=False)
+            check(f"{label} mixed_tx_per_s", prev.get("mixed_tx_per_s"),
+                  row.get("mixed_tx_per_s"), lower_is_better=False)
+            old_cr = prev.get("conflict_rate")
+            new_cr = row.get("conflict_rate")
+            if old_cr is not None or new_cr is not None:
+                print(f"  {label + ' conflict_rate (info)':<44} "
+                      f"{old_cr if old_cr is not None else float('nan'):>12.3f} "
+                      f"{new_cr if new_cr is not None else float('nan'):>12.3f}")
         if regressions:
             print(f"\n{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0f}%:")

@@ -192,6 +192,7 @@ void RaftNode::BecomePrimary() {
   match_seqno_.clear();
   last_response_ms_.clear();
   last_sent_ms_.clear();
+  needs_snapshot_.clear();
   for (const NodeId& peer : AllNodes()) {
     if (peer == id_) continue;
     next_seqno_[peer] = last_seqno() + 1;
@@ -285,6 +286,60 @@ void RaftNode::TruncateLog(uint64_t seqno) {
   submit_time_ms_.erase(submit_time_ms_.upper_bound(seqno),
                         submit_time_ms_.end());
   cb_->OnRollback(seqno);
+}
+
+void RaftNode::CompactTo(uint64_t seqno) {
+  // Never drop uncommitted entries: they may still be rolled back, and
+  // TruncateLog cannot cut below the base.
+  seqno = std::min(seqno, commit_seqno_);
+  if (seqno <= base_seqno_) return;
+  // Capture the view before erasing: ViewAt answers from view_history_,
+  // which is preserved across compaction (GetTxStatus still needs it).
+  base_view_ = ViewAt(seqno);
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<ptrdiff_t>(seqno - base_seqno_));
+  base_seqno_ = seqno;
+}
+
+void RaftNode::InstallSnapshot(uint64_t seqno, uint64_t view,
+                               std::vector<Configuration> configs) {
+  if (seqno <= commit_seqno_) return;
+  // Mirror the Joiner bootstrap: the snapshot covers only committed state,
+  // taken at or after a signature transaction (paper §3.2 / §5).
+  log_.clear();
+  base_seqno_ = seqno;
+  base_view_ = view;
+  commit_seqno_ = seqno;
+  last_sig_seqno_ = seqno;
+  last_sig_view_ = view;
+  if (!configs.empty()) active_configs_ = std::move(configs);
+  view_history_.clear();
+  if (view > 0) {
+    // Coarse history, as for a joiner: everything up to the base is
+    // attributed to the snapshot's view.
+    view_history_.emplace_back(view, 1);
+  }
+  view_ = std::max(view_, view);
+  submit_time_ms_.clear();
+  if (m_commit_ != nullptr) m_commit_->Set(commit_seqno_);
+  if (m_view_ != nullptr) m_view_->Set(view_);
+  ResetElectionTimer();
+}
+
+uint64_t RaftNode::MinPeerMatch() const {
+  uint64_t min_match = last_seqno();
+  auto consider = [&](const NodeId& peer) {
+    if (peer == id_) return;
+    auto it = match_seqno_.find(peer);
+    min_match = std::min(
+        min_match, it != match_seqno_.end() ? it->second : uint64_t{0});
+  };
+  for (const NodeId& peer : AllNodes()) consider(peer);
+  for (const NodeId& peer : learners_) consider(peer);
+  // Retiring nodes still being streamed to (tracked in the match map but
+  // outside every configuration) hold compaction back too.
+  for (const auto& [peer, match] : match_seqno_) consider(peer);
+  return min_match;
 }
 
 // ---------------------------------------------------------------- Quorums
@@ -600,6 +655,7 @@ void RaftNode::HandleAppendEntriesResp(const NodeId& from,
   peer_commit_[from] = std::max(peer_commit_[from], resp.commit_seqno);
 
   if (resp.success) {
+    needs_snapshot_.erase(from);
     uint64_t prev_match = match_seqno_[from];
     match_seqno_[from] = std::max(prev_match, resp.match_seqno);
     next_seqno_[from] = match_seqno_[from] + 1;
@@ -611,6 +667,11 @@ void RaftNode::HandleAppendEntriesResp(const NodeId& from,
     // Back off using the responder's hint (paper §4.2: "utilizing the
     // information provided by the backup").
     uint64_t hint_next = resp.match_seqno + 1;
+    if (hint_next <= base_seqno_) {
+      // The entry this peer needs next was compacted away: only a snapshot
+      // can serve it. The node layer watches this set and ships one.
+      needs_snapshot_.insert(from);
+    }
     uint64_t current_next = next_seqno_.count(from) > 0 ? next_seqno_[from]
                                                         : last_seqno() + 1;
     next_seqno_[from] =

@@ -151,6 +151,36 @@ class RaftNode {
   // True when a peer's log and commit knowledge match ours.
   bool PeerCaughtUp(const NodeId& peer) const;
 
+  // ------------------------------------------------- Log compaction
+
+  // Drops in-memory log entries at or below `seqno` (clamped to the commit
+  // point), re-basing the log the way a snapshot-bootstrapped joiner
+  // starts: seqnos <= base answer from (base_view, base_seqno). A
+  // long-lived primary calls this once every peer's match index has passed
+  // its snapshot horizon, so the log stops growing without bound.
+  void CompactTo(uint64_t seqno);
+
+  // Re-bases this node onto a verified snapshot at (view, seqno),
+  // discarding the local log. Used for snapshot-based catch-up: a laggard
+  // whose next needed entry fell below the primary's compacted base cannot
+  // be served from the log and installs the snapshot instead (the node
+  // layer has already verified and applied the matching KV state). No-op
+  // unless seqno is ahead of the local commit point.
+  void InstallSnapshot(uint64_t seqno, uint64_t view,
+                       std::vector<Configuration> configs);
+
+  // Smallest match index across every replication target (configured
+  // peers, learners, and retiring nodes still being streamed to);
+  // last_seqno() when there are no peers. Only meaningful on the primary.
+  uint64_t MinPeerMatch() const;
+
+  // Peers whose append_entries backoff hit the compacted log base: the log
+  // cannot serve them and only a snapshot can. Maintained on the primary
+  // (flagged on a failed response hinting below base, cleared on success).
+  const std::set<NodeId>& peers_needing_snapshot() const {
+    return needs_snapshot_;
+  }
+
   // Force an immediate election on the next tick (testing / operator).
   void ForceElectionTimeout() { election_deadline_ms_ = 0; }
 
@@ -222,6 +252,7 @@ class RaftNode {
   uint64_t last_leader_contact_ms_ = 0;
   std::set<NodeId> votes_granted_;
   std::set<NodeId> learners_;
+  std::set<NodeId> needs_snapshot_;  // primary-side laggard flags
 
   // Primary state.
   std::map<NodeId, uint64_t> next_seqno_;

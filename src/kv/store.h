@@ -134,6 +134,14 @@ class Store {
   // Read-only transactions return the current seqno and an empty write set.
   Result<CommitResult> CommitTx(Tx* tx);
 
+  // Re-validates a transaction's read set against the latest applied
+  // version without committing: Ok when the transaction would still commit
+  // cleanly, ABORTED naming the conflicting map otherwise. This is the
+  // OCC conflict check CommitTx applies internally, exposed for the serial
+  // commit point of batched execution (DESIGN.md §12) and for conflict
+  // oracles in tests.
+  Status CheckConflicts(const Tx& tx) const { return ValidateReads(tx); }
+
   // Applies a replicated write set (backup / replay path). `seqno` must be
   // current_seqno()+1.
   Status ApplyWriteSet(const WriteSet& ws, uint64_t seqno);

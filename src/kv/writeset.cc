@@ -17,6 +17,24 @@ size_t WriteSet::num_writes() const {
   return n;
 }
 
+bool WriteSet::Overlaps(const WriteSet& other) const {
+  for (const auto& [name, writes] : maps) {
+    auto it = other.maps.find(name);
+    if (it == other.maps.end()) continue;
+    // Walk the smaller side, probe the larger: both are sorted maps.
+    const MapWrites& probe = writes.size() <= it->second.size()
+                                 ? writes
+                                 : it->second;
+    const MapWrites& lookup = writes.size() <= it->second.size()
+                                  ? it->second
+                                  : writes;
+    for (const auto& [key, value] : probe) {
+      if (lookup.count(key) > 0) return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 Bytes SerializeFiltered(const WriteSet& ws, bool want_public) {

@@ -37,6 +37,12 @@ struct WriteSet {
   bool empty() const;
   size_t num_writes() const;
 
+  // True when both write sets touch at least one common key of a common
+  // map. Two transactions with non-overlapping write sets and disjoint
+  // read sets commute: they commit in any order with the same final state
+  // (the conflict-matrix property tests use this as the oracle predicate).
+  bool Overlaps(const WriteSet& other) const;
+
   // Serializes only the public (resp. private) maps' updates.
   Bytes SerializePublic() const;
   Bytes SerializePrivate() const;

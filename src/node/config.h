@@ -76,6 +76,19 @@ struct NodeConfig {
   // wall-clock benchmarks; not bit-reproducible, so the deterministic
   // chaos suites leave it off.
   bool worker_async = false;
+  // Optimistic parallel request execution (DESIGN.md §12). Batches of
+  // independent, parallel-safe requests execute concurrently on a
+  // dedicated pool against a shared committed-state snapshot; a serial
+  // commit point validates read-sets and re-executes losers. 0 (default)
+  // runs each batched handler synchronously at the submission point, so
+  // the simulated service is bit-for-bit identical across settings: batch
+  // composition, commit order, and every response byte depend only on the
+  // message schedule, never on exec_threads.
+  size_t exec_threads = 0;
+  // Bounded OCC retries: a transaction that keeps losing read-set
+  // validation is re-executed serially at most this many times before the
+  // request fails with 409.
+  size_t exec_max_retries = 4;
   // Historical queries and asynchronous indexing (node/historical.h).
   HistoricalConfig historical;
 };

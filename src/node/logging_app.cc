@@ -1,9 +1,13 @@
 #include "node/logging_app.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "common/hex.h"
+#include "crypto/sha256.h"
 #include "json/json.h"
 
 namespace ccf::node {
@@ -81,22 +85,26 @@ std::optional<std::string> MessageInEntry(
 void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
                                    const NodeContext& node) {
   using rpc::AuthPolicy;
+  // The plain KV endpoints touch only their own transaction, so they are
+  // eligible for batched optimistic execution (DESIGN.md §12). The
+  // historical endpoints below are not: they mutate the shared historical
+  // state cache and the per-node index.
   registry->Install(
       "POST", "/app/log",
       {[](rpc::EndpointContext* ctx) { WriteMessage(ctx, kPrivateMessagesMap); },
-       AuthPolicy::kUserCert, /*read_only=*/false});
+       AuthPolicy::kUserCert, /*read_only=*/false, /*exec_parallel=*/true});
   registry->Install(
       "GET", "/app/log",
       {[](rpc::EndpointContext* ctx) { ReadMessage(ctx, kPrivateMessagesMap); },
-       AuthPolicy::kUserCert, /*read_only=*/true});
+       AuthPolicy::kUserCert, /*read_only=*/true, /*exec_parallel=*/true});
   registry->Install(
       "POST", "/app/log_public",
       {[](rpc::EndpointContext* ctx) { WriteMessage(ctx, kPublicMessagesMap); },
-       AuthPolicy::kUserCert, /*read_only=*/false});
+       AuthPolicy::kUserCert, /*read_only=*/false, /*exec_parallel=*/true});
   registry->Install(
       "GET", "/app/log_public",
       {[](rpc::EndpointContext* ctx) { ReadMessage(ctx, kPublicMessagesMap); },
-       AuthPolicy::kUserCert, /*read_only=*/true});
+       AuthPolicy::kUserCert, /*read_only=*/true, /*exec_parallel=*/true});
   registry->Install(
       "GET", "/app/count",
       {[](rpc::EndpointContext* ctx) {
@@ -104,7 +112,75 @@ void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
          out["count"] = ctx->tx().Handle(kPrivateMessagesMap)->Size();
          ctx->SetJsonResponse(200, json::Value(std::move(out)));
        },
-       AuthPolicy::kUserCert, /*read_only=*/true});
+       AuthPolicy::kUserCert, /*read_only=*/true, /*exec_parallel=*/true});
+  // Compute-heavy read for the exec-worker sweep: reads one message, then
+  // burns ~1000 SHA-256 rounds over it. Models the paper's observation
+  // that read-only requests scale with the number of worker threads
+  // because they skip the serial commit point entirely.
+  registry->Install(
+      "GET", "/app/hashread",
+      {[](rpc::EndpointContext* ctx) {
+         std::string id = ctx->Param("id");
+         if (id.empty()) {
+           ctx->SetError(400, "missing id query parameter");
+           return;
+         }
+         auto msg = ctx->tx().Handle(kPrivateMessagesMap)->GetStr(id);
+         if (!msg.has_value()) {
+           ctx->SetError(404, "no such message");
+           return;
+         }
+         crypto::Sha256Digest d = crypto::Sha256::Hash(ToBytes(*msg));
+         for (int i = 0; i < 1000; ++i) {
+           d = crypto::Sha256::Hash(ByteSpan(d.data(), d.size()));
+         }
+         // Optional modeled service time: `work_us` blocks the executing
+         // worker for that many microseconds (capped at 10ms). The exec
+         // sweep uses it so batch-overlap is measurable even on a
+         // single-core host, where the chained-hash loop alone would
+         // time-slice instead of scaling. Timing only -- the response
+         // bytes are unaffected, so determinism contracts still hold.
+         std::string work_us = ctx->Param("work_us");
+         if (!work_us.empty()) {
+           long long us = std::strtoll(work_us.c_str(), nullptr, 10);
+           us = std::min<long long>(std::max<long long>(us, 0), 10000);
+           if (us > 0) {
+             std::this_thread::sleep_for(std::chrono::microseconds(us));
+           }
+         }
+         json::Object out;
+         out["id"] = static_cast<int64_t>(
+             std::strtoll(id.c_str(), nullptr, 10));
+         out["digest"] = HexEncode(Bytes(d.begin(), d.end()));
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kUserCert, /*read_only=*/true, /*exec_parallel=*/true});
+  // Read-modify-write counter for the mixed-workload sweep: increments
+  // "ctr:<id>" and returns the new value. Contending ids conflict at the
+  // serial commit point and exercise the bounded re-execution path.
+  registry->Install(
+      "POST", "/app/rmw",
+      {[](rpc::EndpointContext* ctx) {
+         auto params = ctx->Params();
+         if (!params.ok() || params->Get("id") == nullptr) {
+           ctx->SetError(400, "body must contain {id}");
+           return;
+         }
+         std::string key = "ctr:" + std::to_string(params->GetInt("id"));
+         auto* handle = ctx->tx().Handle(kPrivateMessagesMap);
+         int64_t value = 0;
+         auto cur = handle->GetStr(key);
+         if (cur.has_value()) {
+           value = std::strtoll(cur->c_str(), nullptr, 10);
+         }
+         ++value;
+         handle->PutStr(key, std::to_string(value));
+         json::Object out;
+         out["id"] = params->GetInt("id");
+         out["value"] = value;
+         ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kUserCert, /*read_only=*/false, /*exec_parallel=*/true});
 
   if (node.historical == nullptr || node.indexer == nullptr) return;
 

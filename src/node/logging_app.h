@@ -24,6 +24,15 @@ inline constexpr char kPublicMessagesMap[] = "public:app.messages";
 //   GET  /app/log?id=N                                  (user cert, RO)
 //   POST /app/log_public   / GET /app/log_public?id=N   (public map)
 //   GET  /app/count                                     (RO)
+//   GET  /app/hashread?id=N[&work_us=U]                 (user cert, RO)
+//       Reads the message, then burns ~1000 chained SHA-256 rounds over
+//       it: a compute-heavy read for the exec-worker scaling benchmark.
+//       Optional work_us (capped at 10ms) additionally blocks the worker
+//       for U microseconds of modeled service time, so batch overlap is
+//       measurable even on single-core hosts.
+//   POST /app/rmw          {"id": N}                    (user cert)
+//       Read-modify-write increment of counter "ctr:<id>"; contended ids
+//       conflict at the serial commit point (OCC re-execution).
 //   GET  /app/log/historical?id=N[&seqno=S]             (user cert, RO)
 //       The message with id N as of seqno S (default: latest receiptable
 //       write), served from the historical state cache with its receipt.

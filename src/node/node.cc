@@ -30,6 +30,7 @@ enum ChannelType : uint8_t {
   kConsensus = 1,
   kForwardRequest = 2,
   kForwardResponse = 3,
+  kSnapshotCatchUp = 4,
 };
 
 // Ring-buffer message types live in tee/messages.h (shared with tests).
@@ -64,7 +65,8 @@ Node::Node(NodeConfig config, Application* app, sim::Environment* env)
       node_key_(crypto::KeyPair::Generate(&drbg_)),
       indexer_(config.historical.index_entries_per_tick),
       verify_drbg_("ccf-verify-" + config.node_id, config.seed),
-      worker_pool_(config.worker_threads) {
+      worker_pool_(config.worker_threads),
+      exec_pool_(config.exec_threads) {
   store_.SetRetainedRootCap(config_.kv_retained_root_cap);
   historical_ = std::make_unique<historical::StateCache>(
       config_.historical,
@@ -78,6 +80,7 @@ Node::Node(NodeConfig config, Application* app, sim::Environment* env)
   BindNodeMetrics();
   boundary_.BindMetrics(&metrics_);
   worker_pool_.BindMetrics(&metrics_);
+  exec_pool_.BindMetrics(&metrics_, "exec.worker");
   InstallFrameworkEndpoints();
   if (app_ != nullptr) {
     app_->RegisterEndpoints(&registry_, app_context_);
@@ -123,6 +126,12 @@ void Node::BindNodeMetrics() {
   snapshot_metrics_.persist_corrupts =
       metrics_.GetCounter("snapshot.persist_corrupts");
   m_ledger_base_ = metrics_.GetGauge("ledger.base");
+  exec_metrics_.batches = metrics_.GetCounter("exec.batches");
+  exec_metrics_.requests = metrics_.GetCounter("exec.requests");
+  exec_metrics_.conflicts = metrics_.GetCounter("exec.conflicts");
+  exec_metrics_.retries = metrics_.GetCounter("exec.retries");
+  exec_metrics_.aborts = metrics_.GetCounter("exec.aborts");
+  exec_metrics_.batch_size = metrics_.GetHistogram("exec.batch_size");
 }
 
 Node::CryptoOpCounters Node::crypto_ops() const {
@@ -369,6 +378,9 @@ void Node::Tick(uint64_t now_ms) {
     // Once a committed signature covers the evidence, attach its receipt
     // and hand the finished bundle to the host.
     MaybePersistSnapshot();
+    // A long-lived primary bounds its in-memory consensus log by the
+    // snapshot horizon; laggards below it are offered the bundle instead.
+    MaybeCompactRaftLog();
     // Per-tick observability gauges (write-only; nothing reads them back).
     m_index_upto_->Set(indexer_.indexed_upto());
     m_index_lag_->Set(indexer_.Lag(raft_->commit_seqno()));
@@ -398,6 +410,9 @@ void Node::DrainEnclaveInbox() {
     if (!data.ok()) continue;
     EnclaveProcess(*from, *data);
   }
+  // Anything still batched executes before the tick moves on: the batch
+  // must never outlive the inbox drain that accumulated it.
+  FlushExecBatch();
 }
 
 void Node::EnclaveProcess(const std::string& from, ByteSpan data) {
@@ -765,6 +780,10 @@ void Node::HandleChannelMessage(const std::string& peer, ByteSpan payload) {
   uint8_t channel_type = (*inner)[0];
   ByteSpan body(inner->data() + 1, inner->size() - 1);
 
+  // Channel traffic can commit, roll back, or execute forwarded requests;
+  // batched requests must see the store head they were enqueued against.
+  FlushExecBatch();
+
   switch (channel_type) {
     case kConsensus: {
       if (raft_ == nullptr) return;
@@ -824,6 +843,10 @@ void Node::HandleChannelMessage(const std::string& peer, ByteSpan payload) {
       if (resp.ok() && resp->has_value()) {
         RespondToSession(session_peer, **resp);
       }
+      break;
+    }
+    case kSnapshotCatchUp: {
+      HandleSnapshotCatchUp(peer, body);
       break;
     }
     default:
@@ -1390,6 +1413,76 @@ void Node::MaybePersistSnapshot() {
     LOG_WARN << config_.node_id << " boundary outbox full, dropping snapshot";
   }
   snapshot_metrics_.persisted->Inc();
+}
+
+void Node::MaybeCompactRaftLog() {
+  if (raft_ == nullptr || !raft_->IsPrimary() || !latest_bundle_.has_value()) {
+    return;
+  }
+  // Entries below the snapshot horizon are droppable once every
+  // replication target's match index has passed them: nobody can need them
+  // from the log any more, and anyone who falls further behind gets the
+  // bundle instead. CompactTo additionally clamps to the commit point.
+  raft_->CompactTo(
+      std::min(latest_bundle_->seqno, raft_->MinPeerMatch()));
+  for (const std::string& peer : raft_->peers_needing_snapshot()) {
+    auto it = offered_catchup_.find(peer);
+    if (it != offered_catchup_.end() && it->second >= latest_bundle_->seqno) {
+      continue;  // this bundle was already offered; wait for the install
+    }
+    offered_catchup_[peer] = latest_bundle_->seqno;
+    LOG_INFO << config_.node_id << " offering snapshot catch-up at "
+             << latest_bundle_->seqno << " to " << peer;
+    SendOnChannel(peer, kSnapshotCatchUp, latest_bundle_->Serialize());
+  }
+}
+
+void Node::HandleSnapshotCatchUp(const std::string& peer, ByteSpan body) {
+  if (raft_ == nullptr || raft_->IsPrimary()) return;
+  auto bundle = SnapshotBundle::Deserialize(body);
+  if (!bundle.ok()) {
+    LOG_WARN << config_.node_id << " undecodable catch-up snapshot from "
+             << peer;
+    return;
+  }
+  if (bundle->seqno <= raft_->commit_seqno()) return;  // stale offer
+  if (encryptor_ == nullptr) return;  // no ledger secret yet
+  // Untrusted until the evidence receipt verifies against the pinned
+  // service identity, exactly like a joiner's bundle (paper §4.4).
+  Status verified = VerifyBundle(
+      *bundle, ByteSpan(service_identity_.data(), service_identity_.size()));
+  if (!verified.ok()) {
+    LOG_WARN << config_.node_id << " rejecting catch-up snapshot from "
+             << peer << ": " << verified.ToString();
+    return;
+  }
+  auto state = RestoreState(*bundle, ledger_secret_);
+  if (!state.ok()) {
+    LOG_WARN << config_.node_id << " catch-up snapshot restore failed: "
+             << state.status().ToString();
+    return;
+  }
+
+  // Re-base wholesale: the local suffix is an uncommitted prefix of what
+  // the bundle already covers. The Merkle tree rebuilds from the bundle's
+  // leaves (our own leaves are a prefix of them, so committed signed roots
+  // and receipts stay valid); the host ledger restarts at the bundle's
+  // base like a joiner's.
+  store_.InstallState(state.take(), bundle->seqno);
+  tree_.Truncate(0);
+  tree_.AppendLeafHashes(bundle->leaves);
+  tx_digests_.clear();
+  tx_digests_.resize(bundle->seqno);  // digests for old entries are unknown
+  pending_sig_verifies_.clear();  // all pending are below the bundle
+  host_ledger_ = ledger::Ledger();
+  Status based = host_ledger_.SetBase(bundle->seqno);
+  if (!based.ok()) {
+    LOG_ERROR << config_.node_id << " catch-up ledger re-base failed: "
+              << based.ToString();
+  }
+  raft_->InstallSnapshot(bundle->seqno, bundle->view, bundle->configs);
+  LOG_INFO << config_.node_id << " installed catch-up snapshot at "
+           << bundle->seqno << " from " << peer;
 }
 
 void Node::HostStoreSnapshot(ByteSpan payload) {

@@ -236,6 +236,35 @@ class Node : public consensus::RaftCallbacks {
 
   // ------------------------------------------------------- requests
 
+  // One classification shared by native and scripted endpoints: dispatch,
+  // forwarding, batching eligibility, and execution all read the same
+  // resolution, so a scripted endpoint's "readonly" field and a native
+  // EndpointSpec::read_only are one concept (paper §4.3 forwarding rules).
+  struct ResolvedEndpoint {
+    bool found = false;
+    const rpc::EndpointSpec* spec = nullptr;  // native; stable -- the
+                                              // registry is immutable
+                                              // after construction
+    json::Value scripted_spec;                // scripted record (copy)
+    bool is_scripted = false;
+    bool read_only = false;
+    bool exec_parallel = false;
+    rpc::AuthPolicy auth = rpc::AuthPolicy::kNoAuth;
+    std::string path;  // target with the query string stripped
+  };
+  ResolvedEndpoint ResolveEndpoint(const std::string& method,
+                                   const std::string& target);
+
+  // One entry of the pending optimistic-execution batch (DESIGN.md §12),
+  // accumulated by DispatchRequest while draining the enclave inbox and
+  // flushed before anything that could commit, forward, or respond.
+  struct ExecBatchItem {
+    std::string session_peer;
+    http::Request request;
+    rpc::CallerIdentity caller;
+    ResolvedEndpoint re;
+  };
+
   void DispatchRequest(const std::string& session_peer,
                        const http::Request& request);
   void RespondToSession(const std::string& session_peer,
@@ -246,10 +275,27 @@ class Node : public consensus::RaftCallbacks {
                                 const rpc::CallerIdentity& caller);
   http::Response ExecuteRequestInner(const http::Request& request,
                                      const rpc::CallerIdentity& caller);
-  http::Response ExecuteScriptedEndpoint(const std::string& key,
-                                         const json::Value& spec,
-                                         const http::Request& request,
-                                         const rpc::CallerIdentity& caller);
+  // Runs one endpoint handler against a caller-provided transaction, with
+  // no commit: the service-open gate, the auth policy, and the handler.
+  // Safe on exec-pool workers during a batch's execution phase -- it only
+  // reads committed store state and mutates its own tx/response.
+  http::Response ExecuteOnTx(const ResolvedEndpoint& re,
+                             const http::Request& request,
+                             const rpc::CallerIdentity& caller, kv::Tx* tx);
+  http::Response ExecuteScriptedOnTx(const json::Value& spec,
+                                     const http::Request& request,
+                                     const rpc::CallerIdentity& caller,
+                                     kv::Tx* tx);
+  // Serial commit point for one batched item: validate/commit its
+  // phase-A transaction, re-executing serially with bounded retries on
+  // conflict (paper §6.4: logic may run multiple times, its transaction
+  // is applied exactly once).
+  http::Response CommitBatchedItem(const ExecBatchItem& item, kv::Tx* tx,
+                                   http::Response resp);
+  // Executes the pending batch: every item gets a transaction off the
+  // same store head, handlers run on exec_pool_, then a serial commit
+  // point validates and responds in submission order.
+  void FlushExecBatch();
   Result<rpc::CallerIdentity> Authenticate(
       const std::optional<crypto::Certificate>& session_cert);
   Status CheckAuthPolicy(rpc::AuthPolicy policy,
@@ -287,6 +333,13 @@ class Node : public consensus::RaftCallbacks {
   // applying the environment's snapshot fault policy, and retire ledger
   // chunks below the horizon when configured.
   void HostStoreSnapshot(ByteSpan payload);
+  // Primary-only, from Tick: drops consensus log entries below the latest
+  // persisted snapshot once every peer's match index has passed them, and
+  // offers the bundle to laggards whose next entry fell below the base.
+  void MaybeCompactRaftLog();
+  // Follower side of snapshot catch-up: verify the offered bundle against
+  // the service identity and re-base store/tree/ledger/raft onto it.
+  void HandleSnapshotCatchUp(const std::string& peer, ByteSpan body);
   std::optional<consensus::Configuration> DetectReconfiguration(
       const kv::WriteSet& writes, uint64_t seqno);
   std::set<std::string> TrustedNodesInState() const;
@@ -482,10 +535,30 @@ class Node : public consensus::RaftCallbacks {
   };
   SnapshotMetrics snapshot_metrics_;
   observe::Gauge* m_ledger_base_ = nullptr;
+  struct ExecMetrics {
+    observe::Counter* batches = nullptr;
+    observe::Counter* requests = nullptr;
+    observe::Counter* conflicts = nullptr;
+    observe::Counter* retries = nullptr;
+    observe::Counter* aborts = nullptr;
+    observe::Histogram* batch_size = nullptr;
+  };
+  ExecMetrics exec_metrics_;
 
-  // Declared last so it is destroyed first: in-flight jobs may touch other
-  // members, which must still be alive while the destructor joins.
+  // Pending optimistic-execution batch (DESIGN.md §12).
+  std::vector<ExecBatchItem> exec_batch_;
+
+  // Snapshot catch-up offers already sent: peer -> offered bundle seqno
+  // (re-offered only once a newer bundle exists).
+  std::map<std::string, uint64_t> offered_catchup_;
+
+  // Declared last so they are destroyed first: in-flight jobs may touch
+  // other members, which must still be alive while the destructors join.
   tee::WorkerPool worker_pool_;
+  // Request-execution pool for batched optimistic execution (DESIGN.md
+  // §12); separate from worker_pool_ so crypto offload and request
+  // execution are sized independently (exec_threads).
+  tee::WorkerPool exec_pool_;
 };
 
 }  // namespace ccf::node

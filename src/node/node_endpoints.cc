@@ -29,6 +29,7 @@ enum ChannelType : uint8_t {
   kConsensus = 1,
   kForwardRequest = 2,
   kForwardResponse = 3,
+  kSnapshotCatchUp = 4,  // handled in node.cc; listed to keep enums in sync
 };
 
 Bytes WrapWire(WireKind kind, ByteSpan payload) {
@@ -182,6 +183,8 @@ void Node::DispatchRequest(const std::string& session_peer,
 
   auto caller = Authenticate(session.stls->peer_cert());
   if (!caller.ok()) {
+    // Flush first so responses stay ordered per connection.
+    FlushExecBatch();
     http::Response resp;
     resp.status = 401;
     resp.body = ToBytes(caller.status().ToString());
@@ -189,30 +192,29 @@ void Node::DispatchRequest(const std::string& session_peer,
     return;
   }
 
-  // Determine whether this request can execute locally: read-only
+  // One classification for native and scripted endpoints: read-only
   // endpoints are served by any node (paper §4.3); writes go to the
   // primary. Session consistency: once forwarded, always forwarded.
-  std::string path = http::ParseTarget(request.path).path;
-  bool read_only = false;
-  const rpc::EndpointSpec* spec = registry_.Find(request.method, path);
-  if (spec != nullptr) {
-    read_only = spec->read_only;
-  } else {
-    auto scripted = store_.GetStr(tables::kEndpoints,
-                                  request.method + " " + path);
-    if (scripted.has_value()) {
-      auto j = json::Parse(*scripted);
-      if (j.ok()) read_only = j->GetBool("readonly");
-    }
-  }
-
-  bool must_forward = (!read_only || session.sticky_forwarding) &&
+  ResolvedEndpoint re = ResolveEndpoint(request.method, request.path);
+  bool must_forward = (!re.read_only || session.sticky_forwarding) &&
                       raft_ != nullptr && !raft_->IsPrimary();
   if (must_forward) {
+    FlushExecBatch();
     session.sticky_forwarding = true;
     ForwardToPrimary(session_peer, request, *caller);
     return;
   }
+  if (re.found && re.exec_parallel) {
+    // Batched optimistic execution (DESIGN.md §12). Eligibility must not
+    // depend on exec_threads: every setting takes the batch path, and the
+    // batch path itself is scheduling-independent (the pool's synchronous
+    // mode runs jobs inline in the same order a blocking drain retires
+    // them), so exec_threads 0 and N produce bit-identical runs.
+    exec_batch_.push_back(
+        ExecBatchItem{session_peer, request, *caller, std::move(re)});
+    return;
+  }
+  FlushExecBatch();
   http::Response response = ExecuteRequest(request, *caller);
   RespondToSession(session_peer, response);
 }
@@ -253,94 +255,77 @@ http::Response Node::ExecuteRequest(const http::Request& request,
   return response;
 }
 
+Node::ResolvedEndpoint Node::ResolveEndpoint(const std::string& method,
+                                             const std::string& target) {
+  ResolvedEndpoint re;
+  re.path = http::ParseTarget(target).path;
+  re.spec = registry_.Find(method, re.path);
+  if (re.spec != nullptr) {
+    re.found = true;
+    re.read_only = re.spec->read_only;
+    re.exec_parallel = re.spec->exec_parallel;
+    re.auth = re.spec->auth;
+    return re;
+  }
+  auto scripted = store_.GetStr(tables::kEndpoints, method + " " + re.path);
+  if (!scripted.has_value()) return re;
+  auto j = json::Parse(*scripted);
+  if (!j.ok()) return re;
+  re.found = true;
+  re.is_scripted = true;
+  re.scripted_spec = std::move(*j);
+  re.read_only = re.scripted_spec.GetBool("readonly");
+  // Scripted handlers run in a fresh per-request interpreter whose only
+  // shared state is the transaction, so they are always batchable.
+  re.exec_parallel = true;
+  std::string auth = re.scripted_spec.GetString("auth", "no_auth");
+  if (auth == "user_cert") re.auth = rpc::AuthPolicy::kUserCert;
+  if (auth == "member_cert") re.auth = rpc::AuthPolicy::kMemberCert;
+  if (auth == "any_cert") re.auth = rpc::AuthPolicy::kAnyCert;
+  return re;
+}
+
 http::Response Node::ExecuteRequestInner(const http::Request& request,
                                          const rpc::CallerIdentity& caller) {
-  http::ParsedTarget target = http::ParseTarget(request.path);
-  const std::string& path = target.path;
   http::Response error;
-
-  const rpc::EndpointSpec* spec = registry_.Find(request.method, path);
-  json::Value scripted_spec;
-  bool is_scripted = false;
-  if (spec == nullptr) {
-    auto scripted = store_.GetStr(tables::kEndpoints,
-                                  request.method + " " + path);
-    if (scripted.has_value()) {
-      auto j = json::Parse(*scripted);
-      if (j.ok()) {
-        scripted_spec = *j;
-        is_scripted = true;
-      }
-    }
-  }
-  if (spec == nullptr && !is_scripted) {
+  ResolvedEndpoint re = ResolveEndpoint(request.method, request.path);
+  if (!re.found) {
     error.status = 404;
     error.body = ToBytes("{\"error\":\"no such endpoint\"}");
     return error;
   }
 
-  // The application is only reachable once the service is open (paper §5).
-  if (path.rfind("/app/", 0) == 0 &&
-      service_status() != gov::ServiceStatus::kOpen) {
-    error.status = 503;
-    error.body = ToBytes("{\"error\":\"service is not open\"}");
-    return error;
-  }
-
-  rpc::AuthPolicy policy = rpc::AuthPolicy::kNoAuth;
-  if (spec != nullptr) {
-    policy = spec->auth;
-  } else {
-    std::string auth = scripted_spec.GetString("auth", "no_auth");
-    if (auth == "user_cert") policy = rpc::AuthPolicy::kUserCert;
-    if (auth == "member_cert") policy = rpc::AuthPolicy::kMemberCert;
-    if (auth == "any_cert") policy = rpc::AuthPolicy::kAnyCert;
-  }
-  Status auth_ok = CheckAuthPolicy(policy, caller);
-  if (!auth_ok.ok()) {
-    error.status = 401;
-    error.body = ToBytes("{\"error\":\"" + auth_ok.message() + "\"}");
-    return error;
-  }
-
   // Optimistic execution with re-execution on conflict (paper §6.4).
-  for (int attempt = 0; attempt < 5; ++attempt) {
-    if (is_scripted) {
-      http::Response resp = ExecuteScriptedEndpoint(
-          request.method + " " + path, scripted_spec, request, caller);
-      if (resp.status == 409 && attempt + 1 < 5) continue;
-      return resp;
-    }
-
+  const size_t attempts = config_.exec_max_retries + 1;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
     kv::Tx tx = store_.BeginTx();
-    // Handlers read query params via EndpointContext::Param, which checks
-    // the query string first; the legacy x-query-* headers are still
-    // stashed so pre-query-string handlers and clients keep working.
-    http::Request annotated = request;
-    for (const auto& [k, v] : target.params) {
-      annotated.headers["x-query-" + k] = v;
-    }
-    rpc::EndpointContext qctx(&tx, &annotated, caller);
-    spec->handler(&qctx);
-    http::Response resp = std::move(qctx.response());
+    http::Response resp = ExecuteOnTx(re, request, caller, &tx);
     if (resp.status >= 400) {
       return resp;  // failed requests leave no trace in the ledger
     }
-    if (spec->read_only) {
-      if (tx.has_writes()) {
+    auto stamp_uncommitted = [&](http::Response* r) {
+      r->headers[http::kTxIdHeader] =
+          consensus::TxId{ViewAtSeqno(store_.current_seqno()),
+                          store_.current_seqno()}
+              .ToString();
+    };
+    if (re.read_only) {
+      if (!re.is_scripted && tx.has_writes()) {
         error.status = 500;
         error.body = ToBytes("{\"error\":\"read-only endpoint wrote\"}");
         return error;
       }
-      resp.headers[http::kTxIdHeader] =
-          consensus::TxId{ViewAtSeqno(store_.current_seqno()),
-                          store_.current_seqno()}
-              .ToString();
+      stamp_uncommitted(&resp);
       return resp;
     }
-    ledger::EntryType entry_type = path.rfind("/gov/", 0) == 0
-                                       ? ledger::EntryType::kGovernance
-                                       : ledger::EntryType::kUser;
+    if (re.is_scripted && !tx.has_writes()) {
+      stamp_uncommitted(&resp);
+      return resp;
+    }
+    ledger::EntryType entry_type =
+        !re.is_scripted && re.path.rfind("/gov/", 0) == 0
+            ? ledger::EntryType::kGovernance
+            : ledger::EntryType::kUser;
     auto committed = CommitAndReplicate(&tx, entry_type);
     if (!committed.ok()) {
       if (committed.status().code() == Status::Code::kAborted) {
@@ -359,10 +344,44 @@ http::Response Node::ExecuteRequestInner(const http::Request& request,
   return error;
 }
 
-http::Response Node::ExecuteScriptedEndpoint(
-    const std::string& key, const json::Value& spec,
-    const http::Request& request, const rpc::CallerIdentity& caller) {
-  (void)key;
+http::Response Node::ExecuteOnTx(const ResolvedEndpoint& re,
+                                 const http::Request& request,
+                                 const rpc::CallerIdentity& caller,
+                                 kv::Tx* tx) {
+  http::Response error;
+  // The application is only reachable once the service is open (paper §5).
+  if (re.path.rfind("/app/", 0) == 0 &&
+      service_status() != gov::ServiceStatus::kOpen) {
+    error.status = 503;
+    error.body = ToBytes("{\"error\":\"service is not open\"}");
+    return error;
+  }
+  Status auth_ok = CheckAuthPolicy(re.auth, caller);
+  if (!auth_ok.ok()) {
+    error.status = 401;
+    error.body = ToBytes("{\"error\":\"" + auth_ok.message() + "\"}");
+    return error;
+  }
+  if (re.is_scripted) {
+    return ExecuteScriptedOnTx(re.scripted_spec, request, caller, tx);
+  }
+  // Handlers read query params via EndpointContext::Param, which checks
+  // the query string first; the legacy x-query-* headers are still
+  // stashed so pre-query-string handlers and clients keep working.
+  http::ParsedTarget target = http::ParseTarget(request.path);
+  http::Request annotated = request;
+  for (const auto& [k, v] : target.params) {
+    annotated.headers["x-query-" + k] = v;
+  }
+  rpc::EndpointContext qctx(tx, &annotated, caller);
+  re.spec->handler(&qctx);
+  return std::move(qctx.response());
+}
+
+http::Response Node::ExecuteScriptedOnTx(const json::Value& spec,
+                                         const http::Request& request,
+                                         const rpc::CallerIdentity& caller,
+                                         kv::Tx* tx) {
   http::Response resp;
   auto module = store_.GetStr(tables::kModules, "app");
   if (!module.has_value()) {
@@ -373,10 +392,11 @@ http::Response Node::ExecuteScriptedEndpoint(
   std::string handler = spec.GetString("handler");
   bool read_only = spec.GetBool("readonly");
 
-  kv::Tx tx = store_.BeginTx();
-  // Fresh interpreter per request, like CCF's per-request JS runtime.
+  // Fresh interpreter per request, like CCF's per-request JS runtime; the
+  // transaction is the only state it shares with anything else, which is
+  // what makes scripted endpoints batchable.
   script::Interpreter interp;
-  gov::BindKvNatives(&interp, &tx, read_only);
+  gov::BindKvNatives(&interp, tx, read_only);
   auto program = script::Compile(*module);
   if (!program.ok()) {
     resp.status = 500;
@@ -427,24 +447,131 @@ http::Response Node::ExecuteScriptedEndpoint(
   }
   resp.status = status;
   resp.body = ToBytes(body);
-  if (resp.status >= 400) return resp;
+  // Commit/abort handling and TxId stamping happen at the caller's serial
+  // commit point (ExecuteRequestInner or CommitBatchedItem).
+  return resp;
+}
 
-  if (read_only || !tx.has_writes()) {
-    resp.headers[http::kTxIdHeader] =
+// ------------------------------------------------------ batched execution
+
+void Node::FlushExecBatch() {
+  if (exec_batch_.empty()) return;
+  const size_t n = exec_batch_.size();
+  exec_metrics_.batches->Inc();
+  exec_metrics_.requests->Inc(n);
+  exec_metrics_.batch_size->Record(static_cast<uint64_t>(n));
+
+  // Phase A: every item opens a transaction off the same store head (no
+  // commits happen between enqueue and flush), then all handlers execute
+  // on the exec pool against that shared immutable snapshot (paper §3.4).
+  // Each job touches only its own slot, so the results are independent of
+  // worker scheduling; with exec_threads == 0 the pool runs the jobs
+  // inline in submission order, which is exactly the order a blocking
+  // drain retires them -- the two modes are bit-identical.
+  std::vector<kv::Tx> txs;
+  txs.reserve(n);
+  for (size_t i = 0; i < n; ++i) txs.push_back(store_.BeginTx());
+  std::vector<http::Response> responses(n);
+  std::vector<uint64_t> wall_us(n, 0);
+  std::vector<tee::WorkerPool::Job> jobs;
+  jobs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    jobs.push_back([this, i, &txs, &responses, &wall_us] {
+      const ExecBatchItem& item = exec_batch_[i];
+      auto t0 = std::chrono::steady_clock::now();
+      responses[i] = ExecuteOnTx(item.re, item.request, item.caller, &txs[i]);
+      wall_us[i] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    });
+  }
+  exec_pool_.SubmitBatch(std::move(jobs));
+  exec_pool_.Drain(/*wait_all=*/true);
+
+  // Phase B: single serial commit point, in submission order. Writers
+  // validate against whatever committed before them (including earlier
+  // members of this batch) and re-execute serially on conflict.
+  for (size_t i = 0; i < n; ++i) {
+    const ExecBatchItem& item = exec_batch_[i];
+    http::Response out =
+        CommitBatchedItem(item, &txs[i], std::move(responses[i]));
+    rpc::RecordEndpointMetrics(&metrics_, item.request.method, item.re.path,
+                               out.status, wall_us[i]);
+    RespondToSession(item.session_peer, out);
+  }
+  exec_batch_.clear();
+}
+
+http::Response Node::CommitBatchedItem(const ExecBatchItem& item, kv::Tx* tx,
+                                       http::Response resp) {
+  if (resp.status >= 400) {
+    return resp;  // failed requests leave no trace in the ledger
+  }
+  auto stamp_uncommitted = [&](http::Response* r) {
+    r->headers[http::kTxIdHeader] =
         consensus::TxId{ViewAtSeqno(store_.current_seqno()),
                         store_.current_seqno()}
             .ToString();
+  };
+  if (item.re.read_only) {
+    // No validation needed: the handler saw one immutable committed
+    // snapshot and wrote nothing, so it serializes at its snapshot.
+    if (!item.re.is_scripted && tx->has_writes()) {
+      http::Response error;
+      error.status = 500;
+      error.body = ToBytes("{\"error\":\"read-only endpoint wrote\"}");
+      return error;
+    }
+    stamp_uncommitted(&resp);
     return resp;
   }
-  auto committed = CommitAndReplicate(&tx, ledger::EntryType::kUser);
-  if (!committed.ok()) {
-    resp.status =
-        committed.status().code() == Status::Code::kAborted ? 409 : 503;
-    resp.body = ToBytes("{\"error\":\"" + committed.status().message() +
-                        "\"}");
-    return resp;
+
+  ledger::EntryType entry_type =
+      !item.re.is_scripted && item.re.path.rfind("/gov/", 0) == 0
+          ? ledger::EntryType::kGovernance
+          : ledger::EntryType::kUser;
+  uint64_t reexecs = 0;
+  std::optional<kv::Tx> retry_tx;
+  kv::Tx* cur = tx;
+  for (;;) {
+    if (item.re.is_scripted && !cur->has_writes()) {
+      stamp_uncommitted(&resp);
+      break;
+    }
+    auto committed = CommitAndReplicate(cur, entry_type);
+    if (committed.ok()) {
+      resp.headers[http::kTxIdHeader] = committed->ToString();
+      break;
+    }
+    if (committed.status().code() != Status::Code::kAborted) {
+      resp = http::Response{};
+      resp.status = 503;
+      resp.body = ToBytes("{\"error\":\"" + committed.status().message() +
+                          "\"}");
+      break;
+    }
+    if (reexecs == 0) exec_metrics_.conflicts->Inc();
+    if (reexecs >= config_.exec_max_retries) {
+      exec_metrics_.aborts->Inc();
+      resp = http::Response{};
+      resp.status = 409;
+      resp.body = ToBytes("{\"error\":\"transaction conflict\"}");
+      break;
+    }
+    ++reexecs;
+    exec_metrics_.retries->Inc();
+    // Serial re-execution against the latest committed head (paper §6.4:
+    // business logic may run several times, its transaction is applied
+    // exactly once).
+    retry_tx.emplace(store_.BeginTx());
+    cur = &*retry_tx;
+    resp = ExecuteOnTx(item.re, item.request, item.caller, cur);
+    if (resp.status >= 400) break;
   }
-  resp.headers[http::kTxIdHeader] = committed->ToString();
+  metrics_
+      .GetHistogram("exec.reexecs." + item.request.method + " " + item.re.path)
+      ->Record(reexecs);
   return resp;
 }
 

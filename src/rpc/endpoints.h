@@ -82,6 +82,13 @@ struct EndpointSpec {
   // Read-only endpoints execute locally on any node; others are forwarded
   // to the primary (paper §4.3).
   bool read_only = false;
+  // Eligible for batched optimistic execution (DESIGN.md §12): the handler
+  // touches only its EndpointContext (tx, request, response) and shared
+  // *committed* state reachable through const reads, so concurrent
+  // invocations against one immutable store snapshot are safe. Handlers
+  // that mutate node-level caches or registries (e.g. historical range
+  // requests) must leave this unset and run serially.
+  bool exec_parallel = false;
 };
 
 class EndpointRegistry {

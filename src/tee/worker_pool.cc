@@ -40,10 +40,11 @@ void WorkerPool::WorkerMain() {
   }
 }
 
-void WorkerPool::BindMetrics(observe::Registry* reg) {
-  m_submitted_ = reg->GetCounter("tee.worker.jobs_submitted");
-  m_drained_ = reg->GetCounter("tee.worker.jobs_drained");
-  m_queue_depth_ = reg->GetGauge("tee.worker.queue_depth");
+void WorkerPool::BindMetrics(observe::Registry* reg,
+                             const std::string& prefix) {
+  m_submitted_ = reg->GetCounter(prefix + ".jobs_submitted");
+  m_drained_ = reg->GetCounter(prefix + ".jobs_drained");
+  m_queue_depth_ = reg->GetGauge(prefix + ".queue_depth");
 }
 
 void WorkerPool::Submit(Job job, Job completion) {
@@ -70,6 +71,40 @@ void WorkerPool::Submit(Job job, Job completion) {
   work_cv_.notify_one();
 }
 
+void WorkerPool::SubmitBatch(std::vector<Job> jobs) {
+  if (jobs.empty()) return;
+  submitted_ += jobs.size();
+  if (m_submitted_ != nullptr) m_submitted_->Inc(jobs.size());
+  if (threads_.empty()) {
+    // Synchronous mode: batch members run right here, in index order --
+    // the same order a blocking Drain() retires them in threaded mode.
+    for (Job& job : jobs) {
+      job();
+      auto task = std::make_shared<Task>();
+      task->finished = true;
+      pending_.push_back(std::move(task));
+    }
+    if (m_queue_depth_ != nullptr) m_queue_depth_->Set(pending_.size());
+    return;
+  }
+  std::vector<std::shared_ptr<Task>> tasks;
+  tasks.reserve(jobs.size());
+  for (Job& job : jobs) {
+    auto task = std::make_shared<Task>();
+    task->job = std::move(job);
+    pending_.push_back(task);
+    tasks.push_back(std::move(task));
+  }
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Set(pending_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::shared_ptr<Task>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+  }
+  work_cv_.notify_all();
+}
+
 size_t WorkerPool::Drain(bool wait_all) {
   size_t ran = 0;
   while (!pending_.empty()) {
@@ -86,7 +121,7 @@ size_t WorkerPool::Drain(bool wait_all) {
     ++drained_;
     ++ran;
     if (m_drained_ != nullptr) m_drained_->Inc();
-    task->completion();
+    if (task->completion) task->completion();  // batch tasks carry none
   }
   if (m_queue_depth_ != nullptr) m_queue_depth_->Set(pending_.size());
   return ran;

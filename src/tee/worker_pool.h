@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -51,6 +52,14 @@ class WorkerPool {
   // for the next Drain().
   void Submit(Job job, Job completion);
 
+  // Enqueues a whole batch under one lock acquisition and a single
+  // notify_all, for fan-out callers (the OCC request scheduler submits a
+  // full request batch at its flush point). Jobs carry no completions; the
+  // caller observes results through the jobs' own side effects after a
+  // blocking Drain(). Ordering follows the vector: Drain() retires batch
+  // members in index order.
+  void SubmitBatch(std::vector<Job> jobs);
+
   // Runs completions in submission order. wait_all=true blocks until every
   // submitted job has finished; wait_all=false runs only the completions
   // whose jobs already finished, stopping at the first unfinished one.
@@ -66,7 +75,11 @@ class WorkerPool {
 
   // Registers a queue-depth gauge (undrained tasks; max() is the
   // high-water mark) plus submit/drain counters. Call before traffic.
-  void BindMetrics(observe::Registry* reg);
+  // `prefix` namespaces the keys ("<prefix>.jobs_submitted" etc.) so a
+  // node running several pools (crypto offload vs request execution) keeps
+  // their telemetry apart.
+  void BindMetrics(observe::Registry* reg,
+                   const std::string& prefix = "tee.worker");
 
  private:
   struct Task {

@@ -388,5 +388,166 @@ TEST_P(RaftChaosTest, SafetyUnderRandomFaults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RaftChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// --------------------------------------------------- log prefix compaction
+
+// The view recorded at `seqno` per a node's public view history (the test
+// mirror of the private RaftNode::ViewAt).
+uint64_t ViewAtSeqno(const RaftNode& raft, uint64_t seqno) {
+  uint64_t view = 1;
+  for (const auto& [v, start] : raft.view_history()) {
+    if (start <= seqno) view = v;
+  }
+  return view;
+}
+
+TEST(RaftCompaction, CompactToDropsPrefixAndClampsToCommit) {
+  sim::Environment env;
+  RaftTestNode n0("n0", FastRaftConfig(), {"n0"}, true, &env);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(n0.ReplicateUser("tx" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(n0.ReplicateSignature().ok());
+  uint64_t commit = n0.raft().commit_seqno();
+  uint64_t last = n0.raft().last_seqno();
+  ASSERT_EQ(commit, last);
+
+  // Asking past the commit point clamps: nothing uncommitted is dropped.
+  n0.raft().CompactTo(commit + 100);
+  EXPECT_EQ(n0.raft().base_seqno(), commit);
+  EXPECT_EQ(n0.raft().last_seqno(), last);
+  EXPECT_EQ(n0.raft().commit_seqno(), commit);
+  // The prefix is gone from memory; the tail (empty here) is addressable.
+  EXPECT_EQ(n0.raft().GetLogEntry(commit), nullptr);
+
+  // The node keeps operating normally on the re-based log.
+  ASSERT_TRUE(n0.ReplicateUser("after-compact").ok());
+  ASSERT_TRUE(n0.ReplicateSignature().ok());
+  EXPECT_EQ(n0.raft().commit_seqno(), last + 2);
+  ASSERT_NE(n0.raft().GetLogEntry(last + 1), nullptr);
+
+  // Compacting twice (idempotent) and to the same point is a no-op.
+  uint64_t base = n0.raft().commit_seqno();
+  n0.raft().CompactTo(base);
+  n0.raft().CompactTo(base);
+  EXPECT_EQ(n0.raft().base_seqno(), base);
+}
+
+TEST(RaftCompaction, ClusterCommitsAcrossCompactedPrimaryLog) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(primary->ReplicateUser("tx" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  uint64_t target = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(target));
+
+  // Every peer acked, so the whole committed prefix is compactable.
+  EXPECT_GE(primary->raft().MinPeerMatch(), target);
+  primary->raft().CompactTo(primary->raft().MinPeerMatch());
+  EXPECT_EQ(primary->raft().base_seqno(), target);
+  EXPECT_TRUE(primary->raft().peers_needing_snapshot().empty());
+
+  // Replication and commit continue from the re-based log.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(primary->ReplicateUser("post" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno()));
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+TEST(RaftCompaction, MinPeerMatchHoldsBackCompactionForLaggard) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary->ReplicateUser("pre").ok());
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  uint64_t acked_by_all = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(acked_by_all));
+
+  // One backup goes dark; the remaining quorum keeps committing.
+  NodeId lagger;
+  for (int i = 0; i < 3; ++i) {
+    if (RaftCluster::Name(i) != primary->id()) lagger = RaftCluster::Name(i);
+  }
+  cluster.env().SetUp(lagger, false);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(primary->ReplicateUser("quorum" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  uint64_t committed = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return primary->raft().commit_seqno() >= committed; }, 5000));
+
+  // The dark peer pins MinPeerMatch, so compaction keeps the entries it
+  // still needs even though commit is far ahead.
+  EXPECT_LE(primary->raft().MinPeerMatch(), acked_by_all);
+  primary->raft().CompactTo(primary->raft().MinPeerMatch());
+  EXPECT_LE(primary->raft().base_seqno(), acked_by_all);
+
+  // Back up: the laggard catches up purely from the retained log tail.
+  cluster.env().SetUp(lagger, true);
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(committed, 10000));
+  EXPECT_TRUE(primary->raft().peers_needing_snapshot().empty());
+  EXPECT_TRUE(cluster.AllInvariantsHold());
+}
+
+TEST(RaftCompaction, LaggardBelowBaseNeedsSnapshotAndCatchesUpAfterInstall) {
+  RaftCluster cluster(3);
+  RaftTestNode* primary = cluster.WaitForPrimary();
+  ASSERT_NE(primary, nullptr);
+  NodeId lagger;
+  for (int i = 0; i < 3; ++i) {
+    if (RaftCluster::Name(i) != primary->id()) lagger = RaftCluster::Name(i);
+  }
+  cluster.env().SetUp(lagger, false);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(primary->ReplicateUser("deep" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  uint64_t committed = primary->raft().last_seqno();
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] { return primary->raft().commit_seqno() >= committed; }, 5000));
+
+  // Compact past the laggard's match (what a primary would do after its
+  // snapshot horizon moved): the log can no longer serve the laggard.
+  primary->raft().CompactTo(committed);
+  ASSERT_EQ(primary->raft().base_seqno(), committed);
+
+  cluster.env().SetUp(lagger, true);
+  ASSERT_TRUE(cluster.env().RunUntil(
+      [&] {
+        return primary->raft().peers_needing_snapshot().count(lagger) > 0;
+      },
+      5000));
+
+  // The node layer ships a verified snapshot at the primary's base; the
+  // laggard re-bases onto it.
+  RaftNode& lraft = cluster.nodes().at(lagger)->raft();
+  uint64_t snap_seqno = primary->raft().base_seqno();
+  lraft.InstallSnapshot(snap_seqno,
+                        ViewAtSeqno(primary->raft(), snap_seqno),
+                        primary->raft().active_configs());
+  EXPECT_EQ(lraft.base_seqno(), snap_seqno);
+  EXPECT_EQ(lraft.commit_seqno(), snap_seqno);
+
+  // A stale (already-covered) offer is ignored.
+  lraft.InstallSnapshot(snap_seqno - 1, 1,
+                        primary->raft().active_configs());
+  EXPECT_EQ(lraft.base_seqno(), snap_seqno);
+
+  // Replication resumes from the snapshot point and the flag clears.
+  ASSERT_TRUE(primary->ReplicateUser("post-install").ok());
+  ASSERT_TRUE(primary->ReplicateSignature().ok());
+  ASSERT_TRUE(cluster.WaitForCommitEverywhere(primary->raft().last_seqno(),
+                                              10000));
+  EXPECT_TRUE(cluster.env().RunUntil(
+      [&] { return primary->raft().peers_needing_snapshot().empty(); },
+      5000));
+  EXPECT_TRUE(cluster.CommittedPrefixesAgree());
+}
+
 }  // namespace
 }  // namespace ccf::testing

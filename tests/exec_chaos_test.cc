@@ -1,0 +1,74 @@
+// Determinism of batched optimistic execution (DESIGN.md §12) under
+// seeded chaos: exec_threads=N hands request handlers to a real worker
+// pool, but the serial commit point orders effects by submission, so a
+// service configured with exec_threads=4 must replay bit-identically to
+// the inline exec_threads=0 baseline -- same fault schedule, same
+// per-round trace, same converged Merkle roots and committed KV state on
+// every node. 20 batches x 10 seeds = 200 fault schedules, each run both
+// ways.
+
+#include <gtest/gtest.h>
+
+#include "tests/service_chaos_util.h"
+
+namespace ccf::testing {
+namespace {
+
+class ExecChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecChaosTest, ExecThreadsPreserveDeterminismAcrossSeedBatch) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    uint64_t seed = GetParam() * 10 + i;
+    ChaosOutcome inline_exec =
+        RunServiceChaos(seed, /*worker_threads=*/0,
+                        /*with_metrics_report=*/false, /*exec_threads=*/0);
+    ChaosOutcome pooled_exec =
+        RunServiceChaos(seed, /*worker_threads=*/0,
+                        /*with_metrics_report=*/false, /*exec_threads=*/4);
+    ASSERT_EQ(inline_exec.failure, pooled_exec.failure)
+        << "seed " << seed << "\nreplayable fault schedule:\n"
+        << inline_exec.schedule;
+    ASSERT_TRUE(inline_exec.failure.empty())
+        << "seed " << seed << ": " << inline_exec.failure
+        << "\nreplayable fault schedule:\n"
+        << inline_exec.schedule;
+    EXPECT_EQ(inline_exec.schedule, pooled_exec.schedule) << "seed " << seed;
+    EXPECT_EQ(inline_exec.trace, pooled_exec.trace) << "seed " << seed;
+    EXPECT_EQ(inline_exec.final_state, pooled_exec.final_state)
+        << "seed " << seed;
+    ASSERT_FALSE(inline_exec.final_state.empty()) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBatches, ExecChaosTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+// A pooled run replays bit-for-bit against itself: handler wall-clock
+// finish order varies between runs, but retirement is by submission order
+// and the commit point is serial, so nothing real-time-dependent leaks
+// into the virtual-time run.
+TEST(ExecChaosDeterminism, PooledRunReplaysBitForBit) {
+  ChaosOutcome a = RunServiceChaos(13, 0, false, /*exec_threads=*/4);
+  ChaosOutcome b = RunServiceChaos(13, 0, false, /*exec_threads=*/4);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.final_state, b.final_state);
+}
+
+// Batched execution composes with crypto offload: both pools on at once
+// still matches the all-inline baseline.
+TEST(ExecChaosDeterminism, ExecAndWorkerPoolsCompose) {
+  for (uint64_t seed : {5u, 17u}) {
+    ChaosOutcome baseline = RunServiceChaos(seed, 0, false, 0);
+    ChaosOutcome both = RunServiceChaos(seed, /*worker_threads=*/4, false,
+                                        /*exec_threads=*/4);
+    ASSERT_EQ(baseline.failure, both.failure) << "seed " << seed;
+    EXPECT_EQ(baseline.schedule, both.schedule) << "seed " << seed;
+    EXPECT_EQ(baseline.trace, both.trace) << "seed " << seed;
+    EXPECT_EQ(baseline.final_state, both.final_state) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ccf::testing

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/hmac.h"
@@ -96,6 +98,147 @@ TEST_P(KvChaosTest, StoreMatchesModelUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KvChaosTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// OCC conflict-matrix property (DESIGN.md §12): two transactions opened
+// from the same snapshot conflict iff the first committer's write/remove
+// keys intersect the second's read keys on some map. Read-read and
+// (read-free) write-write pairs always commute; after a conflicted abort,
+// re-execution against the new head commits and last-writer-wins holds.
+class KvConflictMatrixTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvConflictMatrixTest, ConflictIffWritesIntersectReads) {
+  crypto::Drbg rng("kv-conflict", GetParam());
+  Store store;
+  const std::vector<std::string> maps = {"private:x", "public:y"};
+  const int kKeys = 12;
+
+  // Prepopulate every key so removes always hit a live version.
+  {
+    Tx init = store.BeginTx();
+    for (const std::string& map : maps) {
+      for (int k = 0; k < kKeys; ++k) {
+        init.Handle(map)->PutStr("k" + std::to_string(k), "init");
+      }
+    }
+    ASSERT_TRUE(store.CommitTx(&init).ok());
+  }
+
+  for (int round = 0; round < 400; ++round) {
+    // Key sets for this round, drawn up front so the oracle and the
+    // transactions agree. Map name + key identifies a cell.
+    auto draw = [&](size_t n) {
+      std::set<std::pair<std::string, std::string>> out;
+      for (size_t i = 0; i < n; ++i) {
+        out.emplace(maps[rng.Uniform(maps.size())],
+                    "k" + std::to_string(rng.Uniform(kKeys)));
+      }
+      return out;
+    };
+    auto a_writes = draw(1 + rng.Uniform(3));
+    auto b_reads = draw(rng.Uniform(3));  // possibly read-free
+    auto b_writes = draw(1 + rng.Uniform(3));
+    bool a_removes = rng.Uniform(4) == 0;
+
+    // Both transactions open against the same head (the OCC batch shape).
+    Tx a = store.BeginTx();
+    Tx b = store.BeginTx();
+    for (const auto& [map, key] : b_reads) b.Handle(map)->GetStr(key);
+    for (const auto& [map, key] : b_writes) {
+      b.Handle(map)->PutStr(key, "b" + std::to_string(round));
+    }
+    for (const auto& [map, key] : a_writes) {
+      if (a_removes) {
+        a.Handle(map)->RemoveStr(key);
+      } else {
+        a.Handle(map)->PutStr(key, "a" + std::to_string(round));
+      }
+    }
+
+    auto a_result = store.CommitTx(&a);
+    ASSERT_TRUE(a_result.ok()) << round;
+
+    bool expect_conflict = false;
+    for (const auto& cell : a_writes) {
+      if (b_reads.count(cell) > 0) expect_conflict = true;
+    }
+
+    Status check = store.CheckConflicts(b);
+    EXPECT_EQ(check.ok(), !expect_conflict)
+        << "round " << round << ": " << check.ToString();
+    auto b_result = store.CommitTx(&b);
+    if (expect_conflict) {
+      ASSERT_FALSE(b_result.ok()) << round;
+      EXPECT_EQ(b_result.status().code(), Status::Code::kAborted) << round;
+      // Re-execution against the new head (what the serial commit point
+      // does with a loser) commits cleanly.
+      Tx retry = store.BeginTx();
+      for (const auto& [map, key] : b_reads) retry.Handle(map)->GetStr(key);
+      for (const auto& [map, key] : b_writes) {
+        retry.Handle(map)->PutStr(key, "b" + std::to_string(round));
+      }
+      ASSERT_TRUE(store.CommitTx(&retry).ok()) << round;
+    } else {
+      // Commutes: write-write overlap without reads is not a conflict
+      // (OCC validates read sets only); B's writes land after A's.
+      ASSERT_TRUE(b_result.ok()) << round << ": "
+                                 << b_result.status().ToString();
+    }
+
+    // Last-writer-wins on every key B wrote, whichever path it took.
+    Tx probe = store.BeginTx();
+    for (const auto& [map, key] : b_writes) {
+      auto got = probe.Handle(map)->GetStr(key);
+      ASSERT_TRUE(got.has_value()) << round;
+      EXPECT_EQ(*got, "b" + std::to_string(round)) << round;
+    }
+
+    // Restore any removed keys for the next round.
+    if (a_removes) {
+      Tx heal = store.BeginTx();
+      for (const auto& [map, key] : a_writes) {
+        if (b_writes.count({map, key}) == 0) {
+          heal.Handle(map)->PutStr(key, "init");
+        }
+      }
+      ASSERT_TRUE(store.CommitTx(&heal).ok()) << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvConflictMatrixTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// The write-set overlap oracle used by batch diagnostics: Overlaps is
+// exactly nonempty key intersection per map.
+TEST(KvWriteSetProperty, OverlapsMatchesKeyIntersection) {
+  crypto::Drbg rng("kv-overlap", 9);
+  for (int round = 0; round < 200; ++round) {
+    Store store;
+    auto build = [&](const char* tag) {
+      Tx tx = store.BeginTx();
+      std::set<std::pair<std::string, std::string>> cells;
+      int n = 1 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < n; ++i) {
+        std::string map = rng.Uniform(2) == 0 ? "private:x" : "public:y";
+        std::string key = "k" + std::to_string(rng.Uniform(8));
+        cells.emplace(map, key);
+        tx.Handle(map)->PutStr(key, tag);
+      }
+      auto result = store.CommitTx(&tx);
+      EXPECT_TRUE(result.ok());
+      return std::make_pair(result->write_set, cells);
+    };
+    auto [ws_a, cells_a] = build("a");
+    auto [ws_b, cells_b] = build("b");
+    bool expect = false;
+    for (const auto& cell : cells_a) {
+      if (cells_b.count(cell) > 0) expect = true;
+    }
+    EXPECT_EQ(ws_a.Overlaps(ws_b), expect) << round;
+    EXPECT_EQ(ws_b.Overlaps(ws_a), expect) << round;
+    EXPECT_FALSE(ws_a.Overlaps(WriteSet{})) << round;
+  }
+}
 
 // Replicated path: a backup applying the primary's write sets stays
 // byte-identical through random rollbacks mirrored on both sides.

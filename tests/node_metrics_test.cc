@@ -101,6 +101,37 @@ TEST_F(NodeMetricsTest, JsonShapeAndPerEndpointLatencies) {
   EXPECT_GT(commit_lat->GetInt("count"), 0);
 }
 
+// The batched-execution path (DESIGN.md §12) exports its shape through
+// the same endpoint: request/batch counters, the batch-size histogram,
+// and zero conflicts for an uncontended workload.
+TEST_F(NodeMetricsTest, ExecCountersAndBatchHistogram) {
+  Workload(6);
+  json::Value body = FetchMetrics();
+  const json::Value* m = body.Get("metrics");
+  ASSERT_NE(m, nullptr);
+
+  const json::Value* counters = m->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  int64_t requests = counters->GetInt("exec.requests");
+  int64_t batches = counters->GetInt("exec.batches");
+  // Every eligible request (all of /app/log's traffic) went through the
+  // batch path.
+  EXPECT_GE(requests, 7);  // 6 writes + 1 read
+  EXPECT_GE(batches, 1);
+  EXPECT_LE(batches, requests);
+  // Sequential blocking clients produce no contention.
+  EXPECT_EQ(counters->GetInt("exec.conflicts"), 0);
+  EXPECT_EQ(counters->GetInt("exec.retries"), 0);
+  EXPECT_EQ(counters->GetInt("exec.aborts"), 0);
+
+  const json::Value* hists = m->Get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* bs = hists->Get("exec.batch_size");
+  ASSERT_NE(bs, nullptr);
+  EXPECT_EQ(bs->GetInt("count"), batches);
+  EXPECT_GE(bs->GetInt("max"), 1);
+}
+
 TEST_F(NodeMetricsTest, CountersAreMonotonicAcrossWorkload) {
   Workload(4);
   json::Value before = FetchMetrics();

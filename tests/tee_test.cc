@@ -106,6 +106,73 @@ TEST(WorkerPool, SubmitDrainStress) {
   EXPECT_EQ(completion_sum, expected);
 }
 
+TEST(WorkerPool, SubmitBatchSyncModeRunsInlineInIndexOrder) {
+  WorkerPool pool(0);
+  std::vector<int> order;
+  std::vector<WorkerPool::Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([&order, i] { order.push_back(i); });
+  }
+  pool.SubmitBatch(std::move(jobs));
+  // workers == 0: the batch ran inline at SubmitBatch, in index order --
+  // this is what makes exec_threads=0 the bit-identical baseline for the
+  // OCC request scheduler.
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  // Batch jobs carry no completions; the drain just retires them.
+  EXPECT_TRUE(pool.HasPending());
+  pool.Drain(/*wait_all=*/true);
+  EXPECT_FALSE(pool.HasPending());
+  EXPECT_EQ(pool.submitted(), 8u);
+  EXPECT_EQ(pool.drained(), 8u);
+}
+
+TEST(WorkerPool, SubmitBatchThreadedFillsDisjointSlots) {
+  WorkerPool pool(4);
+  std::vector<uint64_t> slots(64, 0);
+  std::vector<WorkerPool::Job> jobs;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    jobs.push_back([&slots, i] { slots[i] = i + 1; });
+  }
+  pool.SubmitBatch(std::move(jobs));
+  pool.Drain(/*wait_all=*/true);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], i + 1) << "slot " << i;
+  }
+}
+
+// TSan stress for the OCC flush pattern: rounds of SubmitBatch + blocking
+// drain, with plain Submit()s interleaved to race the two enqueue paths,
+// all while worker threads contend for the shared queue.
+TEST(WorkerPool, SubmitBatchDrainStress) {
+  WorkerPool pool(4);
+  std::atomic<uint64_t> job_sum{0};
+  uint64_t completion_sum = 0;
+  uint64_t expected_jobs = 0;
+  uint64_t expected_completions = 0;
+  for (int round = 0; round < 200; ++round) {
+    size_t n = 1 + round % 9;
+    std::vector<WorkerPool::Job> jobs;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = round * 100 + i;
+      expected_jobs += v;
+      jobs.push_back([&job_sum, v] { job_sum += v; });
+    }
+    pool.SubmitBatch(std::move(jobs));
+    if (round % 2 == 0) {
+      uint64_t v = round;
+      expected_jobs += v;
+      expected_completions += v;
+      pool.Submit([&job_sum, v] { job_sum += v; },
+                  [&completion_sum, v] { completion_sum += v; });
+    }
+    pool.Drain(/*wait_all=*/true);
+  }
+  EXPECT_EQ(job_sum.load(), expected_jobs);
+  EXPECT_EQ(completion_sum, expected_completions);
+  EXPECT_FALSE(pool.HasPending());
+}
+
 TEST(Attestation, QuoteVerifies) {
   crypto::KeyPair node_key = crypto::KeyPair::FromSeed(ToBytes("node"));
   auto report = ReportDataForNodeKey(node_key.public_key());
