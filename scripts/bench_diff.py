@@ -3,8 +3,9 @@
 
 Understands BENCH_signatures.json (bench_fig8_signatures),
 BENCH_historical.json (bench_historical), BENCH_observe.json
-(bench_observe), BENCH_snapshots.json (bench_snapshots) and
-BENCH_exec.json (bench_table5_modes exec-worker sweep); the format is
+(bench_observe), BENCH_snapshots.json (bench_snapshots),
+BENCH_exec.json (bench_table5_modes exec-worker sweep) and
+BENCH_net.json (bench_net live closed-loop load); the format is
 detected from the file contents.
 
 Usage:
@@ -155,6 +156,35 @@ def main():
                     continue
                 check(f"{section} {metric}", old_s.get(metric),
                       new_s.get(metric), lower_is_better)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0f}%:")
+            for r in regressions:
+                print(f"  - {r}")
+            return 1
+        print("\nno regressions beyond threshold")
+        return 0
+
+    # BENCH_net.json (bench_net): closed-loop live-cluster rows keyed by
+    # (connections, pipeline). Throughput is higher-is-better; latency
+    # percentiles are lower-is-better.
+    if "net" in old or "net" in new:
+        print(f"{'live closed-loop load':<46} {'old':>12} {'new':>12}")
+        old_rows = {(r.get("connections"), r.get("pipeline")): r
+                    for r in old.get("net", [])}
+        for row in new.get("net", []):
+            k = (row.get("connections"), row.get("pipeline"))
+            prev = old_rows.get(k)
+            if prev is None:
+                print(f"  (new config: conns={k[0]} pipeline={k[1]})")
+                continue
+            label = f"conns={k[0]} pipeline={k[1]}"
+            check(f"{label} tx_per_s", prev.get("tx_per_s"),
+                  row.get("tx_per_s"), lower_is_better=False)
+            check(f"{label} p50_us", prev.get("p50_us"),
+                  row.get("p50_us"), lower_is_better=True)
+            check(f"{label} p99_us", prev.get("p99_us"),
+                  row.get("p99_us"), lower_is_better=True)
         if regressions:
             print(f"\n{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0f}%:")

@@ -1,0 +1,59 @@
+#include "host/live_node.h"
+
+namespace ccf::host {
+
+Result<std::unique_ptr<LiveNodeHost>> LiveNodeHost::StartGenesis(
+    LiveNodeConfig cfg, const node::ServiceInit& init, node::Application* app) {
+  auto node =
+      node::Node::CreateGenesis(cfg.node, init, app, /*env=*/nullptr);
+  auto host = std::unique_ptr<LiveNodeHost>(new LiveNodeHost(std::move(cfg)));
+  RETURN_IF_ERROR(host->Launch(std::move(node)));
+  return host;
+}
+
+Result<std::unique_ptr<LiveNodeHost>> LiveNodeHost::StartJoiner(
+    LiveNodeConfig cfg, crypto::PublicKeyBytes service_identity,
+    const std::string& target_node, node::Application* app) {
+  auto node = node::Node::CreateJoiner(cfg.node, std::move(service_identity),
+                                       target_node, app, /*env=*/nullptr);
+  auto host = std::unique_ptr<LiveNodeHost>(new LiveNodeHost(std::move(cfg)));
+  RETURN_IF_ERROR(host->Launch(std::move(node)));
+  return host;
+}
+
+Status LiveNodeHost::Launch(std::unique_ptr<node::Node> node) {
+  node_ = std::move(node);
+  ticker_ = std::make_unique<Ticker>(
+      cfg_.tick_interval_ms,
+      [this](uint64_t now_ms) { node_->Tick(now_ms); });
+  cfg_.transport.node_id = cfg_.node.node_id;
+  transport_ = std::make_unique<LiveTransport>(
+      cfg_.transport,
+      // IO thread -> enclave ring. A nudge makes the tick thread drain the
+      // ring now instead of at the next interval boundary.
+      [this](const std::string& from, ByteSpan data) {
+        if (!node_->HostReceive(from, data)) return false;
+        ticker_->Nudge();
+        return true;
+      },
+      [this](const std::string& peer) {
+        if (!node_->HostPostSessionClosed(peer)) return false;
+        ticker_->Nudge();
+        return true;
+      });
+  node_->SetHostTransport(transport_.get());
+  RETURN_IF_ERROR(transport_->Start());
+  ticker_->Start();
+  running_ = true;
+  return Status::Ok();
+}
+
+void LiveNodeHost::Stop() {
+  if (!running_) return;
+  running_ = false;
+  ticker_->Stop();      // no more enclave entry
+  transport_->Stop();   // no more ring producers or callbacks
+  // node_ destroyed with the object, after both threads are joined.
+}
+
+}  // namespace ccf::host

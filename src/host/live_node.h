@@ -1,0 +1,85 @@
+// LiveNodeHost: one live CCF node = enclave Node + host threads.
+//
+// Wires the pieces of DESIGN.md §13 together:
+//   - the Node is built with no simulator environment (env == nullptr) and
+//     given a LiveTransport as its HostTransport — the same enclave code
+//     path runs under both drivers;
+//   - the transport's IO thread feeds inbound frames into the enclave ring
+//     via Node::HostReceive and nudges the ticker so traffic is consumed
+//     promptly;
+//   - a ticker thread is the single ring consumer, calling Node::Tick with
+//     wall-clock milliseconds.
+//
+// Shutdown order (relied on by destructors): ticker first (no more enclave
+// entry), transport second (no more ring producers), node last.
+
+#ifndef CCF_HOST_LIVE_NODE_H_
+#define CCF_HOST_LIVE_NODE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "host/ticker.h"
+#include "host/transport.h"
+#include "node/node.h"
+
+namespace ccf::host {
+
+struct LiveNodeConfig {
+  node::NodeConfig node;
+  TransportConfig transport;  // node_id is overwritten from node.node_id
+  uint64_t tick_interval_ms = 1;
+};
+
+class LiveNodeHost {
+ public:
+  // First node of a new service: creates the service identity at genesis.
+  static Result<std::unique_ptr<LiveNodeHost>> StartGenesis(
+      LiveNodeConfig cfg, const node::ServiceInit& init,
+      node::Application* app);
+  // Joining node: attests to `target_node` (which must be reachable via
+  // cfg.transport.peers) against the expected service identity.
+  static Result<std::unique_ptr<LiveNodeHost>> StartJoiner(
+      LiveNodeConfig cfg, crypto::PublicKeyBytes service_identity,
+      const std::string& target_node, node::Application* app);
+
+  ~LiveNodeHost() { Stop(); }
+  LiveNodeHost(const LiveNodeHost&) = delete;
+  LiveNodeHost& operator=(const LiveNodeHost&) = delete;
+
+  // Idempotent. Ticker, then transport, then (on destruction) the node.
+  void Stop();
+
+  uint16_t rpc_port() const { return transport_->rpc_port(); }
+  uint16_t node_port() const { return transport_->node_port(); }
+  const std::string& node_id() const { return cfg_.node.node_id; }
+  LiveTransport& transport() { return *transport_; }
+
+  void AddPeer(const std::string& id, const std::string& addr) {
+    transport_->AddPeer(id, addr);
+  }
+
+  // Runs `f(Node*)` mutually excluded with the tick thread — the only safe
+  // way to inspect enclave state while the node is live.
+  template <typename F>
+  auto WithNode(F&& f) {
+    return ticker_->Exclusive(
+        [&] { return std::forward<F>(f)(node_.get()); });
+  }
+
+ private:
+  explicit LiveNodeHost(LiveNodeConfig cfg) : cfg_(std::move(cfg)) {}
+  Status Launch(std::unique_ptr<node::Node> node);
+
+  LiveNodeConfig cfg_;
+  std::unique_ptr<node::Node> node_;
+  std::unique_ptr<Ticker> ticker_;
+  std::unique_ptr<LiveTransport> transport_;
+  bool running_ = false;
+};
+
+}  // namespace ccf::host
+
+#endif  // CCF_HOST_LIVE_NODE_H_

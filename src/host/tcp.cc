@@ -1,0 +1,192 @@
+#include "host/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ccf::host {
+
+void AppendFrame(Bytes* out, ByteSpan payload) {
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<uint8_t>(n));
+  out->push_back(static_cast<uint8_t>(n >> 8));
+  out->push_back(static_cast<uint8_t>(n >> 16));
+  out->push_back(static_cast<uint8_t>(n >> 24));
+  Append(out, payload);
+}
+
+bool ExtractFrames(Bytes* buf, std::vector<Bytes>* frames) {
+  size_t off = 0;
+  while (buf->size() - off >= 4) {
+    const uint8_t* p = buf->data() + off;
+    uint32_t n = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16) |
+                 (static_cast<uint32_t>(p[3]) << 24);
+    if (n > kMaxFrameSize) return false;
+    if (buf->size() - off - 4 < n) break;
+    frames->emplace_back(buf->begin() + static_cast<ptrdiff_t>(off + 4),
+                         buf->begin() + static_cast<ptrdiff_t>(off + 4 + n));
+    off += 4 + n;
+  }
+  if (off > 0) buf->erase(buf->begin(), buf->begin() + static_cast<ptrdiff_t>(off));
+  return true;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<int> DialNonBlocking(const std::string& host, uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  SetNoDelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    int err = errno;
+    close(fd);
+    return Status::Unavailable(std::string("connect: ") + std::strerror(err));
+  }
+  return fd;
+}
+
+int SoError(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int err = errno;
+    Close();
+    return Status::Unavailable(std::string("bind: ") + std::strerror(err));
+  }
+  if (listen(fd_, SOMAXCONN) < 0) {
+    int err = errno;
+    Close();
+    return Status::Internal(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::Ok();
+}
+
+int TcpListener::Accept() {
+  if (fd_ < 0) return -1;
+  int conn = accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (conn >= 0) SetNoDelay(conn);
+  return conn;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Epoll::Epoll() { fd_ = epoll_create1(EPOLL_CLOEXEC); }
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Epoll::Add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::Internal(std::string("epoll add: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status Epoll::Mod(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::Internal(std::string("epoll mod: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void Epoll::Del(int fd) { epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+int Epoll::Wait(std::vector<Event>* out, int timeout_ms) {
+  epoll_event evs[64];
+  int n = epoll_wait(fd_, evs, 64, timeout_ms);
+  out->clear();
+  for (int i = 0; i < n; ++i) {
+    out->push_back(Event{evs[i].data.u64, evs[i].events});
+  }
+  return n;
+}
+
+Waker::Waker() { fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
+
+Waker::~Waker() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Waker::Wake() {
+  uint64_t one = 1;
+  // A full eventfd counter still wakes the poller; the result is unused.
+  [[maybe_unused]] ssize_t n = write(fd_, &one, sizeof(one));
+}
+
+void Waker::Drain() {
+  uint64_t val = 0;
+  while (read(fd_, &val, sizeof(val)) > 0) {
+  }
+}
+
+}  // namespace ccf::host

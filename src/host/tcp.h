@@ -1,0 +1,110 @@
+// Low-level TCP plumbing for the live host (DESIGN.md §13): non-blocking
+// sockets, a loopback-friendly listener, an epoll wrapper, an eventfd
+// waker, and the length-prefixed frame codec.
+//
+// Framing: every TCP message is a little-endian u32 length followed by the
+// frame body. A frame body is exactly the byte string one
+// sim::Environment::Send call would carry, so the enclave sees identical
+// payloads under both drivers.
+
+#ifndef CCF_HOST_TCP_H_
+#define CCF_HOST_TCP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ccf::host {
+
+// Upper bound on one frame body; larger frames mean a corrupt or hostile
+// stream and close the connection.
+constexpr size_t kMaxFrameSize = 64u << 20;
+
+// Appends `payload` to `out` as one frame (length prefix + body).
+void AppendFrame(Bytes* out, ByteSpan payload);
+
+// Moves every complete frame at the front of `buf` into `frames`, erasing
+// the consumed bytes. Returns false on a malformed (oversized) frame;
+// `buf` is then poisoned and the connection should be closed.
+bool ExtractFrames(Bytes* buf, std::vector<Bytes>* frames);
+
+Status SetNonBlocking(int fd);
+// Disables Nagle: the host writes whole frames and latency benchmarks
+// (bench_net p50/p99) must not absorb delayed-ACK artefacts.
+void SetNoDelay(int fd);
+
+// Begins a non-blocking connect to host:port. Returns the fd; the connect
+// may still be in progress (wait for writability, then check SoError).
+Result<int> DialNonBlocking(const std::string& host, uint16_t port);
+// Pending error on a socket (0 = none); resolves an in-flight connect.
+int SoError(int fd);
+
+// Listening TCP socket. Binding port 0 picks an ephemeral port, readable
+// back through port() — tests and in-process clusters rely on this.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  Status Listen(const std::string& host, uint16_t port);
+  // Accepts one pending connection (non-blocking, CLOEXEC); -1 when none.
+  int Accept();
+  void Close();
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Thin epoll wrapper. Callers tag registrations with an opaque u64 (the fd
+// works fine) and get the tag back from Wait.
+class Epoll {
+ public:
+  Epoll();
+  ~Epoll();
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+
+  struct Event {
+    uint64_t tag = 0;
+    uint32_t events = 0;  // EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP bits
+  };
+
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  Status Mod(int fd, uint32_t events, uint64_t tag);
+  void Del(int fd);
+  // Blocks up to timeout_ms (-1 = forever); fills `out`.
+  int Wait(std::vector<Event>* out, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+// Cross-thread wakeup for an epoll loop (eventfd). Wake() is async-safe
+// and callable from any thread; Drain() consumes pending wakes.
+class Waker {
+ public:
+  Waker();
+  ~Waker();
+  Waker(const Waker&) = delete;
+  Waker& operator=(const Waker&) = delete;
+
+  int fd() const { return fd_; }
+  void Wake();
+  void Drain();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ccf::host
+
+#endif  // CCF_HOST_TCP_H_

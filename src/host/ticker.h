@@ -1,0 +1,104 @@
+// Wall-clock ticker thread (DESIGN.md §13): the live-mode counterpart of
+// the simulator's virtual-time tick. One thread calls the supplied
+// callback with monotonic milliseconds at a fixed cadence; that thread is
+// the node's single enclave/ring-consumer thread, so everything
+// Node::Tick touches stays single-threaded exactly as under the
+// simulator.
+//
+// Exclusive() runs a closure with the tick loop held off — how tests and
+// the host binary inspect node state without racing the tick thread.
+
+#ifndef CCF_HOST_TICKER_H_
+#define CCF_HOST_TICKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace ccf::host {
+
+// Monotonic milliseconds since an arbitrary process-local epoch. Shared by
+// the ticker and the transport's backoff timers so they agree on "now".
+inline uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class Ticker {
+ public:
+  Ticker(uint64_t interval_ms, std::function<void(uint64_t now_ms)> fn)
+      : interval_ms_(interval_ms == 0 ? 1 : interval_ms), fn_(std::move(fn)) {}
+
+  ~Ticker() { Stop(); }
+  Ticker(const Ticker&) = delete;
+  Ticker& operator=(const Ticker&) = delete;
+
+  void Start() {
+    if (thread_.joinable()) return;
+    stop_ = false;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  // Idempotent; joins the tick thread. After Stop returns no further
+  // callback invocations happen — the shutdown order in DESIGN.md §13
+  // relies on this (ticker first, transport second).
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lk(cv_mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Cuts the current sleep short (e.g. the IO thread delivered traffic and
+  // wants the enclave to see it before the next full interval).
+  void Nudge() {
+    {
+      std::lock_guard<std::mutex> lk(cv_mu_);
+      nudged_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Runs `f` mutually excluded with the tick callback.
+  template <typename F>
+  auto Exclusive(F&& f) {
+    std::lock_guard<std::mutex> lk(tick_mu_);
+    return std::forward<F>(f)();
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(cv_mu_);
+        cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_ || nudged_; });
+        if (stop_) return;
+        nudged_ = false;
+      }
+      std::lock_guard<std::mutex> lk(tick_mu_);
+      fn_(SteadyNowMs());
+    }
+  }
+
+  const uint64_t interval_ms_;
+  std::function<void(uint64_t)> fn_;
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool nudged_ = false;
+  std::mutex tick_mu_;
+  std::thread thread_;
+};
+
+}  // namespace ccf::host
+
+#endif  // CCF_HOST_TICKER_H_

@@ -1,0 +1,172 @@
+// LiveTransport: the untrusted host's network layer (DESIGN.md §13).
+//
+// One IO thread owns every socket:
+//   - an RPC listener accepting client connections (labelled "tcp:<n>");
+//   - a node listener accepting peer links, which announce their node id
+//     in a hello frame;
+//   - outbound peer links dialled from the configured address map, with
+//     exponential reconnect-and-backoff.
+// Inbound frames are pushed into the enclave's host-to-enclave ring via
+// the deliver callback. A full ring PARKS the connection (read interest
+// dropped, frame retried) instead of dropping bytes — backpressure
+// propagates to the TCP peer, never into data loss (satellite:
+// tee.ring_full).
+//
+// The enclave thread reaches the transport only through NetSend /
+// CloseSession (the node::HostTransport interface), which enqueue
+// commands under a mutex and wake the IO thread through an eventfd.
+
+#ifndef CCF_HOST_TRANSPORT_H_
+#define CCF_HOST_TRANSPORT_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "host/tcp.h"
+#include "node/node.h"
+
+namespace ccf::host {
+
+struct TransportConfig {
+  std::string node_id;
+  std::string bind_host = "127.0.0.1";
+  uint16_t rpc_port = 0;   // client listener; 0 = ephemeral
+  uint16_t node_port = 0;  // node-to-node listener; 0 = ephemeral
+  // Peer node id -> "host:port" of that node's node_port listener. Links
+  // to configured peers are dialled proactively and redialled on loss.
+  std::map<std::string, std::string> peers;
+  uint64_t backoff_min_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+  // Frames queued per peer while its link is down; beyond this the oldest
+  // are dropped (consensus retransmits; sessions would have reset anyway).
+  size_t max_peer_queue = 4096;
+};
+
+class LiveTransport : public node::HostTransport {
+ public:
+  // deliver(from, bytes): inject an inbound payload into the enclave
+  // inbox; false = ring full, park and retry.
+  // on_disconnect(peer): a labelled connection went away; false = ring
+  // full, retried until accepted.
+  using DeliverFn = std::function<bool(const std::string&, ByteSpan)>;
+  using DisconnectFn = std::function<bool(const std::string&)>;
+
+  LiveTransport(TransportConfig cfg, DeliverFn deliver,
+                DisconnectFn on_disconnect);
+  ~LiveTransport() override;
+
+  LiveTransport(const LiveTransport&) = delete;
+  LiveTransport& operator=(const LiveTransport&) = delete;
+
+  // Binds both listeners and starts the IO thread.
+  Status Start();
+  // Stops and joins the IO thread, closing every socket. After Stop
+  // returns, deliver/on_disconnect are never called again.
+  void Stop();
+
+  uint16_t rpc_port() const { return rpc_listener_.port(); }
+  uint16_t node_port() const { return node_listener_.port(); }
+
+  // Thread-safe; callable while running (a joiner learns peer addresses
+  // after it starts, an operator adds nodes).
+  void AddPeer(const std::string& id, const std::string& addr);
+
+  // node::HostTransport (called from the enclave tick thread).
+  void NetSend(const std::string& to, Bytes payload) override;
+  void CloseSession(const std::string& peer) override;
+
+  // Diagnostics (tests): connections currently parked on a full ring, and
+  // total frames that had to wait at least one retry.
+  uint64_t parked_frames_total() const { return parked_total_; }
+  size_t live_connections() const { return live_conns_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string label;        // "" until known (node links await hello)
+    bool node_link = false;   // peer link vs client session
+    bool dialed = false;      // we initiated the connect
+    bool connecting = false;  // non-blocking connect in flight
+    bool hello_done = false;  // node links: id exchange complete
+    Bytes inbuf;
+    std::deque<Bytes> outq;   // framed wire bytes
+    size_t out_off = 0;       // partial write offset into outq.front()
+    std::deque<Bytes> parked; // decoded frames awaiting ring space
+    bool closing = false;     // close once outq drains
+    bool dead = false;        // scheduled for teardown this iteration
+  };
+
+  struct PeerState {
+    std::string addr;           // "" for accepted-only peers
+    int fd = -1;                // live link, -1 when down
+    std::deque<Bytes> queued;   // payloads awaiting a link
+    uint64_t next_dial_ms = 0;
+    uint64_t backoff_ms = 0;
+  };
+
+  struct Command {
+    enum Kind { kSend, kClose, kAddPeer } kind;
+    std::string to;
+    Bytes payload;
+  };
+
+  void IoLoop();
+  void ProcessCommands();
+  void RouteSend(const std::string& to, Bytes payload);
+  void AcceptAll(TcpListener* listener, bool node_link);
+  Conn* AddConn(int fd, bool node_link, bool dialed);
+  void HandleReadable(Conn* c);
+  void HandleWritable(Conn* c);
+  void HandleFrame(Conn* c, Bytes frame);
+  // Attempts enclave delivery; on a full ring parks the frame (and pauses
+  // reads). Returns false when the frame was parked.
+  bool DeliverOrPark(Conn* c, Bytes frame);
+  void RetryParked();
+  void SendHello(Conn* c);
+  void EnqueueFrame(Conn* c, ByteSpan payload);
+  void UpdateInterest(Conn* c);
+  void MarkDead(Conn* c);
+  void ReapDead();
+  void DialDuePeers(uint64_t now_ms);
+  void ScheduleRedial(PeerState* p, uint64_t now_ms);
+  int WaitTimeoutMs() const;
+
+  TransportConfig cfg_;
+  DeliverFn deliver_;
+  DisconnectFn on_disconnect_;
+
+  Epoll epoll_;
+  Waker waker_;
+  TcpListener rpc_listener_;
+  TcpListener node_listener_;
+
+  std::map<int, std::unique_ptr<Conn>> conns_;     // by fd (IO thread only)
+  std::map<std::string, int> label_to_fd_;         // live labelled conns
+  std::map<std::string, PeerState> peers_;         // node links
+  std::vector<int> dead_fds_;
+  // Labels whose session-closed notice bounced off a full ring.
+  std::deque<std::string> pending_disconnects_;
+  uint64_t next_client_label_ = 1;
+  size_t parked_conns_ = 0;
+
+  std::mutex mu_;               // guards cmds_ (cross-thread entry point)
+  std::vector<Command> cmds_;
+  std::thread io_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> parked_total_{0};
+  std::atomic<size_t> live_conns_{0};
+};
+
+}  // namespace ccf::host
+
+#endif  // CCF_HOST_TRANSPORT_H_

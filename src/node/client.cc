@@ -105,15 +105,17 @@ void Client::OnNetMessage(const std::string& from, ByteSpan data) {
 
 Result<http::Response> Client::Call(http::Request request,
                                     uint64_t timeout_ms) {
-  std::optional<Result<http::Response>> result;
-  SendRequest(std::move(request), [&result](Result<http::Response> r) {
-    result = std::move(r);
+  // Shared, not stack-captured: on timeout the pending callback outlives
+  // this frame and may still fire on a later reconnect/teardown.
+  auto result = std::make_shared<std::optional<Result<http::Response>>>();
+  SendRequest(std::move(request), [result](Result<http::Response> r) {
+    *result = std::move(r);
   });
-  env_->RunUntil([&] { return result.has_value(); }, timeout_ms);
-  if (!result.has_value()) {
+  env_->RunUntil([&] { return result->has_value(); }, timeout_ms);
+  if (!result->has_value()) {
     return Status::Unavailable("request timed out");
   }
-  return std::move(*result);
+  return std::move(**result);
 }
 
 Result<http::Response> Client::Get(const std::string& path,

@@ -34,10 +34,12 @@ enum ChannelType : uint8_t {
 };
 
 // Ring-buffer message types live in tee/messages.h (shared with tests).
+using tee::kCloseSession;
 using tee::kInboundNet;
 using tee::kLedgerFetchRequest;
 using tee::kLedgerFetchResponse;
 using tee::kOutboundNet;
+using tee::kSessionClosed;
 using tee::kSnapshotWrite;
 
 Bytes WrapWire(WireKind kind, ByteSpan payload) {
@@ -132,6 +134,9 @@ void Node::BindNodeMetrics() {
   exec_metrics_.retries = metrics_.GetCounter("exec.retries");
   exec_metrics_.aborts = metrics_.GetCounter("exec.aborts");
   exec_metrics_.batch_size = metrics_.GetHistogram("exec.batch_size");
+  exec_metrics_.flush_drain = metrics_.GetCounter("exec.flush.drain");
+  exec_metrics_.flush_size = metrics_.GetCounter("exec.flush.size");
+  exec_metrics_.flush_deadline = metrics_.GetCounter("exec.flush.deadline");
 }
 
 Node::CryptoOpCounters Node::crypto_ops() const {
@@ -163,6 +168,9 @@ Node::~Node() {
 }
 
 void Node::RegisterWithEnvironment() {
+  // Live mode: no environment; the host (src/host) drives Tick and
+  // HostReceive directly.
+  if (env_ == nullptr) return;
   env_->Register(
       config_.node_id,
       [this](const std::string& from, ByteSpan data) {
@@ -337,14 +345,26 @@ gov::ServiceStatus Node::service_status() const {
 
 // -------------------------------------------------------------- driving
 
-void Node::HostReceive(const std::string& from, ByteSpan data) {
+bool Node::HostReceive(const std::string& from, ByteSpan data) {
   // Host side: push the raw network payload across the boundary.
   BufWriter w;
   w.Str(from);
   w.Blob(data);
   if (!boundary_.HostSend(kInboundNet, w.data())) {
-    LOG_WARN << config_.node_id << " boundary inbox full, dropping message";
+    // Sim mode has no retry path, so a full ring means a dropped message
+    // worth shouting about; the live host parks the connection and
+    // retries, making this ordinary backpressure (DESIGN.md §13).
+    if (env_ != nullptr) {
+      LOG_WARN << config_.node_id << " boundary inbox full, dropping message";
+    }
+    return false;
   }
+  return true;
+}
+
+bool Node::HostPostSessionClosed(const std::string& peer) {
+  tee::SessionControl msg{peer};
+  return boundary_.HostSend(kSessionClosed, msg.Serialize());
 }
 
 void Node::Tick(uint64_t now_ms) {
@@ -402,6 +422,11 @@ void Node::DrainEnclaveInbox() {
       EnclaveHandleFetchResponse(payload);
       continue;
     }
+    if (type == kSessionClosed) {
+      auto msg = tee::SessionControl::Deserialize(payload);
+      if (msg.ok()) sessions_.erase(msg->peer);
+      continue;
+    }
     if (type != kInboundNet) continue;
     BufReader r(payload);
     auto from = r.Str();
@@ -410,9 +435,35 @@ void Node::DrainEnclaveInbox() {
     if (!data.ok()) continue;
     EnclaveProcess(*from, *data);
   }
-  // Anything still batched executes before the tick moves on: the batch
-  // must never outlive the inbox drain that accumulated it.
-  FlushExecBatch();
+  // Flush-policy decision point: with the thresholds disabled the batch
+  // must never outlive the inbox drain that accumulated it (bit-identical
+  // sim replay); with a size/deadline policy it may ride across drains.
+  MaybeFlushExecBatch();
+}
+
+void Node::MaybeFlushExecBatch() {
+  if (exec_batch_.empty()) return;
+  const bool deferred =
+      config_.exec_batch_max > 0 || config_.exec_batch_deadline_ms > 0;
+  if (!deferred) {
+    exec_metrics_.flush_drain->Inc();
+    FlushExecBatch();
+    return;
+  }
+  if (config_.exec_batch_max > 0 &&
+      exec_batch_.size() >= config_.exec_batch_max) {
+    exec_metrics_.flush_size->Inc();
+    FlushExecBatch();
+    return;
+  }
+  // A size-only policy still flushes a partial batch after one tick so a
+  // lull in arrivals cannot strand requests.
+  const uint64_t deadline =
+      std::max<uint64_t>(config_.exec_batch_deadline_ms, 1);
+  if (now_ms_ >= exec_batch_opened_ms_ + deadline) {
+    exec_metrics_.flush_deadline->Inc();
+    FlushExecBatch();
+  }
 }
 
 void Node::EnclaveProcess(const std::string& from, ByteSpan data) {
@@ -452,13 +503,24 @@ void Node::DrainEnclaveOutbox() {
       HostStoreSnapshot(payload);
       continue;
     }
+    if (type == kCloseSession) {
+      auto msg = tee::SessionControl::Deserialize(payload);
+      if (msg.ok() && transport_ != nullptr) {
+        transport_->CloseSession(msg->peer);
+      }
+      continue;
+    }
     if (type != kOutboundNet) continue;
     BufReader r(payload);
     auto to = r.Str();
     if (!to.ok()) continue;
     auto data = r.Blob();
     if (!data.ok()) continue;
-    env_->Send(config_.node_id, *to, std::move(*data));
+    if (transport_ != nullptr) {
+      transport_->NetSend(*to, std::move(*data));
+    } else if (env_ != nullptr) {
+      env_->Send(config_.node_id, *to, std::move(*data));
+    }
   }
 }
 

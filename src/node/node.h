@@ -53,6 +53,21 @@
 
 namespace ccf::node {
 
+// Host-side network transport behind DrainEnclaveOutbox. The simulator's
+// Environment::Send is the default; the live TCP host (src/host) installs
+// an implementation over real sockets via SetHostTransport. Calls arrive
+// on whatever thread drives Node::Tick; implementations that own an IO
+// thread must make these safe to call from the tick thread.
+class HostTransport {
+ public:
+  virtual ~HostTransport() = default;
+  // Deliver `payload` to the node or client session labelled `to`.
+  virtual void NetSend(const std::string& to, Bytes payload) = 0;
+  // The enclave asked to close this session's connection (after any
+  // responses already queued ahead of it).
+  virtual void CloseSession(const std::string& peer) { (void)peer; }
+};
+
 class Node : public consensus::RaftCallbacks {
  public:
   static std::unique_ptr<Node> CreateGenesis(NodeConfig config,
@@ -175,6 +190,28 @@ class Node : public consensus::RaftCallbacks {
   Result<Bytes> ExtractRecoveryShare(const std::string& member_id,
                                      const crypto::KeyPair& member_key);
 
+  // -------------------------------------------- live-host driving
+  //
+  // In sim mode these are invoked via the environment registration; a
+  // live host (src/host) drives them directly instead. Threading contract
+  // (DESIGN.md §13): Tick is the single ring consumer and must only ever
+  // run on one thread at a time; HostReceive/HostPostSessionClosed are
+  // ring producers (MPSC) and may be called concurrently from IO threads.
+
+  // Installs the live transport used by DrainEnclaveOutbox in place of
+  // the sim environment. Call before the first Tick.
+  void SetHostTransport(HostTransport* transport) { transport_ = transport; }
+  // Advances host + enclave state to `now_ms` (wall-clock in live mode,
+  // virtual time in sim mode).
+  void Tick(uint64_t now_ms);
+  // Injects an inbound network payload from `from`. Returns false when the
+  // host-to-enclave ring is full — backpressure; the caller should park
+  // the connection and retry rather than drop (satellite: ring_full).
+  bool HostReceive(const std::string& from, ByteSpan data);
+  // Tells the enclave that `peer`'s connection is gone so it can free the
+  // session state. Same backpressure contract as HostReceive.
+  bool HostPostSessionClosed(const std::string& peer);
+
   // --------------------------------------------------- RaftCallbacks
 
   void OnAppend(const consensus::LogEntry& entry) override;
@@ -200,8 +237,6 @@ class Node : public consensus::RaftCallbacks {
 
   // -------------------------------------------------------- driving
 
-  void HostReceive(const std::string& from, ByteSpan data);
-  void Tick(uint64_t now_ms);
   void DrainEnclaveInbox();
   void DrainEnclaveOutbox();
   // Host side of the historical fetch loop: serve a fetch request from the
@@ -269,6 +304,9 @@ class Node : public consensus::RaftCallbacks {
                        const http::Request& request);
   void RespondToSession(const std::string& session_peer,
                         const http::Response& response);
+  // Drops the session and, in live mode, asks the host to close the
+  // underlying connection (tee::kCloseSession).
+  void CloseUserSession(const std::string& session_peer);
   // Timed wrapper: runs ExecuteRequestInner and records per-endpoint
   // request/status/latency metrics.
   http::Response ExecuteRequest(const http::Request& request,
@@ -296,6 +334,12 @@ class Node : public consensus::RaftCallbacks {
   // same store head, handlers run on exec_pool_, then a serial commit
   // point validates and responds in submission order.
   void FlushExecBatch();
+  // Flush-policy decision point at the end of every inbox drain: with the
+  // thresholds disabled (default) flushes unconditionally (the historical
+  // behaviour); otherwise flushes only once the batch reaches
+  // exec_batch_max items or its oldest item has aged past
+  // exec_batch_deadline_ms.
+  void MaybeFlushExecBatch();
   Result<rpc::CallerIdentity> Authenticate(
       const std::optional<crypto::Certificate>& session_cert);
   Status CheckAuthPolicy(rpc::AuthPolicy policy,
@@ -366,7 +410,8 @@ class Node : public consensus::RaftCallbacks {
 
   NodeConfig config_;
   Application* app_;
-  sim::Environment* env_;
+  sim::Environment* env_;              // null in live mode
+  HostTransport* transport_ = nullptr; // null in sim mode
 
   // Declared before every instrumented member so bound metric pointers
   // outlive their users (destruction is reverse order; worker_pool_ is
@@ -420,11 +465,18 @@ class Node : public consensus::RaftCallbacks {
   // Committed signature roots by seqno (receipt lookup).
   std::map<uint64_t, merkle::SignedRoot> signed_roots_;
 
-  // Sessions from users/joiners, keyed by simulation peer id.
+  // Sessions from users/joiners, keyed by transport peer id (simulation
+  // peer id in sim mode, connection label in live mode).
   struct UserSession {
     std::unique_ptr<rpc::ServerSession> stls;
     http::RequestParser parser;
     bool sticky_forwarding = false;
+    // HTTP keep-alive hardening: requests dispatched but not yet
+    // responded to (pipelining depth), and whether the connection closes
+    // once in-flight responses drain ("connection: close", a parse error,
+    // or the pipelining cap).
+    size_t in_flight = 0;
+    bool close_after = false;
   };
   std::map<std::string, UserSession> sessions_;
 
@@ -542,11 +594,19 @@ class Node : public consensus::RaftCallbacks {
     observe::Counter* retries = nullptr;
     observe::Counter* aborts = nullptr;
     observe::Histogram* batch_size = nullptr;
+    // Flush-policy trigger counters (exec.flush.*): inbox-drain (policy
+    // disabled), size threshold, deadline expiry.
+    observe::Counter* flush_drain = nullptr;
+    observe::Counter* flush_size = nullptr;
+    observe::Counter* flush_deadline = nullptr;
   };
   ExecMetrics exec_metrics_;
 
   // Pending optimistic-execution batch (DESIGN.md §12).
   std::vector<ExecBatchItem> exec_batch_;
+  // now_ms_ when the oldest item of the current batch was enqueued
+  // (deadline flush policy; meaningless while the batch is empty).
+  uint64_t exec_batch_opened_ms_ = 0;
 
   // Snapshot catch-up offers already sent: peer -> offered bundle seqno
   // (re-offered only once a newer bundle exists).

@@ -97,12 +97,23 @@ void Node::HandleSessionRecord(const std::string& peer, ByteSpan record) {
   while (true) {
     auto req = it->second.parser.Next();
     if (!req.ok()) {
-      sessions_.erase(peer);
+      // Malformed HTTP: answer 400 and drop the connection (the parser
+      // state is poisoned, nothing after this is trustworthy). Flush the
+      // batch first so earlier pipelined responses keep their order.
+      FlushExecBatch();
+      if (sessions_.find(peer) != sessions_.end()) {
+        http::Response resp;
+        resp.status = 400;
+        resp.headers["connection"] = "close";
+        resp.body = ToBytes("{\"error\":\"malformed request\"}");
+        RespondToSession(peer, resp);
+      }
+      CloseUserSession(peer);
       return;
     }
     if (!req->has_value()) break;
     DispatchRequest(peer, **req);
-    // Dispatch may have torn down the session (error path).
+    // Dispatch may have torn down the session (error or close path).
     it = sessions_.find(peer);
     if (it == sessions_.end()) break;
   }
@@ -112,10 +123,34 @@ void Node::RespondToSession(const std::string& session_peer,
                             const http::Response& response) {
   auto it = sessions_.find(session_peer);
   if (it == sessions_.end()) return;
-  auto record = it->second.stls->Seal(response.Serialize());
+  UserSession& session = it->second;
+  if (session.in_flight > 0) --session.in_flight;
+  if (session.close_after && session.in_flight == 0) {
+    // Last pipelined response on a closing connection: announce the close
+    // in the response, then tear the session down.
+    http::Response last = response;
+    last.headers["connection"] = "close";
+    auto record = session.stls->Seal(last.Serialize());
+    if (record.ok()) {
+      EnclaveSendNet(session_peer, WrapWire(kSessionRecord, *record));
+    }
+    CloseUserSession(session_peer);
+    return;
+  }
+  auto record = session.stls->Seal(response.Serialize());
   if (record.ok()) {
     EnclaveSendNet(session_peer, WrapWire(kSessionRecord, *record));
   }
+}
+
+void Node::CloseUserSession(const std::string& session_peer) {
+  sessions_.erase(session_peer);
+  // Ask the host to close the underlying connection once everything
+  // already queued ahead has been flushed. Best effort: the simulator has
+  // no connections and ignores it, and on a full ring the disconnect will
+  // surface through the transport anyway.
+  tee::SessionControl msg{session_peer};
+  boundary_.EnclaveSend(tee::kCloseSession, msg.Serialize());
 }
 
 // ----------------------------------------------------------------- auth
@@ -181,6 +216,28 @@ void Node::DispatchRequest(const std::string& session_peer,
   if (session_it == sessions_.end()) return;
   UserSession& session = session_it->second;
 
+  // HTTP keep-alive hardening (live clients): track pipelining depth and
+  // honour "connection: close". Responses land through RespondToSession,
+  // which closes the connection once the last in-flight response drains.
+  ++session.in_flight;
+  if (request.GetHeader("connection") == "close") {
+    session.close_after = true;
+  }
+  if (config_.http_max_pipeline > 0 &&
+      session.in_flight > config_.http_max_pipeline) {
+    // Flush first so earlier pipelined responses keep their order; the
+    // flush can itself retire this session, so re-find it.
+    FlushExecBatch();
+    if (auto it = sessions_.find(session_peer); it != sessions_.end()) {
+      it->second.close_after = true;
+      http::Response resp;
+      resp.status = 503;
+      resp.body = ToBytes("{\"error\":\"pipeline depth exceeded\"}");
+      RespondToSession(session_peer, resp);
+    }
+    return;
+  }
+
   auto caller = Authenticate(session.stls->peer_cert());
   if (!caller.ok()) {
     // Flush first so responses stay ordered per connection.
@@ -200,8 +257,10 @@ void Node::DispatchRequest(const std::string& session_peer,
                       raft_ != nullptr && !raft_->IsPrimary();
   if (must_forward) {
     FlushExecBatch();
-    session.sticky_forwarding = true;
-    ForwardToPrimary(session_peer, request, *caller);
+    if (auto it = sessions_.find(session_peer); it != sessions_.end()) {
+      it->second.sticky_forwarding = true;
+      ForwardToPrimary(session_peer, request, *caller);
+    }
     return;
   }
   if (re.found && re.exec_parallel) {
@@ -210,8 +269,17 @@ void Node::DispatchRequest(const std::string& session_peer,
     // batch path itself is scheduling-independent (the pool's synchronous
     // mode runs jobs inline in the same order a blocking drain retires
     // them), so exec_threads 0 and N produce bit-identical runs.
+    if (exec_batch_.empty()) exec_batch_opened_ms_ = now_ms_;
     exec_batch_.push_back(
         ExecBatchItem{session_peer, request, *caller, std::move(re)});
+    // The size threshold fires as soon as it is met -- even mid-drain --
+    // so memory stays bounded and batches form at exactly exec_batch_max
+    // under sustained load (a no-op with the policy disabled).
+    if (config_.exec_batch_max > 0 &&
+        exec_batch_.size() >= config_.exec_batch_max) {
+      exec_metrics_.flush_size->Inc();
+      FlushExecBatch();
+    }
     return;
   }
   FlushExecBatch();
@@ -461,8 +529,10 @@ void Node::FlushExecBatch() {
   exec_metrics_.requests->Inc(n);
   exec_metrics_.batch_size->Record(static_cast<uint64_t>(n));
 
-  // Phase A: every item opens a transaction off the same store head (no
-  // commits happen between enqueue and flush), then all handlers execute
+  // Phase A: every item opens a transaction off the same store head *at
+  // flush time* (with a deferred flush policy, commits -- signatures,
+  // other traffic -- may land between enqueue and flush; OCC validation
+  // covers them like any other predecessor), then all handlers execute
   // on the exec pool against that shared immutable snapshot (paper §3.4).
   // Each job touches only its own slot, so the results are independent of
   // worker scheduling; with exec_threads == 0 the pool runs the jobs

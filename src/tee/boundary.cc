@@ -21,6 +21,7 @@ void EnclaveBoundary::BindMetrics(observe::Registry* reg) {
   e2h_metrics_.messages = reg->GetCounter("tee.e2h.messages");
   e2h_metrics_.stalls = reg->GetCounter("tee.e2h.stalls");
   e2h_metrics_.ring_used = reg->GetGauge("tee.e2h.ring_used_bytes");
+  m_ring_full_ = reg->GetCounter("tee.ring_full");
 }
 
 bool EnclaveBoundary::Send(ds::RingBuffer* rb,
@@ -47,8 +48,10 @@ bool EnclaveBoundary::Send(ds::RingBuffer* rb,
     counter->fetch_add(1, std::memory_order_relaxed);
     if (dm.messages != nullptr) dm.messages->Inc();
     if (dm.ring_used != nullptr) dm.ring_used->Set(rb->used_bytes());
-  } else if (dm.stalls != nullptr) {
-    dm.stalls->Inc();
+  } else {
+    ring_full_count_.fetch_add(1, std::memory_order_relaxed);
+    if (dm.stalls != nullptr) dm.stalls->Inc();
+    if (m_ring_full_ != nullptr) m_ring_full_->Inc();
   }
   return ok;
 }

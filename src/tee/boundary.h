@@ -49,9 +49,15 @@ class EnclaveBoundary {
   uint64_t enclave_to_host_count() const { return e2h_count_; }
 
   // Registers per-direction metrics (message counts, full-ring stalls,
-  // ring occupancy gauges whose max() is the high-water mark). Call once,
-  // before traffic; unbound boundaries record nothing.
+  // ring occupancy gauges whose max() is the high-water mark) plus the
+  // shared `tee.ring_full` counter of rejected writes. Call once, before
+  // traffic; unbound boundaries record nothing.
   void BindMetrics(observe::Registry* reg);
+
+  // Total sends rejected because a ring was full (either direction).
+  // Callers are expected to retry or park the producer — a full ring is
+  // backpressure, never an error (see DESIGN.md §13).
+  uint64_t ring_full_count() const { return ring_full_count_; }
 
  private:
   struct DirMetrics {
@@ -74,8 +80,10 @@ class EnclaveBoundary {
   std::atomic<uint64_t> seal_counter_{0};
   std::atomic<uint64_t> h2e_count_{0};
   std::atomic<uint64_t> e2h_count_{0};
+  std::atomic<uint64_t> ring_full_count_{0};
   DirMetrics h2e_metrics_;
   DirMetrics e2h_metrics_;
+  observe::Counter* m_ring_full_ = nullptr;
 };
 
 }  // namespace ccf::tee

@@ -30,6 +30,34 @@ enum BoundaryMessageType : uint32_t {
   kLedgerFetchRequest = 3,   // enclave -> host: committed entries [lo, hi]
   kLedgerFetchResponse = 4,  // host -> enclave: the (untrusted) entries
   kSnapshotWrite = 5,  // enclave -> host: persist a verified snapshot bundle
+  kSessionClosed = 6,  // host -> enclave: transport connection went away
+  kCloseSession = 7,   // enclave -> host: close the peer's connection
+};
+
+// Session lifecycle notification, both directions (kSessionClosed /
+// kCloseSession). The payload is just the transport-level peer label. The
+// simulator has no connection lifetime, so it never emits kSessionClosed;
+// the live host (src/host) emits one per disconnect so the enclave can free
+// session state, and honours kCloseSession by flushing pending writes and
+// closing the socket.
+struct SessionControl {
+  std::string peer;
+
+  Bytes Serialize() const {
+    BufWriter w;
+    w.Str(peer);
+    return w.Take();
+  }
+
+  static Result<SessionControl> Deserialize(ByteSpan data) {
+    BufReader r(data);
+    SessionControl msg;
+    ASSIGN_OR_RETURN(msg.peer, r.Str());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("session control: trailing bytes");
+    }
+    return msg;
+  }
 };
 
 // Enclave -> host: serve committed ledger entries with seqnos in [lo, hi]
