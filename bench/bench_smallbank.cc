@@ -1,0 +1,214 @@
+// SmallBank benchmark (DESIGN.md §14): the classic contended banking mix
+// (transact_savings / deposit_checking / send_payment / write_check /
+// amalgamate / balance) driven closed-loop against a single-node service,
+// sweeping exec_threads x account skew.
+//
+// Skew is the Zipf exponent over account ids: 0.0 spreads traffic
+// uniformly, 0.9+ concentrates it on a handful of hot accounts so
+// speculative batches collide at the serial OCC commit point
+// (DESIGN.md §12) and losers re-execute. Expected shape: conflict_rate
+// grows with skew; exec_threads=4 beats 0 at low skew and the gap narrows
+// as contention serializes the workload.
+//
+// Writes BENCH_smallbank.json (argv[1] overrides) for
+// scripts/bench_diff.py:
+//   {"smallbank": [{exec_threads, skew, tx_per_s, conflict_rate,
+//                   abort_rate}, ...]}
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "apps/smallbank.h"
+#include "apps/workload.h"
+#include "bench/bench_util.h"
+#include "crypto/hmac.h"
+
+namespace ccf::bench {
+namespace {
+
+const uint64_t kRequests = SmokeMode() ? 300 : 2500;
+constexpr int kPipeline = 64;
+constexpr int kAccounts = 100;
+constexpr int kStreams = 4;
+
+struct SbRow {
+  uint64_t exec_threads = 0;
+  double skew = 0;
+  double tx_per_s = 0;
+  double conflict_rate = 0;  // OCC conflicts per executed request
+  double abort_rate = 0;     // application 4xx (insufficient funds) rate
+};
+
+std::unique_ptr<ServiceHarness> BuildService(uint64_t exec_threads,
+                                             apps::SmallBankApp* app) {
+  auto h = std::make_unique<ServiceHarness>();
+  h->SetConfigTweak([exec_threads](node::NodeConfig* cfg) {
+    cfg->tee_mode = tee::TeeMode::kVirtual;
+    cfg->signature_interval_txs = 100;
+    cfg->signature_interval_ms = 50;
+    cfg->snapshot_interval_txs = 1u << 30;
+    cfg->exec_threads = exec_threads;
+  });
+  for (int u = 0; u < kStreams; ++u) h->AddUser("user" + std::to_string(u));
+  if (h->StartGenesis(true, app) == nullptr) return nullptr;
+  return h;
+}
+
+http::Request SbPost(const std::string& path, json::Object body) {
+  http::Request req;
+  req.method = "POST";
+  req.path = path;
+  req.body = ToBytes(json::Value(std::move(body)).Dump());
+  req.headers["content-type"] = "application/json";
+  return req;
+}
+
+// The standard SmallBank mix: 85% writes over five transaction types,
+// 15% balance reads, accounts drawn from the (possibly skewed) sampler.
+http::Request DrawRequest(crypto::Drbg* drbg,
+                          const apps::ZipfianSampler& zipf) {
+  int64_t a = static_cast<int64_t>(zipf.Sample(drbg));
+  int64_t b = static_cast<int64_t>(zipf.Sample(drbg));
+  int64_t amount = static_cast<int64_t>(drbg->Uniform(20)) + 1;
+  switch (drbg->Uniform(20)) {
+    case 0: case 1: case 2: {  // 15% amalgamate
+      json::Object body;
+      body["from"] = a;
+      body["to"] = b;
+      return SbPost("/app/sb/amalgamate", std::move(body));
+    }
+    case 3: case 4: case 5: case 6: {  // 20% write_check
+      json::Object body;
+      body["account"] = a;
+      body["amount"] = amount;
+      return SbPost("/app/sb/write_check", std::move(body));
+    }
+    case 7: case 8: case 9: case 10: case 11: {  // 25% send_payment
+      json::Object body;
+      body["from"] = a;
+      body["to"] = b;
+      body["amount"] = amount;
+      return SbPost("/app/sb/send_payment", std::move(body));
+    }
+    case 12: case 13: case 14: {  // 15% transact_savings
+      json::Object body;
+      body["account"] = a;
+      body["amount"] = (drbg->Uniform(2) == 0) ? amount : -amount;
+      return SbPost("/app/sb/transact_savings", std::move(body));
+    }
+    case 15: case 16: {  // 10% deposit_checking
+      json::Object body;
+      body["account"] = a;
+      body["amount"] = amount;
+      return SbPost("/app/sb/deposit_checking", std::move(body));
+    }
+    default: {  // 15% balance read
+      http::Request req;
+      req.method = "GET";
+      req.path = "/app/sb/balance?account=" + std::to_string(a);
+      return req;
+    }
+  }
+}
+
+int Measure(uint64_t exec_threads, double skew, SbRow* row) {
+  apps::SmallBankApp app;
+  auto h = BuildService(exec_threads, &app);
+  if (h == nullptr) {
+    std::fprintf(stderr, "service build failed\n");
+    return 1;
+  }
+  node::Node* n0 = h->node("n0");
+  node::Client* setup = h->UserClient("user0");
+  json::Object init;
+  init["from"] = 0;
+  init["to"] = kAccounts;
+  init["savings"] = 10000;
+  init["checking"] = 10000;
+  auto created = setup->Call(SbPost("/app/sb/create_accounts",
+                                    std::move(init)));
+  if (!created.ok() || created->status != 200) {
+    std::fprintf(stderr, "account setup failed\n");
+    return 1;
+  }
+
+  row->exec_threads = exec_threads;
+  row->skew = skew;
+  auto zipf = std::make_shared<apps::ZipfianSampler>(kAccounts, skew);
+  uint64_t conflicts0 = n0->metrics().ScalarValue("exec.conflicts");
+  uint64_t requests0 = n0->metrics().ScalarValue("exec.requests");
+
+  ClosedLoopDriver driver(&h->env());
+  for (int u = 0; u < kStreams; ++u) {
+    auto drbg = std::make_shared<crypto::Drbg>(
+        "bench-smallbank", exec_threads * 1000 + u);
+    driver.AddStream(h->UserClient("user" + std::to_string(u)),
+                     [drbg, zipf](uint64_t) {
+                       return DrawRequest(drbg.get(), *zipf);
+                     },
+                     kPipeline);
+  }
+  auto stats = driver.Run(kRequests);
+  row->tx_per_s = stats.throughput();
+  // Every account exists and bodies conform to the schemas, so a >= 400
+  // response is an application abort (409 insufficient funds).
+  if (stats.completed > 0) {
+    row->abort_rate = static_cast<double>(stats.errors) /
+                      static_cast<double>(stats.completed);
+  }
+  uint64_t conflicts = n0->metrics().ScalarValue("exec.conflicts");
+  uint64_t requests = n0->metrics().ScalarValue("exec.requests");
+  if (requests > requests0) {
+    row->conflict_rate = static_cast<double>(conflicts - conflicts0) /
+                         static_cast<double>(requests - requests0);
+  }
+  h->WaitForCommitEverywhere(n0->last_seqno(), 30000);
+  return 0;
+}
+
+int RunSweep(const std::string& json_path) {
+  std::printf("SmallBank: closed-loop tx/s, single node, %d accounts\n",
+              kAccounts);
+  std::printf("%-12s %6s %14s %14s %12s\n", "exec_threads", "skew",
+              "tx/s", "conflict rate", "abort rate");
+
+  std::vector<SbRow> rows;
+  for (uint64_t exec_threads : {uint64_t{0}, uint64_t{4}}) {
+    for (double skew : {0.0, 0.9, 1.2}) {
+      SbRow row;
+      if (Measure(exec_threads, skew, &row) != 0) return 1;
+      std::printf("%-12llu %6.1f %14.0f %14.3f %12.3f\n",
+                  static_cast<unsigned long long>(row.exec_threads),
+                  row.skew, row.tx_per_s, row.conflict_rate,
+                  row.abort_rate);
+      std::fflush(stdout);
+      rows.push_back(row);
+    }
+  }
+
+  json::Array out_rows;
+  for (const SbRow& row : rows) {
+    json::Object o;
+    o["exec_threads"] = row.exec_threads;
+    o["skew"] = row.skew;
+    o["tx_per_s"] = row.tx_per_s;
+    o["conflict_rate"] = row.conflict_rate;
+    o["abort_rate"] = row.abort_rate;
+    out_rows.push_back(json::Value(std::move(o)));
+  }
+  json::Object root;
+  root["smoke"] = SmokeMode();
+  root["smallbank"] = json::Value(std::move(out_rows));
+  std::ofstream f(json_path);
+  f << json::Value(std::move(root)).DumpPretty() << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccf::bench
+
+int main(int argc, char** argv) {
+  return ccf::bench::RunSweep(argc > 1 ? argv[1] : "BENCH_smallbank.json");
+}

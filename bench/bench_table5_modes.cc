@@ -49,8 +49,8 @@ std::unique_ptr<ServiceHarness> BuildService(tee::TeeMode mode) {
   }
   // Install the scripted app alongside the native one.
   json::Object args;
-  args["module"] = node::LoggingAppModule();
-  auto endpoints = json::Parse(node::LoggingAppEndpointsJson());
+  args["module"] = apps::LoggingAppModule();
+  auto endpoints = json::Parse(apps::LoggingAppEndpointsJson());
   args["endpoints"] = *endpoints;
   if (!h->RunProposal("set_js_app", json::Value(std::move(args)), 20000)) {
     return nullptr;

@@ -1,20 +1,22 @@
 // Banking consortium example (paper §2's motivating scenario).
 //
-// A consortium of financial institutions runs a shared, confidential
-// banking service:
+// The application itself lives in the apps library (apps/banking.h) and
+// is registered through the application registry with per-endpoint
+// request schemas; this example only *drives* it:
 //   - credit / debit / transfer endpoints mutate private account balances,
 //   - apply_interest updates every account of a bank atomically,
 //   - audit is only available to the financial regulator (a designated
 //     user) and reports account holders above a threshold,
 //   - get_statement uses an application-defined indexing strategy
-//     (paper §3.4) to serve historical per-account activity.
+//     (paper §3.4) to serve historical per-account activity,
+//   - a malformed request is rejected by schema validation with a
+//     structured 400 before any transaction is opened.
 //
 //   $ ./banking
 
 #include <cstdio>
-#include <memory>
-#include <mutex>
 
+#include "apps/banking.h"
 #include "json/json.h"
 #include "node/client.h"
 #include "node/node.h"
@@ -22,218 +24,6 @@
 using namespace ccf;
 
 namespace {
-
-constexpr char kAccountsMap[] = "private:bank.accounts";  // id -> balance
-constexpr char kOwnersMap[] = "private:bank.owners";      // id -> holder name
-
-int64_t ReadBalance(kv::MapHandle* accounts, const std::string& id) {
-  auto raw = accounts->GetStr(id);
-  return raw.has_value() ? std::strtoll(raw->c_str(), nullptr, 10) : -1;
-}
-
-// Indexing strategy: per account, the list of transaction seqnos that
-// touched it (the paper's get_statement example).
-class AccountActivityIndex : public indexing::Strategy {
- public:
-  const char* name() const override { return "AccountActivityIndex"; }
-
-  void OnCommittedEntry(uint64_t view, uint64_t seqno,
-                        const kv::WriteSet& writes) override {
-    (void)view;
-    auto it = writes.maps.find(kAccountsMap);
-    if (it == writes.maps.end()) return;
-    for (const auto& [key, value] : it->second) {
-      activity_[ToString(key)].push_back(seqno);
-    }
-  }
-
-  std::vector<uint64_t> Activity(const std::string& account) const {
-    auto it = activity_.find(account);
-    return it != activity_.end() ? it->second : std::vector<uint64_t>{};
-  }
-
- private:
-  std::map<std::string, std::vector<uint64_t>> activity_;
-};
-
-class BankingApp : public node::Application {
- public:
-  explicit BankingApp(std::shared_ptr<AccountActivityIndex> index)
-      : index_(std::move(index)) {}
-
-  void RegisterEndpoints(rpc::EndpointRegistry* registry,
-                         const node::NodeContext& node) override {
-    (void)node;
-    using rpc::AuthPolicy;
-    using rpc::EndpointContext;
-
-    registry->Install(
-        "POST", "/app/open_account",
-        {[](EndpointContext* ctx) {
-           auto p = ctx->Params();
-           std::string id = p->GetString("account");
-           ctx->tx().Handle(kAccountsMap)->PutStr(id, "0");
-           ctx->tx().Handle(kOwnersMap)->PutStr(id, p->GetString("holder"));
-           ctx->SetJsonResponse(200, json::Value(json::Object{
-                                         {"account", json::Value(id)}}));
-         },
-         AuthPolicy::kUserCert, false});
-
-    auto adjust = [](EndpointContext* ctx, int sign) {
-      auto p = ctx->Params();
-      std::string id = p->GetString("account");
-      int64_t amount = p->GetInt("amount");
-      if (amount <= 0) {
-        ctx->SetError(400, "amount must be positive");
-        return;
-      }
-      kv::MapHandle* accounts = ctx->tx().Handle(kAccountsMap);
-      int64_t balance = ReadBalance(accounts, id);
-      if (balance < 0) {
-        ctx->SetError(404, "no such account");
-        return;
-      }
-      int64_t next = balance + sign * amount;
-      if (next < 0) {
-        // The paper's "insufficient funds" error.
-        ctx->SetError(409, "insufficient funds");
-        return;
-      }
-      accounts->PutStr(id, std::to_string(next));
-      ctx->SetJsonResponse(
-          200, json::Value(json::Object{{"account", json::Value(id)},
-                                        {"balance", json::Value(next)}}));
-    };
-    registry->Install("POST", "/app/credit",
-                      {[adjust](EndpointContext* ctx) { adjust(ctx, 1); },
-                       AuthPolicy::kUserCert, false});
-    registry->Install("POST", "/app/debit",
-                      {[adjust](EndpointContext* ctx) { adjust(ctx, -1); },
-                       AuthPolicy::kUserCert, false});
-
-    registry->Install(
-        "POST", "/app/transfer",
-        {[](EndpointContext* ctx) {
-           auto p = ctx->Params();
-           std::string from = p->GetString("from");
-           std::string to = p->GetString("to");
-           int64_t amount = p->GetInt("amount");
-           kv::MapHandle* accounts = ctx->tx().Handle(kAccountsMap);
-           int64_t from_balance = ReadBalance(accounts, from);
-           int64_t to_balance = ReadBalance(accounts, to);
-           if (from_balance < 0 || to_balance < 0) {
-             ctx->SetError(404, "no such account");
-             return;
-           }
-           if (amount <= 0 || from_balance < amount) {
-             ctx->SetError(409, "insufficient funds");
-             return;
-           }
-           // Atomic: both writes land in one ledger transaction (§6.4).
-           accounts->PutStr(from, std::to_string(from_balance - amount));
-           accounts->PutStr(to, std::to_string(to_balance + amount));
-           // Attach an application claim so the transfer is provable from
-           // the receipt alone (paper §3.5).
-           ctx->SetClaims(ToBytes("transfer " + from + "->" + to + " " +
-                                  std::to_string(amount)));
-           ctx->SetJsonResponse(200,
-                                json::Value(json::Object{
-                                    {"ok", json::Value(true)},
-                                    {"from_balance",
-                                     json::Value(from_balance - amount)}}));
-         },
-         AuthPolicy::kUserCert, false});
-
-    registry->Install(
-        "POST", "/app/apply_interest",
-        {[](EndpointContext* ctx) {
-           auto p = ctx->Params();
-           int64_t basis_points = p->GetInt("basis_points");
-           kv::MapHandle* accounts = ctx->tx().Handle(kAccountsMap);
-           std::vector<std::pair<std::string, int64_t>> updates;
-           accounts->Foreach([&](const Bytes& key, const Bytes& value) {
-             int64_t balance =
-                 std::strtoll(ToString(value).c_str(), nullptr, 10);
-             updates.emplace_back(ToString(key),
-                                  balance + balance * basis_points / 10000);
-             return true;
-           });
-           for (const auto& [id, next] : updates) {
-             accounts->PutStr(id, std::to_string(next));
-           }
-           ctx->SetJsonResponse(
-               200, json::Value(json::Object{
-                        {"accounts", json::Value(updates.size())}}));
-         },
-         AuthPolicy::kUserCert, false});
-
-    registry->Install(
-        "GET", "/app/balance",
-        {[](EndpointContext* ctx) {
-           std::string id = ctx->Param("account");
-           int64_t balance =
-               ReadBalance(ctx->tx().Handle(kAccountsMap), id);
-           if (balance < 0) {
-             ctx->SetError(404, "no such account");
-             return;
-           }
-           ctx->SetJsonResponse(
-               200, json::Value(json::Object{
-                        {"account", json::Value(id)},
-                        {"balance", json::Value(balance)}}));
-         },
-         AuthPolicy::kUserCert, true});
-
-    // Audit: restricted to the regulator (paper §2: "available only to a
-    // financial regulator, returns the names of account holders whose
-    // total funds exceed some threshold").
-    registry->Install(
-        "GET", "/app/audit",
-        {[](EndpointContext* ctx) {
-           if (ctx->caller().id != "regulator") {
-             ctx->SetError(403, "audit is restricted to the regulator");
-             return;
-           }
-           int64_t threshold =
-               static_cast<int64_t>(ctx->ParamU64("threshold"));
-           kv::MapHandle* accounts = ctx->tx().Handle(kAccountsMap);
-           kv::MapHandle* owners = ctx->tx().Handle(kOwnersMap);
-           json::Array holders;
-           accounts->Foreach([&](const Bytes& key, const Bytes& value) {
-             int64_t balance =
-                 std::strtoll(ToString(value).c_str(), nullptr, 10);
-             if (balance > threshold) {
-               auto holder = owners->GetStr(ToString(key));
-               holders.emplace_back(holder.value_or("?"));
-             }
-             return true;
-           });
-           ctx->SetJsonResponse(200, json::Value(json::Object{
-                                         {"holders", std::move(holders)}}));
-         },
-         AuthPolicy::kUserCert, true});
-
-    // get_statement: serves the per-account activity from the indexer.
-    auto index = index_;
-    registry->Install(
-        "GET", "/app/statement",
-        {[index](EndpointContext* ctx) {
-           std::string id = ctx->Param("account");
-           json::Array seqnos;
-           for (uint64_t s : index->Activity(id)) {
-             seqnos.emplace_back(static_cast<int64_t>(s));
-           }
-           ctx->SetJsonResponse(
-               200, json::Value(json::Object{
-                        {"account", json::Value(id)},
-                        {"transactions", std::move(seqnos)}}));
-         },
-         AuthPolicy::kUserCert, true});
-  }
-
- private:
-  std::shared_ptr<AccountActivityIndex> index_;
-};
 
 json::Value Obj(std::initializer_list<std::pair<const char*, json::Value>> kv) {
   json::Object o;
@@ -273,14 +63,12 @@ int main() {
   init.initial_users.emplace_back("teller", teller_cert.Serialize());
   init.initial_users.emplace_back("regulator", regulator_cert.Serialize());
 
-  auto index = std::make_shared<AccountActivityIndex>();
-  BankingApp app(index);
+  apps::BankingApp app;
   node::NodeConfig config;
   config.node_id = "n0";
   config.signature_interval_txs = 4;
   config.signature_interval_ms = 20;
   auto n0 = node::Node::CreateGenesis(config, init, &app, &env);
-  n0->InstallIndexingStrategy(index);
   env.Step(10);
   std::printf("banking consortium service is open\n");
 
@@ -302,6 +90,14 @@ int main() {
                             {"to", json::Value("bob")},
                             {"amount", json::Value(2500)}}));
   std::printf("transfer: %s\n", ToString(transfer->body).c_str());
+
+  // A mistyped body never reaches the handler: schema validation rejects
+  // it with a structured 400 before a transaction is opened.
+  auto bad = teller.PostJson(
+      "/app/credit", Obj({{"account", json::Value("alice")},
+                          {"amount", json::Value("lots")}}));
+  std::printf("schema rejection: HTTP %d %s\n", bad->status,
+              ToString(bad->body).c_str());
 
   // Overdraft is rejected and leaves no ledger entry.
   auto overdraft = teller.PostJson(

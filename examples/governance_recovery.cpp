@@ -18,7 +18,7 @@
 #include "json/json.h"
 #include "gov/constitution.h"
 #include "node/client.h"
-#include "node/logging_app.h"
+#include "apps/logging.h"
 #include "node/node.h"
 
 using namespace ccf;
@@ -95,7 +95,7 @@ bool Propose(sim::Environment* env, node::Node* node,
 
 int main() {
   sim::Environment env;
-  node::LoggingApp app;
+  apps::LoggingApp app;
 
   // --- The consortium -----------------------------------------------------
   std::vector<Member> members;

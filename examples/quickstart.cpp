@@ -13,7 +13,7 @@
 #include "json/json.h"
 #include "merkle/receipt.h"
 #include "node/client.h"
-#include "node/logging_app.h"
+#include "apps/logging.h"
 #include "node/node.h"
 
 using namespace ccf;
@@ -43,7 +43,7 @@ int main() {
   init.initial_users.emplace_back("user0", user_cert.Serialize());
   init.open_immediately = true;
 
-  node::LoggingApp app;
+  apps::LoggingApp app;
   auto n0 = node::Node::CreateGenesis(config, init, &app, &env);
   env.Step(10);
   std::printf("service started; identity %s...\n",

@@ -4,8 +4,9 @@
 Understands BENCH_signatures.json (bench_fig8_signatures),
 BENCH_historical.json (bench_historical), BENCH_observe.json
 (bench_observe), BENCH_snapshots.json (bench_snapshots),
-BENCH_exec.json (bench_table5_modes exec-worker sweep) and
-BENCH_net.json (bench_net live closed-loop load); the format is
+BENCH_exec.json (bench_table5_modes exec-worker sweep),
+BENCH_net.json (bench_net live closed-loop load) and
+BENCH_smallbank.json (bench_smallbank SmallBank sweep); the format is
 detected from the file contents.
 
 Usage:
@@ -185,6 +186,38 @@ def main():
                   row.get("p50_us"), lower_is_better=True)
             check(f"{label} p99_us", prev.get("p99_us"),
                   row.get("p99_us"), lower_is_better=True)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0f}%:")
+            for r in regressions:
+                print(f"  - {r}")
+            return 1
+        print("\nno regressions beyond threshold")
+        return 0
+
+    # BENCH_smallbank.json (bench_smallbank): rows keyed by
+    # (exec_threads, skew). Throughput is higher-is-better; the conflict
+    # and abort rates are workload-determined, so they are printed for
+    # context, not gated.
+    if "smallbank" in old or "smallbank" in new:
+        print(f"{'SmallBank sweep':<46} {'old':>12} {'new':>12}")
+        old_rows = {(r.get("exec_threads"), r.get("skew")): r
+                    for r in old.get("smallbank", [])}
+        for row in new.get("smallbank", []):
+            k = (row.get("exec_threads"), row.get("skew"))
+            prev = old_rows.get(k)
+            if prev is None:
+                print(f"  (new config: exec_threads={k[0]} skew={k[1]})")
+                continue
+            label = f"exec_threads={k[0]} skew={k[1]}"
+            check(f"{label} tx_per_s", prev.get("tx_per_s"),
+                  row.get("tx_per_s"), lower_is_better=False)
+            for rate in ("conflict_rate", "abort_rate"):
+                old_r, new_r = prev.get(rate), row.get(rate)
+                if old_r is not None or new_r is not None:
+                    print(f"  {label + ' ' + rate + ' (info)':<44} "
+                          f"{old_r if old_r is not None else float('nan'):>12.3f} "
+                          f"{new_r if new_r is not None else float('nan'):>12.3f}")
         if regressions:
             print(f"\n{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0f}%:")

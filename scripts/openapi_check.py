@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validates the OpenAPI document served by a CCF node at GET /app/api.
+
+Usage: openapi_check.py <path-to-openapi_dump-binary>
+
+Boots the simulated service twice via the openapi_dump tool (which runs
+logging + banking + SmallBank through the application registry and prints
+the /app/api response body) and checks that the document:
+
+  1. is valid JSON declaring OpenAPI 3.0.x,
+  2. contains every application endpoint the three apps register,
+  3. declares request bodies for schema'd writes and the shared Error
+     component that every operation's default response references,
+  4. is byte-identical across two independent service boots.
+
+Stdlib only; exit code 0 on success, 1 with a report on failure.
+"""
+
+import json
+import subprocess
+import sys
+
+# method, path -- every native /app endpoint the three apps register.
+EXPECTED_ENDPOINTS = [
+    ("post", "/app/log"),
+    ("get", "/app/log"),
+    ("post", "/app/log_public"),
+    ("get", "/app/log_public"),
+    ("post", "/app/rmw"),
+    ("get", "/app/count"),
+    ("get", "/app/hashread"),
+    ("get", "/app/log/historical"),
+    ("get", "/app/log/historical/range"),
+    ("post", "/app/open_account"),
+    ("post", "/app/credit"),
+    ("post", "/app/debit"),
+    ("post", "/app/transfer"),
+    ("post", "/app/apply_interest"),
+    ("get", "/app/balance"),
+    ("get", "/app/audit"),
+    ("get", "/app/statement"),
+    ("post", "/app/sb/create_accounts"),
+    ("post", "/app/sb/transact_savings"),
+    ("post", "/app/sb/deposit_checking"),
+    ("post", "/app/sb/send_payment"),
+    ("post", "/app/sb/write_check"),
+    ("post", "/app/sb/amalgamate"),
+    ("get", "/app/sb/balance"),
+]
+
+# Writes that declare request schemas must document their bodies.
+SCHEMA_D_WRITES = [
+    ("post", "/app/log"),
+    ("post", "/app/transfer"),
+    ("post", "/app/sb/send_payment"),
+]
+
+
+def fetch(binary):
+    proc = subprocess.run(
+        [binary], capture_output=True, text=True, timeout=120
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{binary} exited {proc.returncode}: {proc.stderr.strip()}"
+        )
+    return proc.stdout.strip()
+
+
+def check_document(doc_text, errors):
+    try:
+        doc = json.loads(doc_text)
+    except json.JSONDecodeError as e:
+        errors.append(f"response body is not valid JSON: {e}")
+        return None
+
+    version = doc.get("openapi", "")
+    if not version.startswith("3.0"):
+        errors.append(f"openapi version is {version!r}, expected 3.0.x")
+    if not doc.get("info", {}).get("title"):
+        errors.append("info.title missing or empty")
+
+    paths = doc.get("paths", {})
+    for method, path in EXPECTED_ENDPOINTS:
+        if path not in paths:
+            errors.append(f"missing path {path}")
+        elif method not in paths[path]:
+            errors.append(f"missing operation {method.upper()} {path}")
+
+    for method, path in SCHEMA_D_WRITES:
+        op = paths.get(path, {}).get(method, {})
+        schema = (
+            op.get("requestBody", {})
+            .get("content", {})
+            .get("application/json", {})
+            .get("schema")
+        )
+        if not schema:
+            errors.append(
+                f"{method.upper()} {path} lacks a request body schema"
+            )
+
+    if "Error" not in doc.get("components", {}).get("schemas", {}):
+        errors.append("components.schemas.Error missing")
+    else:
+        for path, ops in paths.items():
+            for method, op in ops.items():
+                ref = (
+                    op.get("responses", {})
+                    .get("default", {})
+                    .get("content", {})
+                    .get("application/json", {})
+                    .get("schema", {})
+                    .get("$ref")
+                )
+                if ref != "#/components/schemas/Error":
+                    errors.append(
+                        f"{method.upper()} {path} default response does "
+                        f"not reference the Error component"
+                    )
+    return doc
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    binary = sys.argv[1]
+
+    errors = []
+    first = fetch(binary)
+    doc = check_document(first, errors)
+
+    second = fetch(binary)
+    if first != second:
+        errors.append(
+            "document is not byte-stable across two service boots "
+            f"({len(first)} vs {len(second)} bytes)"
+        )
+
+    if errors:
+        for e in errors:
+            print(f"openapi_check: FAIL: {e}", file=sys.stderr)
+        return 1
+
+    n_ops = sum(len(ops) for ops in doc.get("paths", {}).values())
+    print(
+        f"openapi_check: OK ({n_ops} operations, "
+        f"{len(doc.get('paths', {}))} paths, byte-stable)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+#include "apps/app.h"
+
+#include <memory>
+#include <utility>
+
+namespace ccf::apps {
+
+void InstallEndpoint(rpc::EndpointRegistry* registry, EndpointDef def) {
+  rpc::EndpointSpec spec;
+  spec.handler = std::move(def.handler);
+  spec.auth = def.auth;
+  spec.read_only = def.read_only;
+  spec.exec_parallel = def.exec_parallel;
+  spec.summary = std::move(def.summary);
+  if (!def.request_schema.is_null()) {
+    spec.request_schema =
+        std::make_shared<const json::Value>(std::move(def.request_schema));
+  }
+  if (!def.response_schema.is_null()) {
+    spec.response_schema =
+        std::make_shared<const json::Value>(std::move(def.response_schema));
+  }
+  registry->Install(def.method, def.path, std::move(spec));
+}
+
+}  // namespace ccf::apps

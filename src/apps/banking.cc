@@ -1,0 +1,286 @@
+#include "apps/banking.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "json/schema.h"
+
+namespace ccf::apps {
+
+namespace {
+
+int64_t ReadBalance(kv::MapHandle* accounts, const std::string& id) {
+  auto raw = accounts->GetStr(id);
+  return raw.has_value() ? std::strtoll(raw->c_str(), nullptr, 10) : -1;
+}
+
+json::Value AccountAmountSchema() {
+  return json::ObjectSchema(
+      {{"account", json::StringSchema("account identifier")},
+       {"amount", json::Uint64Schema("amount in minor units")}},
+      {"account", "amount"});
+}
+
+json::Value BalanceSchema() {
+  return json::ObjectSchema(
+      {{"account", json::StringSchema()},
+       {"balance", json::IntegerSchema()}},
+      {"account", "balance"});
+}
+
+}  // namespace
+
+void AccountActivityIndex::OnCommittedEntry(uint64_t view, uint64_t seqno,
+                                            const kv::WriteSet& writes) {
+  (void)view;
+  auto it = writes.maps.find(kBankAccountsMap);
+  if (it == writes.maps.end()) return;
+  for (const auto& [key, value] : it->second) {
+    activity_[ToString(key)].push_back(seqno);
+  }
+}
+
+std::vector<uint64_t> AccountActivityIndex::Activity(
+    const std::string& account) const {
+  auto it = activity_.find(account);
+  return it != activity_.end() ? it->second : std::vector<uint64_t>{};
+}
+
+void BankingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
+                                   const node::NodeContext& node) {
+  using rpc::AuthPolicy;
+  using rpc::EndpointContext;
+
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/open_account",
+      .summary = "Open an account with a zero balance",
+      .auth = AuthPolicy::kUserCert,
+      .request_schema = json::ObjectSchema(
+          {{"account", json::StringSchema("account identifier")},
+           {"holder", json::StringSchema("account holder name")}},
+          {"account", "holder"}),
+      .response_schema = json::ObjectSchema(
+          {{"account", json::StringSchema()}}, {"account"}),
+      .handler = [](EndpointContext* ctx) {
+        auto p = ctx->Params();
+        std::string id = p->GetString("account");
+        ctx->tx().Handle(kBankAccountsMap)->PutStr(id, "0");
+        ctx->tx().Handle(kBankOwnersMap)->PutStr(id, p->GetString("holder"));
+        ctx->SetJsonResponse(200, json::Value(json::Object{
+                                      {"account", json::Value(id)}}));
+      },
+  });
+
+  auto adjust = [](EndpointContext* ctx, int sign) {
+    auto p = ctx->Params();
+    std::string id = p->GetString("account");
+    int64_t amount = p->GetInt("amount");
+    if (amount <= 0) {
+      ctx->SetError(400, "amount must be positive");
+      return;
+    }
+    kv::MapHandle* accounts = ctx->tx().Handle(kBankAccountsMap);
+    int64_t balance = ReadBalance(accounts, id);
+    if (balance < 0) {
+      ctx->SetError(404, "no such account");
+      return;
+    }
+    int64_t next = balance + sign * amount;
+    if (next < 0) {
+      // The paper's "insufficient funds" error.
+      ctx->SetError(409, "insufficient funds");
+      return;
+    }
+    accounts->PutStr(id, std::to_string(next));
+    ctx->SetJsonResponse(
+        200, json::Value(json::Object{{"account", json::Value(id)},
+                                      {"balance", json::Value(next)}}));
+  };
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/credit",
+      .summary = "Credit an account",
+      .auth = AuthPolicy::kUserCert,
+      .request_schema = AccountAmountSchema(),
+      .response_schema = BalanceSchema(),
+      .handler = [adjust](EndpointContext* ctx) { adjust(ctx, 1); },
+  });
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/debit",
+      .summary = "Debit an account; 409 on overdraft",
+      .auth = AuthPolicy::kUserCert,
+      .request_schema = AccountAmountSchema(),
+      .response_schema = BalanceSchema(),
+      .handler = [adjust](EndpointContext* ctx) { adjust(ctx, -1); },
+  });
+
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/transfer",
+      .summary = "Atomically move funds between two accounts",
+      .auth = AuthPolicy::kUserCert,
+      .request_schema = json::ObjectSchema(
+          {{"from", json::StringSchema("source account")},
+           {"to", json::StringSchema("destination account")},
+           {"amount", json::Uint64Schema("amount in minor units")}},
+          {"from", "to", "amount"}),
+      .response_schema = json::ObjectSchema(
+          {{"ok", json::BoolSchema()},
+           {"from_balance", json::IntegerSchema()}},
+          {"ok", "from_balance"}),
+      .handler = [](EndpointContext* ctx) {
+        auto p = ctx->Params();
+        std::string from = p->GetString("from");
+        std::string to = p->GetString("to");
+        int64_t amount = p->GetInt("amount");
+        kv::MapHandle* accounts = ctx->tx().Handle(kBankAccountsMap);
+        int64_t from_balance = ReadBalance(accounts, from);
+        int64_t to_balance = ReadBalance(accounts, to);
+        if (from_balance < 0 || to_balance < 0) {
+          ctx->SetError(404, "no such account");
+          return;
+        }
+        if (amount <= 0 || from_balance < amount) {
+          ctx->SetError(409, "insufficient funds");
+          return;
+        }
+        // Atomic: both writes land in one ledger transaction (§6.4).
+        accounts->PutStr(from, std::to_string(from_balance - amount));
+        accounts->PutStr(to, std::to_string(to_balance + amount));
+        // Attach an application claim so the transfer is provable from
+        // the receipt alone (paper §3.5).
+        ctx->SetClaims(ToBytes("transfer " + from + "->" + to + " " +
+                               std::to_string(amount)));
+        ctx->SetJsonResponse(200,
+                             json::Value(json::Object{
+                                 {"ok", json::Value(true)},
+                                 {"from_balance",
+                                  json::Value(from_balance - amount)}}));
+      },
+  });
+
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/apply_interest",
+      .summary = "Accrue interest on every account atomically",
+      .auth = AuthPolicy::kUserCert,
+      .request_schema = json::ObjectSchema(
+          {{"basis_points",
+            json::IntegerSchema("interest rate in basis points")}},
+          {"basis_points"}),
+      .response_schema = json::ObjectSchema(
+          {{"accounts", json::Uint64Schema("accounts updated")}},
+          {"accounts"}),
+      .handler = [](EndpointContext* ctx) {
+        auto p = ctx->Params();
+        int64_t basis_points = p->GetInt("basis_points");
+        kv::MapHandle* accounts = ctx->tx().Handle(kBankAccountsMap);
+        std::vector<std::pair<std::string, int64_t>> updates;
+        accounts->Foreach([&](const Bytes& key, const Bytes& value) {
+          int64_t balance =
+              std::strtoll(ToString(value).c_str(), nullptr, 10);
+          updates.emplace_back(ToString(key),
+                               balance + balance * basis_points / 10000);
+          return true;
+        });
+        for (const auto& [id, next] : updates) {
+          accounts->PutStr(id, std::to_string(next));
+        }
+        ctx->SetJsonResponse(
+            200, json::Value(json::Object{
+                     {"accounts", json::Value(updates.size())}}));
+      },
+  });
+
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/balance",
+      .summary = "Balance of ?account=ID",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .response_schema = BalanceSchema(),
+      .handler = [](EndpointContext* ctx) {
+        std::string id = ctx->Param("account");
+        int64_t balance =
+            ReadBalance(ctx->tx().Handle(kBankAccountsMap), id);
+        if (balance < 0) {
+          ctx->SetError(404, "no such account");
+          return;
+        }
+        ctx->SetJsonResponse(
+            200, json::Value(json::Object{
+                     {"account", json::Value(id)},
+                     {"balance", json::Value(balance)}}));
+      },
+  });
+
+  // Audit: restricted to the regulator (paper §2: "available only to a
+  // financial regulator, returns the names of account holders whose
+  // total funds exceed some threshold").
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/audit",
+      .summary = "Holders above ?threshold=N (regulator only)",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .response_schema = json::ObjectSchema(
+          {{"holders", json::ArraySchema(json::StringSchema())}},
+          {"holders"}),
+      .handler = [](EndpointContext* ctx) {
+        if (ctx->caller().id != "regulator") {
+          ctx->SetError(403, "audit is restricted to the regulator");
+          return;
+        }
+        int64_t threshold =
+            static_cast<int64_t>(ctx->ParamU64("threshold"));
+        kv::MapHandle* accounts = ctx->tx().Handle(kBankAccountsMap);
+        kv::MapHandle* owners = ctx->tx().Handle(kBankOwnersMap);
+        json::Array holders;
+        accounts->Foreach([&](const Bytes& key, const Bytes& value) {
+          int64_t balance =
+              std::strtoll(ToString(value).c_str(), nullptr, 10);
+          if (balance > threshold) {
+            auto holder = owners->GetStr(ToString(key));
+            holders.emplace_back(holder.value_or("?"));
+          }
+          return true;
+        });
+        ctx->SetJsonResponse(200, json::Value(json::Object{
+                                      {"holders", std::move(holders)}}));
+      },
+  });
+
+  // get_statement: serves the per-account activity from the indexer. Runs
+  // serially (not exec_parallel): the index is fed on the node thread
+  // without internal locking.
+  if (node.indexer == nullptr) return;
+  auto index = std::make_shared<AccountActivityIndex>();
+  node.indexer->Install(index);
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/statement",
+      .summary = "Transaction seqnos that touched ?account=ID",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .response_schema = json::ObjectSchema(
+          {{"account", json::StringSchema()},
+           {"transactions", json::ArraySchema(json::Uint64Schema())}},
+          {"account", "transactions"}),
+      .handler = [index](EndpointContext* ctx) {
+        std::string id = ctx->Param("account");
+        json::Array seqnos;
+        for (uint64_t s : index->Activity(id)) {
+          seqnos.emplace_back(static_cast<int64_t>(s));
+        }
+        ctx->SetJsonResponse(
+            200, json::Value(json::Object{
+                     {"account", json::Value(id)},
+                     {"transactions", std::move(seqnos)}}));
+      },
+  });
+}
+
+}  // namespace ccf::apps

@@ -1,0 +1,57 @@
+// Banking consortium application (paper §2's motivating scenario),
+// registered through the apps registry with per-endpoint schemas
+// (DESIGN.md §14). Formerly embedded in examples/banking.cpp; the example
+// now only drives this app.
+//
+// Endpoints (all /app/, user cert):
+//   POST /app/open_account   {"account", "holder"}
+//   POST /app/credit         {"account", "amount"}
+//   POST /app/debit          {"account", "amount"}   409 on overdraft
+//   POST /app/transfer       {"from", "to", "amount"} atomic, with claim
+//   POST /app/apply_interest {"basis_points"}  updates every account
+//   GET  /app/balance?account=ID                (read-only)
+//   GET  /app/audit?threshold=N    regulator-only holder report
+//   GET  /app/statement?account=ID per-account activity via an
+//        application-defined indexing strategy (paper §3.4)
+
+#ifndef CCF_APPS_BANKING_H_
+#define CCF_APPS_BANKING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace ccf::apps {
+
+// Map names used by the banking app.
+inline constexpr char kBankAccountsMap[] = "private:bank.accounts";
+inline constexpr char kBankOwnersMap[] = "private:bank.owners";
+
+// Indexing strategy: per account, the list of transaction seqnos that
+// touched it (the paper's get_statement example). Fed by the node's
+// indexer on the node thread; read by the (serial, non-exec-parallel)
+// statement endpoint.
+class AccountActivityIndex : public indexing::Strategy {
+ public:
+  const char* name() const override { return "AccountActivityIndex"; }
+
+  void OnCommittedEntry(uint64_t view, uint64_t seqno,
+                        const kv::WriteSet& writes) override;
+
+  std::vector<uint64_t> Activity(const std::string& account) const;
+
+ private:
+  std::map<std::string, std::vector<uint64_t>> activity_;
+};
+
+class BankingApp : public node::Application {
+ public:
+  void RegisterEndpoints(rpc::EndpointRegistry* registry,
+                         const node::NodeContext& node) override;
+};
+
+}  // namespace ccf::apps
+
+#endif  // CCF_APPS_BANKING_H_

@@ -1,0 +1,434 @@
+#include "apps/logging.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+#include "json/json.h"
+#include "json/schema.h"
+
+namespace ccf::apps {
+
+namespace historical = node::historical;
+
+namespace {
+
+void WriteMessage(rpc::EndpointContext* ctx, const char* map) {
+  auto params = ctx->Params();
+  if (!params.ok() || params->Get("id") == nullptr ||
+      params->Get("msg") == nullptr) {
+    ctx->SetError(400, "body must contain {id, msg}");
+    return;
+  }
+  int64_t id = params->GetInt("id");
+  std::string msg = params->GetString("msg");
+  ctx->tx().Handle(map)->PutStr(std::to_string(id), msg);
+  json::Object out;
+  out["ok"] = true;
+  ctx->SetJsonResponse(200, json::Value(std::move(out)));
+}
+
+void ReadMessage(rpc::EndpointContext* ctx, const char* map) {
+  std::string id = ctx->Param("id");
+  if (id.empty()) {
+    ctx->SetError(400, "missing id query parameter");
+    return;
+  }
+  auto msg = ctx->tx().Handle(map)->GetStr(id);
+  if (!msg.has_value()) {
+    ctx->SetError(404, "no such message");
+    return;
+  }
+  json::Object out;
+  out["id"] = static_cast<int64_t>(std::strtoll(id.c_str(), nullptr, 10));
+  out["msg"] = *msg;
+  ctx->SetJsonResponse(200, json::Value(std::move(out)));
+}
+
+// 202 Accepted with Retry-After while the historical fetch is in flight.
+void RespondAccepted(rpc::EndpointContext* ctx, uint64_t retry_after_ms) {
+  json::Object out;
+  out["state"] = "fetching";
+  out["retry_after_ms"] = retry_after_ms;
+  ctx->SetJsonResponse(202, json::Value(std::move(out)));
+  uint64_t secs = std::max<uint64_t>(1, (retry_after_ms + 999) / 1000);
+  ctx->response().headers["retry-after"] = std::to_string(secs);
+  ctx->response().headers["x-ccf-retry-after-ms"] =
+      std::to_string(retry_after_ms);
+}
+
+// Terminal 404 for seqnos retired below the host's snapshot horizon: the
+// entries are gone for good, so clients must not keep retrying. Carries
+// the standard envelope plus the horizon so clients can re-aim.
+void RespondCompacted(rpc::EndpointContext* ctx,
+                      const historical::StateCache::Lookup& lookup) {
+  json::Value body = rpc::ErrorBody("Compacted", lookup.error);
+  body["horizon"] = lookup.horizon;
+  ctx->SetJsonResponse(404, body);
+}
+
+// The message written to `id` by the verified entry at `seqno`.
+std::optional<std::string> MessageInEntry(
+    const historical::VerifiedEntry& entry, const std::string& id) {
+  auto map_it = entry.writes.maps.find(kPrivateMessagesMap);
+  if (map_it == entry.writes.maps.end()) return std::nullopt;
+  auto key_it = map_it->second.find(ToBytes(id));
+  if (key_it == map_it->second.end() || !key_it->second.has_value()) {
+    return std::nullopt;
+  }
+  return ToString(*key_it->second);
+}
+
+json::Value LogEntrySchema() {
+  return json::ObjectSchema(
+      {{"id", json::IntegerSchema("message identifier")},
+       {"msg", json::StringSchema("message text")}},
+      {"id", "msg"});
+}
+
+json::Value OkSchema() {
+  return json::ObjectSchema({{"ok", json::BoolSchema()}}, {"ok"});
+}
+
+}  // namespace
+
+void LoggingApp::RegisterEndpoints(rpc::EndpointRegistry* registry,
+                                   const node::NodeContext& node) {
+  using rpc::AuthPolicy;
+  // The plain KV endpoints touch only their own transaction, so they are
+  // eligible for batched optimistic execution (DESIGN.md §12). The
+  // historical endpoints below are not: they mutate the shared historical
+  // state cache and the per-node index.
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/log",
+      .summary = "Record a private message under an identifier",
+      .auth = AuthPolicy::kUserCert,
+      .exec_parallel = true,
+      .request_schema = LogEntrySchema(),
+      .response_schema = OkSchema(),
+      .handler = [](rpc::EndpointContext* ctx) {
+        WriteMessage(ctx, kPrivateMessagesMap);
+      },
+  });
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/log",
+      .summary = "Read the private message with ?id=N",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .exec_parallel = true,
+      .response_schema = LogEntrySchema(),
+      .handler = [](rpc::EndpointContext* ctx) {
+        ReadMessage(ctx, kPrivateMessagesMap);
+      },
+  });
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/log_public",
+      .summary = "Record a public message under an identifier",
+      .auth = AuthPolicy::kUserCert,
+      .exec_parallel = true,
+      .request_schema = LogEntrySchema(),
+      .response_schema = OkSchema(),
+      .handler = [](rpc::EndpointContext* ctx) {
+        WriteMessage(ctx, kPublicMessagesMap);
+      },
+  });
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/log_public",
+      .summary = "Read the public message with ?id=N",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .exec_parallel = true,
+      .response_schema = LogEntrySchema(),
+      .handler = [](rpc::EndpointContext* ctx) {
+        ReadMessage(ctx, kPublicMessagesMap);
+      },
+  });
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/count",
+      .summary = "Number of private messages stored",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .exec_parallel = true,
+      .response_schema = json::ObjectSchema(
+          {{"count", json::Uint64Schema()}}, {"count"}),
+      .handler = [](rpc::EndpointContext* ctx) {
+        json::Object out;
+        out["count"] = ctx->tx().Handle(kPrivateMessagesMap)->Size();
+        ctx->SetJsonResponse(200, json::Value(std::move(out)));
+      },
+  });
+  // Compute-heavy read for the exec-worker sweep: reads one message, then
+  // burns ~1000 SHA-256 rounds over it. Models the paper's observation
+  // that read-only requests scale with the number of worker threads
+  // because they skip the serial commit point entirely.
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/hashread",
+      .summary = "Read a message and burn 1000 chained SHA-256 rounds",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .exec_parallel = true,
+      .response_schema = json::ObjectSchema(
+          {{"id", json::IntegerSchema()},
+           {"digest", json::StringSchema("hex digest of the hash chain")}},
+          {"id", "digest"}),
+      .handler = [](rpc::EndpointContext* ctx) {
+        std::string id = ctx->Param("id");
+        if (id.empty()) {
+          ctx->SetError(400, "missing id query parameter");
+          return;
+        }
+        auto msg = ctx->tx().Handle(kPrivateMessagesMap)->GetStr(id);
+        if (!msg.has_value()) {
+          ctx->SetError(404, "no such message");
+          return;
+        }
+        crypto::Sha256Digest d = crypto::Sha256::Hash(ToBytes(*msg));
+        for (int i = 0; i < 1000; ++i) {
+          d = crypto::Sha256::Hash(ByteSpan(d.data(), d.size()));
+        }
+        // Optional modeled service time: `work_us` blocks the executing
+        // worker for that many microseconds (capped at 10ms). The exec
+        // sweep uses it so batch-overlap is measurable even on a
+        // single-core host, where the chained-hash loop alone would
+        // time-slice instead of scaling. Timing only -- the response
+        // bytes are unaffected, so determinism contracts still hold.
+        std::string work_us = ctx->Param("work_us");
+        if (!work_us.empty()) {
+          long long us = std::strtoll(work_us.c_str(), nullptr, 10);
+          us = std::min<long long>(std::max<long long>(us, 0), 10000);
+          if (us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+          }
+        }
+        json::Object out;
+        out["id"] = static_cast<int64_t>(
+            std::strtoll(id.c_str(), nullptr, 10));
+        out["digest"] = HexEncode(Bytes(d.begin(), d.end()));
+        ctx->SetJsonResponse(200, json::Value(std::move(out)));
+      },
+  });
+  // Read-modify-write counter for the mixed-workload sweep: increments
+  // "ctr:<id>" and returns the new value. Contending ids conflict at the
+  // serial commit point and exercise the bounded re-execution path.
+  InstallEndpoint(registry, {
+      .method = "POST",
+      .path = "/app/rmw",
+      .summary = "Increment the counter for an identifier",
+      .auth = AuthPolicy::kUserCert,
+      .exec_parallel = true,
+      .request_schema = json::ObjectSchema(
+          {{"id", json::IntegerSchema("counter identifier")}}, {"id"}),
+      .response_schema = json::ObjectSchema(
+          {{"id", json::IntegerSchema()},
+           {"value", json::IntegerSchema("counter value after increment")}},
+          {"id", "value"}),
+      .handler = [](rpc::EndpointContext* ctx) {
+        auto params = ctx->Params();
+        if (!params.ok() || params->Get("id") == nullptr) {
+          ctx->SetError(400, "body must contain {id}");
+          return;
+        }
+        std::string key = "ctr:" + std::to_string(params->GetInt("id"));
+        auto* handle = ctx->tx().Handle(kPrivateMessagesMap);
+        int64_t value = 0;
+        auto cur = handle->GetStr(key);
+        if (cur.has_value()) {
+          value = std::strtoll(cur->c_str(), nullptr, 10);
+        }
+        ++value;
+        handle->PutStr(key, std::to_string(value));
+        json::Object out;
+        out["id"] = params->GetInt("id");
+        out["value"] = value;
+        ctx->SetJsonResponse(200, json::Value(std::move(out)));
+      },
+  });
+
+  if (node.historical == nullptr || node.indexer == nullptr) return;
+
+  // Per-node index of message-id -> write seqnos, fed asynchronously by
+  // the node's indexer. One instance per registration, since the same
+  // LoggingApp object may be registered on several nodes.
+  auto index = std::make_shared<indexing::SeqnosByKey>(kPrivateMessagesMap);
+  node.indexer->Install(index);
+
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/log/historical",
+      .summary = "Message ?id=N as of ?seqno=S, with its receipt",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .handler = [node, index](rpc::EndpointContext* ctx) {
+        std::string id = ctx->Param("id");
+        if (id.empty()) {
+          ctx->SetError(400, "missing id query parameter");
+          return;
+        }
+        uint64_t upto = node.receiptable_seqno();
+        if (upto == 0) {
+          ctx->SetError(404, "no receiptable state yet");
+          return;
+        }
+        uint64_t seqno = ctx->ParamU64("seqno");
+        if (seqno == 0 || seqno > upto) seqno = upto;
+        auto write_seqno = index->LastWriteAtOrBefore(id, seqno);
+        if (!write_seqno.has_value()) {
+          // The index trails commit by a bounded lag; distinguish "not
+          // indexed yet" from "never written".
+          if (node.indexer->Lag(node.commit_seqno()) > 0) {
+            RespondAccepted(ctx, 1);
+            return;
+          }
+          ctx->SetError(404, "no write to this id at or before seqno");
+          return;
+        }
+        auto lookup =
+            node.historical->GetRange(*write_seqno, *write_seqno,
+                                      node.now_ms());
+        switch (lookup.state) {
+          case historical::RequestState::kFetching:
+            RespondAccepted(ctx, lookup.retry_after_ms);
+            return;
+          case historical::RequestState::kFailed:
+            ctx->SetError(503, lookup.error);
+            return;
+          case historical::RequestState::kCompacted:
+            RespondCompacted(ctx, lookup);
+            return;
+          case historical::RequestState::kReady:
+            break;
+        }
+        const historical::VerifiedEntry* entry =
+            lookup.request->EntryAt(*write_seqno);
+        auto msg = entry != nullptr ? MessageInEntry(*entry, id)
+                                    : std::nullopt;
+        if (!msg.has_value()) {
+          ctx->SetError(404, "no such message");
+          return;
+        }
+        json::Object out;
+        out["id"] = static_cast<int64_t>(
+            std::strtoll(id.c_str(), nullptr, 10));
+        out["msg"] = *msg;
+        out["seqno"] = entry->entry.seqno;
+        out["receipt"] = HexEncode(entry->receipt.Serialize());
+        ctx->SetJsonResponse(200, json::Value(std::move(out)));
+      },
+  });
+
+  InstallEndpoint(registry, {
+      .method = "GET",
+      .path = "/app/log/historical/range",
+      .summary = "Every write to ?id=N in [?from, ?to], with receipts",
+      .auth = AuthPolicy::kUserCert,
+      .read_only = true,
+      .handler = [node, index](rpc::EndpointContext* ctx) {
+        std::string id = ctx->Param("id");
+        if (id.empty()) {
+          ctx->SetError(400, "missing id query parameter");
+          return;
+        }
+        uint64_t upto = node.receiptable_seqno();
+        if (upto == 0) {
+          ctx->SetError(404, "no receiptable state yet");
+          return;
+        }
+        uint64_t from = ctx->ParamU64("from");
+        if (from == 0) from = 1;
+        uint64_t to = ctx->ParamU64("to");
+        if (to == 0 || to > upto) to = upto;
+        if (from > to) {
+          ctx->SetError(400, "empty range");
+          return;
+        }
+        if (node.indexer->Lag(node.commit_seqno()) > 0) {
+          RespondAccepted(ctx, 1);  // index still catching up
+          return;
+        }
+        auto lookup = node.historical->GetRange(from, to, node.now_ms());
+        switch (lookup.state) {
+          case historical::RequestState::kFetching:
+            RespondAccepted(ctx, lookup.retry_after_ms);
+            return;
+          case historical::RequestState::kFailed:
+            ctx->SetError(503, lookup.error);
+            return;
+          case historical::RequestState::kCompacted:
+            RespondCompacted(ctx, lookup);
+            return;
+          case historical::RequestState::kReady:
+            break;
+        }
+        json::Array entries;
+        for (uint64_t s : index->SeqnosInRange(id, from, to)) {
+          const historical::VerifiedEntry* entry =
+              lookup.request->EntryAt(s);
+          if (entry == nullptr) continue;
+          auto msg = MessageInEntry(*entry, id);
+          if (!msg.has_value()) continue;
+          json::Object e;
+          e["seqno"] = s;
+          e["msg"] = *msg;
+          e["receipt"] = HexEncode(entry->receipt.Serialize());
+          entries.push_back(json::Value(std::move(e)));
+        }
+        json::Object out;
+        out["id"] = static_cast<int64_t>(
+            std::strtoll(id.c_str(), nullptr, 10));
+        out["from"] = from;
+        out["to"] = to;
+        out["entries"] = std::move(entries);
+        ctx->SetJsonResponse(200, json::Value(std::move(out)));
+      },
+  });
+}
+
+const std::string& LoggingAppModule() {
+  static const std::string module = R"CCL(
+// Scripted logging application (Table 5's "JS" implementation).
+
+function write_message(request) {
+  let p = request.params;
+  if (p == null || p.id == null || p.msg == null) {
+    return {status: 400, body: {error: 'body must contain {id, msg}'}};
+  }
+  kv_put('private:app.messages', str(p.id), p.msg);
+  return {status: 200, body: {ok: true}};
+}
+
+function read_message(request) {
+  let p = request.params;
+  if (p == null || p.id == null) {
+    return {status: 400, body: {error: 'body must contain {id}'}};
+  }
+  let msg = kv_get('private:app.messages', str(p.id));
+  if (msg == null) {
+    return {status: 404, body: {error: 'no such message'}};
+  }
+  return {status: 200, body: {id: p.id, msg: msg}};
+}
+)CCL";
+  return module;
+}
+
+const std::string& LoggingAppEndpointsJson() {
+  static const std::string endpoints = R"JSON({
+    "POST /app/jslog": {"handler": "write_message", "auth": "user_cert",
+                        "readonly": false},
+    "POST /app/jslog_read": {"handler": "read_message", "auth": "user_cert",
+                             "readonly": true}
+  })JSON";
+  return endpoints;
+}
+
+}  // namespace ccf::apps

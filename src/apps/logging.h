@@ -3,17 +3,19 @@
 // posted, and later retrieved with read-only transactions. Messages are
 // private."
 //
-// Provided both as a native C++ application and as a CCL (scripted)
-// module, so benchmarks can reproduce Table 5's C++-vs-JS comparison.
+// Provided both as a native C++ application (registered through the
+// apps registry with per-endpoint request schemas, DESIGN.md §14) and as
+// a CCL (scripted) module, so benchmarks can reproduce Table 5's
+// C++-vs-JS comparison.
 
-#ifndef CCF_NODE_LOGGING_APP_H_
-#define CCF_NODE_LOGGING_APP_H_
+#ifndef CCF_APPS_LOGGING_H_
+#define CCF_APPS_LOGGING_H_
 
 #include <string>
 
-#include "node/app.h"
+#include "apps/app.h"
 
-namespace ccf::node {
+namespace ccf::apps {
 
 // Map names used by the logging app.
 inline constexpr char kPrivateMessagesMap[] = "private:app.messages";
@@ -39,17 +41,17 @@ inline constexpr char kPublicMessagesMap[] = "public:app.messages";
 //       202 + Retry-After while the host fetch is in flight.
 //   GET  /app/log/historical/range?id=N&from=A&to=B     (user cert, RO)
 //       Every write to id N in [A, B], each with its receipt.
-class LoggingApp : public Application {
+class LoggingApp : public node::Application {
  public:
   void RegisterEndpoints(rpc::EndpointRegistry* registry,
-                         const NodeContext& node) override;
+                         const node::NodeContext& node) override;
 };
 
 // The same application as a CCL module (install via set_js_app).
 const std::string& LoggingAppModule();
-// The endpoints table for set_js_app: {"POST /app/log": {...}, ...}.
+// The endpoints table for set_js_app: {"POST /app/jslog": {...}, ...}.
 const std::string& LoggingAppEndpointsJson();
 
-}  // namespace ccf::node
+}  // namespace ccf::apps
 
-#endif  // CCF_NODE_LOGGING_APP_H_
+#endif  // CCF_APPS_LOGGING_H_

@@ -1,0 +1,46 @@
+// SmallBank benchmark application (the paper's Table 5 perf workload
+// family; DESIGN.md §14). Each customer has a savings and a checking
+// balance; the six classic operations mix cross-account read-modify-writes
+// with balance reads. Driven with Zipfian hot-account skew
+// (apps/workload.h) it is the repo's first contended workload: concurrent
+// writes to the same hot account conflict at the OCC commit point.
+//
+// Endpoints (all /app/sb/, user cert, exec-parallel):
+//   POST /app/sb/create_accounts {"from", "to", "savings", "checking"}
+//        Bulk-opens accounts [from, to) with the given starting balances
+//        (bench/test setup; one atomic transaction).
+//   POST /app/sb/transact_savings {"account", "amount"}
+//        Adds amount (may be negative) to savings; 409 if it would go
+//        negative.
+//   POST /app/sb/deposit_checking {"account", "amount"}
+//        Adds a non-negative amount to checking.
+//   POST /app/sb/send_payment {"from", "to", "amount"}
+//        Moves amount checking->checking; 409 on insufficient funds.
+//   POST /app/sb/write_check {"account", "amount"}
+//        Deducts from checking; an overdraft (amount > savings+checking)
+//        incurs the classic 1-unit penalty instead of failing.
+//   POST /app/sb/amalgamate {"from", "to"}
+//        Moves all of from's savings+checking into to's checking.
+//   GET  /app/sb/balance?account=N
+//        savings + checking total (read-only).
+
+#ifndef CCF_APPS_SMALLBANK_H_
+#define CCF_APPS_SMALLBANK_H_
+
+#include "apps/app.h"
+
+namespace ccf::apps {
+
+// Map names used by the SmallBank app (account id, decimal -> balance).
+inline constexpr char kSbSavingsMap[] = "private:sb.savings";
+inline constexpr char kSbCheckingMap[] = "private:sb.checking";
+
+class SmallBankApp : public node::Application {
+ public:
+  void RegisterEndpoints(rpc::EndpointRegistry* registry,
+                         const node::NodeContext& node) override;
+};
+
+}  // namespace ccf::apps
+
+#endif  // CCF_APPS_SMALLBANK_H_

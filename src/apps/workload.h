@@ -1,0 +1,57 @@
+// Deterministic workload samplers for benchmark and chaos drivers.
+//
+// ZipfianSampler draws account indices with the classic Zipf(s)
+// distribution -- a small set of hot accounts absorbs most of the traffic,
+// which is what makes SmallBank a *contended* workload (DESIGN.md §14):
+// under skew, concurrent read-modify-writes of the same hot account
+// collide at the serial OCC commit point and exercise re-execution.
+//
+// Sampling is driven by crypto::Drbg, so a seeded driver produces the
+// same account sequence on every run: the SmallBank chaos suite depends
+// on this to compare exec_threads=0 vs 4 bit-for-bit.
+
+#ifndef CCF_APPS_WORKLOAD_H_
+#define CCF_APPS_WORKLOAD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hmac.h"
+
+namespace ccf::apps {
+
+class ZipfianSampler {
+ public:
+  // Items are indices [0, n). s is the skew exponent: 0 degenerates to
+  // uniform, 0.9-1.2 are the usual "hot account" settings.
+  ZipfianSampler(size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  }
+
+  size_t Sample(crypto::Drbg* drbg) const {
+    // 30 uniform bits -> [0, 1); binary search the precomputed CDF.
+    constexpr uint64_t kScale = uint64_t{1} << 30;
+    double u = static_cast<double>(drbg->Uniform(kScale)) /
+               static_cast<double>(kScale);
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1;
+      else hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ccf::apps
+
+#endif  // CCF_APPS_WORKLOAD_H_

@@ -25,7 +25,7 @@
 #include "common/logging.h"
 #include "host/live_node.h"
 #include "node/client.h"
-#include "node/logging_app.h"
+#include "apps/logging.h"
 #include "node/node.h"
 #include "sim/environment.h"
 
@@ -63,7 +63,7 @@ node::ServiceInit DemoServiceInit() {
 
 int RunSim() {
   sim::Environment env;
-  node::LoggingApp app;
+  apps::LoggingApp app;
   auto node =
       node::Node::CreateGenesis(DefaultConfig("n0"), DemoServiceInit(), &app,
                                 &env);
@@ -143,7 +143,7 @@ int RunLive(int argc, char** argv) {
 
   Result<std::unique_ptr<host::LiveNodeHost>> started =
       Status::InvalidArgument("pass --genesis or --join=<node>");
-  node::LoggingApp app;
+  apps::LoggingApp app;
   if (genesis) {
     started = host::LiveNodeHost::StartGenesis(std::move(cfg),
                                                DemoServiceInit(), &app);

@@ -1,0 +1,219 @@
+#include "json/schema.h"
+
+#include <cmath>
+
+namespace ccf::json {
+namespace {
+
+const char* TypeName(Value::Type t) {
+  switch (t) {
+    case Value::Type::kNull: return "null";
+    case Value::Type::kBool: return "boolean";
+    case Value::Type::kInt: return "integer";
+    case Value::Type::kDouble: return "number";
+    case Value::Type::kString: return "string";
+    case Value::Type::kArray: return "array";
+    case Value::Type::kObject: return "object";
+  }
+  return "unknown";
+}
+
+bool IsIntegral(const Value& v) {
+  if (v.is_int()) return true;
+  if (!v.is_double()) return false;
+  double d = v.AsDouble();
+  return std::floor(d) == d && std::isfinite(d);
+}
+
+Status Fail(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument(path + ": " + what);
+}
+
+Status CheckType(const std::string& type, const Value& instance,
+                 const std::string& path) {
+  bool ok = false;
+  if (type == "object") ok = instance.is_object();
+  else if (type == "array") ok = instance.is_array();
+  else if (type == "string") ok = instance.is_string();
+  else if (type == "integer") ok = IsIntegral(instance);
+  else if (type == "number") ok = instance.is_number();
+  else if (type == "boolean") ok = instance.is_bool();
+  else if (type == "null") ok = instance.is_null();
+  else return Fail(path, "schema declares unknown type \"" + type + "\"");
+  if (!ok) {
+    return Fail(path, "expected " + type + ", got " +
+                          TypeName(instance.type()));
+  }
+  return Status::Ok();
+}
+
+Status ValidateAt(const Value& schema, const Value& instance,
+                  const std::string& path) {
+  if (!schema.is_object()) {
+    return Fail(path, "schema node is not an object");
+  }
+
+  if (const Value* type = schema.Get("type"); type != nullptr) {
+    if (!type->is_string()) return Fail(path, "schema \"type\" not a string");
+    RETURN_IF_ERROR(CheckType(type->AsString(), instance, path));
+  }
+
+  if (const Value* en = schema.Get("enum"); en != nullptr) {
+    if (!en->is_array()) return Fail(path, "schema \"enum\" not an array");
+    bool matched = false;
+    for (const Value& allowed : en->AsArray()) {
+      if (instance == allowed) { matched = true; break; }
+    }
+    if (!matched) return Fail(path, "value not in enum");
+  }
+
+  if (instance.is_number()) {
+    if (const Value* lo = schema.Get("minimum"); lo != nullptr) {
+      if (!lo->is_number()) return Fail(path, "schema \"minimum\" not a number");
+      if (instance.AsDouble() < lo->AsDouble()) {
+        return Fail(path, "value below minimum");
+      }
+    }
+    if (const Value* hi = schema.Get("maximum"); hi != nullptr) {
+      if (!hi->is_number()) return Fail(path, "schema \"maximum\" not a number");
+      if (instance.AsDouble() > hi->AsDouble()) {
+        return Fail(path, "value above maximum");
+      }
+    }
+  }
+
+  if (instance.is_string()) {
+    size_t len = instance.AsString().size();
+    if (const Value* lo = schema.Get("minLength");
+        lo != nullptr && lo->is_number() &&
+        len < static_cast<size_t>(lo->AsInt())) {
+      return Fail(path, "string shorter than minLength");
+    }
+    if (const Value* hi = schema.Get("maxLength");
+        hi != nullptr && hi->is_number() &&
+        len > static_cast<size_t>(hi->AsInt())) {
+      return Fail(path, "string longer than maxLength");
+    }
+  }
+
+  if (instance.is_array()) {
+    const Array& arr = instance.AsArray();
+    if (const Value* lo = schema.Get("minItems");
+        lo != nullptr && lo->is_number() &&
+        arr.size() < static_cast<size_t>(lo->AsInt())) {
+      return Fail(path, "array shorter than minItems");
+    }
+    if (const Value* hi = schema.Get("maxItems");
+        hi != nullptr && hi->is_number() &&
+        arr.size() > static_cast<size_t>(hi->AsInt())) {
+      return Fail(path, "array longer than maxItems");
+    }
+    if (const Value* items = schema.Get("items"); items != nullptr) {
+      for (size_t i = 0; i < arr.size(); ++i) {
+        RETURN_IF_ERROR(ValidateAt(*items, arr[i],
+                                   path + "[" + std::to_string(i) + "]"));
+      }
+    }
+  }
+
+  if (instance.is_object()) {
+    const Object& obj = instance.AsObject();
+    const Value* props = schema.Get("properties");
+    if (props != nullptr && !props->is_object()) {
+      return Fail(path, "schema \"properties\" not an object");
+    }
+
+    if (const Value* req = schema.Get("required"); req != nullptr) {
+      if (!req->is_array()) {
+        return Fail(path, "schema \"required\" not an array");
+      }
+      for (const Value& name : req->AsArray()) {
+        if (!name.is_string()) {
+          return Fail(path, "schema \"required\" entry not a string");
+        }
+        if (obj.find(name.AsString()) == obj.end()) {
+          return Fail(path, "missing required property \"" +
+                                name.AsString() + "\"");
+        }
+      }
+    }
+
+    bool additional = true;
+    if (const Value* ap = schema.Get("additionalProperties");
+        ap != nullptr && ap->is_bool()) {
+      additional = ap->AsBool();
+    }
+
+    for (const auto& [name, member] : obj) {
+      const Value* sub =
+          props != nullptr ? props->Get(name) : nullptr;
+      if (sub != nullptr) {
+        RETURN_IF_ERROR(ValidateAt(*sub, member, path + "." + name));
+      } else if (!additional) {
+        return Fail(path, "unexpected property \"" + name + "\"");
+      }
+    }
+  }
+
+  return Status::Ok();
+}
+
+Value Typed(const char* type, const std::string& description) {
+  Object s;
+  s["type"] = type;
+  if (!description.empty()) s["description"] = description;
+  return Value(std::move(s));
+}
+
+}  // namespace
+
+Status SchemaValidate(const Value& schema, const Value& instance) {
+  return ValidateAt(schema, instance, "$");
+}
+
+Value StringSchema(const std::string& description) {
+  return Typed("string", description);
+}
+
+Value IntegerSchema(const std::string& description) {
+  return Typed("integer", description);
+}
+
+Value Uint64Schema(const std::string& description) {
+  Value s = Typed("integer", description);
+  s["minimum"] = int64_t{0};
+  return s;
+}
+
+Value NumberSchema(const std::string& description) {
+  return Typed("number", description);
+}
+
+Value BoolSchema(const std::string& description) {
+  return Typed("boolean", description);
+}
+
+Value ArraySchema(Value items, const std::string& description) {
+  Value s = Typed("array", description);
+  s["items"] = std::move(items);
+  return s;
+}
+
+Value ObjectSchema(std::vector<std::pair<std::string, Value>> properties,
+                   std::vector<std::string> required,
+                   bool additional_properties) {
+  Object s;
+  s["type"] = "object";
+  Object props;
+  for (auto& [name, sub] : properties) props[name] = std::move(sub);
+  s["properties"] = Value(std::move(props));
+  if (!required.empty()) {
+    Array req;
+    for (auto& name : required) req.emplace_back(std::move(name));
+    s["required"] = Value(std::move(req));
+  }
+  s["additionalProperties"] = additional_properties;
+  return Value(std::move(s));
+}
+
+}  // namespace ccf::json

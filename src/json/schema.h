@@ -1,0 +1,74 @@
+// JSON Schema subset: validation of parsed json::Value instances against
+// schemas that are themselves json::Values, plus terse builder helpers for
+// declaring schemas in application code.
+//
+// Endpoints declare request/response schemas (DESIGN.md §14); the node
+// validates request bodies *before* opening a KV transaction, and the same
+// schema objects are embedded verbatim into the generated OpenAPI document
+// served at GET /app/api. Supported keywords (the subset OpenAPI 3.0 and
+// our apps need):
+//
+//   type                  "object" | "array" | "string" | "integer" |
+//                         "number" | "boolean" | "null"
+//   properties            object of name -> sub-schema
+//   required              array of property names
+//   additionalProperties  boolean (default true)
+//   items                 sub-schema applied to every array element
+//   enum                  array of allowed literal values
+//   minimum / maximum     numeric bounds (inclusive)
+//   minLength / maxLength string length bounds (bytes)
+//   minItems / maxItems   array length bounds
+//
+// "integer" accepts doubles with integral values (JSON has one number
+// type); "number" accepts both. Unknown keywords are ignored so schemas
+// can carry OpenAPI annotations ("description", "example") untouched.
+
+#ifndef CCF_JSON_SCHEMA_H_
+#define CCF_JSON_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "json/json.h"
+
+namespace ccf::json {
+
+// Validates `instance` against `schema`. On failure returns
+// InvalidArgument with a message locating the offending node in
+// JSONPath-ish form, e.g. `$.accounts[2].balance: expected integer, got
+// string`. A malformed schema node (e.g. "type" not a string) also fails
+// validation -- schemas are developer-authored, so loudly rejecting a bad
+// one beats silently accepting everything.
+Status SchemaValidate(const Value& schema, const Value& instance);
+
+// ---- Builder helpers ----------------------------------------------------
+// Terse construction for endpoint declarations:
+//
+//   ObjectSchema({{"id", Uint64Schema("account id")},
+//                 {"msg", StringSchema("log line")}},
+//                /*required=*/{"id", "msg"})
+
+Value StringSchema(const std::string& description = "");
+Value IntegerSchema(const std::string& description = "");
+// Integer constrained to >= 0 (JSON has no unsigned type; this is how
+// u64-valued fields are declared).
+Value Uint64Schema(const std::string& description = "");
+Value NumberSchema(const std::string& description = "");
+Value BoolSchema(const std::string& description = "");
+Value ArraySchema(Value items, const std::string& description = "");
+// Properties are {name, schema} pairs; names listed in `required` must be
+// present in instances. additionalProperties defaults to false for object
+// schemas built here: request bodies with unknown fields are rejected,
+// which catches client typos (a misspelled optional field would otherwise
+// be silently ignored).
+Value ObjectSchema(
+    std::vector<std::pair<std::string, Value>> properties,
+    std::vector<std::string> required,
+    bool additional_properties = false);
+
+}  // namespace ccf::json
+
+#endif  // CCF_JSON_SCHEMA_H_

@@ -313,6 +313,17 @@ class Node : public consensus::RaftCallbacks {
                                 const rpc::CallerIdentity& caller);
   http::Response ExecuteRequestInner(const http::Request& request,
                                      const rpc::CallerIdentity& caller);
+  // Methods (native or scripted) that could serve `path`, excluding
+  // `method` itself: non-empty distinguishes 405 from 404 and feeds the
+  // Allow: header.
+  std::vector<std::string> AllowedMethodsForPath(const std::string& method,
+                                                 const std::string& path);
+  // Validates the request body against the resolved endpoint's declared
+  // request schema (DESIGN.md §14). Returns the structured 400 response
+  // on violation; nullopt when valid or no schema is declared. Runs
+  // before any KV transaction is opened.
+  std::optional<http::Response> CheckRequestSchemaFor(
+      const ResolvedEndpoint& re, const http::Request& request);
   // Runs one endpoint handler against a caller-provided transaction, with
   // no commit: the service-open gate, the auth policy, and the handler.
   // Safe on exec-pool workers during a batch's execution phase -- it only

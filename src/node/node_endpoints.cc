@@ -11,6 +11,7 @@
 #include "gov/proposals.h"
 #include "kv/tables.h"
 #include "node/node.h"
+#include "rpc/openapi.h"
 #include "script/interp.h"
 #include "tee/attestation.h"
 
@@ -102,10 +103,9 @@ void Node::HandleSessionRecord(const std::string& peer, ByteSpan record) {
       // batch first so earlier pipelined responses keep their order.
       FlushExecBatch();
       if (sessions_.find(peer) != sessions_.end()) {
-        http::Response resp;
-        resp.status = 400;
+        http::Response resp = rpc::ErrorResponse(400, "InvalidRequestBody",
+                                                 "malformed request");
         resp.headers["connection"] = "close";
-        resp.body = ToBytes("{\"error\":\"malformed request\"}");
         RespondToSession(peer, resp);
       }
       CloseUserSession(peer);
@@ -230,10 +230,9 @@ void Node::DispatchRequest(const std::string& session_peer,
     FlushExecBatch();
     if (auto it = sessions_.find(session_peer); it != sessions_.end()) {
       it->second.close_after = true;
-      http::Response resp;
-      resp.status = 503;
-      resp.body = ToBytes("{\"error\":\"pipeline depth exceeded\"}");
-      RespondToSession(session_peer, resp);
+      RespondToSession(session_peer,
+                       rpc::ErrorResponse(503, "ServiceUnavailable",
+                                          "pipeline depth exceeded"));
     }
     return;
   }
@@ -242,10 +241,9 @@ void Node::DispatchRequest(const std::string& session_peer,
   if (!caller.ok()) {
     // Flush first so responses stay ordered per connection.
     FlushExecBatch();
-    http::Response resp;
-    resp.status = 401;
-    resp.body = ToBytes(caller.status().ToString());
-    RespondToSession(session_peer, resp);
+    RespondToSession(session_peer,
+                     rpc::ErrorResponse(401, "Unauthorized",
+                                        caller.status().ToString()));
     return;
   }
 
@@ -253,6 +251,20 @@ void Node::DispatchRequest(const std::string& session_peer,
   // endpoints are served by any node (paper §4.3); writes go to the
   // primary. Session consistency: once forwarded, always forwarded.
   ResolvedEndpoint re = ResolveEndpoint(request.method, request.path);
+
+  // Declared request schemas are enforced at the door (DESIGN.md §14):
+  // a violating body is rejected with a structured 400 before the request
+  // is batched, forwarded, or allowed to open a KV transaction. Schemas
+  // are public (served at /app/api), so validating before auth leaks
+  // nothing. Forwarded requests are re-checked on the primary.
+  if (auto rejected = CheckRequestSchemaFor(re, request);
+      rejected.has_value()) {
+    // Flush first so earlier pipelined responses keep their order.
+    FlushExecBatch();
+    RespondToSession(session_peer, *rejected);
+    return;
+  }
+
   bool must_forward = (!re.read_only || session.sticky_forwarding) &&
                       raft_ != nullptr && !raft_->IsPrimary();
   if (must_forward) {
@@ -292,10 +304,9 @@ void Node::ForwardToPrimary(const std::string& session_peer,
                             const rpc::CallerIdentity& caller) {
   auto leader = raft_ != nullptr ? raft_->leader() : std::nullopt;
   if (!leader.has_value() || *leader == config_.node_id) {
-    http::Response resp;
-    resp.status = 503;
-    resp.body = ToBytes("{\"error\":\"no known primary, retry\"}");
-    RespondToSession(session_peer, resp);
+    RespondToSession(session_peer,
+                     rpc::ErrorResponse(503, "ServiceUnavailable",
+                                        "no known primary, retry"));
     return;
   }
   uint64_t corr = next_correlation_++;
@@ -353,14 +364,70 @@ Node::ResolvedEndpoint Node::ResolveEndpoint(const std::string& method,
   return re;
 }
 
+// Methods other than `method` that could serve `path` -- native registry
+// entries plus scripted endpoints from the store. Non-empty means the
+// request should fail 405 (method mismatch) rather than 404 (no such
+// path), with the list joined into the Allow: header.
+std::vector<std::string> Node::AllowedMethodsForPath(
+    const std::string& method, const std::string& path) {
+  std::vector<std::string> allowed = registry_.MethodsForPath(path);
+  // Scripted endpoints are keyed "METHOD path" in the store; probe the
+  // verbs the framework routes rather than scanning the whole table.
+  for (const char* m : {"DELETE", "GET", "POST", "PUT"}) {
+    if (method != m &&
+        store_.GetStr(tables::kEndpoints, std::string(m) + " " + path)
+            .has_value()) {
+      allowed.emplace_back(m);
+    }
+  }
+  std::sort(allowed.begin(), allowed.end());
+  allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+  allowed.erase(std::remove(allowed.begin(), allowed.end(), method),
+                allowed.end());
+  return allowed;
+}
+
+std::optional<http::Response> Node::CheckRequestSchemaFor(
+    const ResolvedEndpoint& re, const http::Request& request) {
+  if (!re.found || re.is_scripted || re.spec == nullptr ||
+      re.spec->request_schema == nullptr) {
+    return std::nullopt;
+  }
+  // Same parse as EndpointContext::Params: an empty body validates as {}.
+  Result<json::Value> body =
+      request.body.empty() ? Result<json::Value>(json::Value(json::Object{}))
+                           : json::Parse(ToString(request.body));
+  return rpc::CheckRequestSchema(*re.spec, body);
+}
+
 http::Response Node::ExecuteRequestInner(const http::Request& request,
                                          const rpc::CallerIdentity& caller) {
   http::Response error;
   ResolvedEndpoint re = ResolveEndpoint(request.method, request.path);
   if (!re.found) {
-    error.status = 404;
-    error.body = ToBytes("{\"error\":\"no such endpoint\"}");
-    return error;
+    std::vector<std::string> allowed =
+        AllowedMethodsForPath(request.method, re.path);
+    if (!allowed.empty()) {
+      std::string joined;
+      for (const std::string& m : allowed) {
+        if (!joined.empty()) joined += ", ";
+        joined += m;
+      }
+      error = rpc::ErrorResponse(405, "MethodNotAllowed",
+                                 request.method + " is not supported here; "
+                                 "Allow: " + joined);
+      error.headers["allow"] = joined;
+      return error;
+    }
+    return rpc::ErrorResponse(404, "ResourceNotFound", "no such endpoint");
+  }
+
+  // Forwarded requests reach this node without passing the entry node's
+  // dispatch-time schema gate in this process; re-check before any
+  // transaction is opened.
+  if (auto rejected = CheckRequestSchemaFor(re, request);
+      rejected.has_value()) {
+    return *rejected;
   }
 
   // Optimistic execution with re-execution on conflict (paper §6.4).
@@ -379,9 +446,8 @@ http::Response Node::ExecuteRequestInner(const http::Request& request,
     };
     if (re.read_only) {
       if (!re.is_scripted && tx.has_writes()) {
-        error.status = 500;
-        error.body = ToBytes("{\"error\":\"read-only endpoint wrote\"}");
-        return error;
+        return rpc::ErrorResponse(500, "InternalError",
+                                  "read-only endpoint wrote");
       }
       stamp_uncommitted(&resp);
       return resp;
@@ -399,36 +465,28 @@ http::Response Node::ExecuteRequestInner(const http::Request& request,
       if (committed.status().code() == Status::Code::kAborted) {
         continue;  // conflict: re-execute
       }
-      error.status = 503;
-      error.body = ToBytes("{\"error\":\"" + committed.status().message() +
-                           "\"}");
-      return error;
+      return rpc::ErrorResponse(503, "ServiceUnavailable",
+                                committed.status().message());
     }
     resp.headers[http::kTxIdHeader] = committed->ToString();
     return resp;
   }
-  error.status = 409;
-  error.body = ToBytes("{\"error\":\"transaction conflict\"}");
-  return error;
+  return rpc::ErrorResponse(409, "Conflict", "transaction conflict");
 }
 
 http::Response Node::ExecuteOnTx(const ResolvedEndpoint& re,
                                  const http::Request& request,
                                  const rpc::CallerIdentity& caller,
                                  kv::Tx* tx) {
-  http::Response error;
   // The application is only reachable once the service is open (paper §5).
   if (re.path.rfind("/app/", 0) == 0 &&
       service_status() != gov::ServiceStatus::kOpen) {
-    error.status = 503;
-    error.body = ToBytes("{\"error\":\"service is not open\"}");
-    return error;
+    return rpc::ErrorResponse(503, "ServiceUnavailable",
+                              "service is not open");
   }
   Status auth_ok = CheckAuthPolicy(re.auth, caller);
   if (!auth_ok.ok()) {
-    error.status = 401;
-    error.body = ToBytes("{\"error\":\"" + auth_ok.message() + "\"}");
-    return error;
+    return rpc::ErrorResponse(401, "Unauthorized", auth_ok.message());
   }
   if (re.is_scripted) {
     return ExecuteScriptedOnTx(re.scripted_spec, request, caller, tx);
@@ -453,9 +511,8 @@ http::Response Node::ExecuteScriptedOnTx(const json::Value& spec,
   http::Response resp;
   auto module = store_.GetStr(tables::kModules, "app");
   if (!module.has_value()) {
-    resp.status = 500;
-    resp.body = ToBytes("{\"error\":\"no scripted app installed\"}");
-    return resp;
+    return rpc::ErrorResponse(500, "InternalError",
+                              "no scripted app installed");
   }
   std::string handler = spec.GetString("handler");
   bool read_only = spec.GetBool("readonly");
@@ -467,14 +524,12 @@ http::Response Node::ExecuteScriptedOnTx(const json::Value& spec,
   gov::BindKvNatives(&interp, tx, read_only);
   auto program = script::Compile(*module);
   if (!program.ok()) {
-    resp.status = 500;
-    resp.body = ToBytes("{\"error\":\"app module does not compile\"}");
-    return resp;
+    return rpc::ErrorResponse(500, "InternalError",
+                              "app module does not compile");
   }
   if (!interp.Run(*program).ok()) {
-    resp.status = 500;
-    resp.body = ToBytes("{\"error\":\"app module failed to initialize\"}");
-    return resp;
+    return rpc::ErrorResponse(500, "InternalError",
+                              "app module failed to initialize");
   }
 
   script::Object req_obj;
@@ -487,9 +542,8 @@ http::Response Node::ExecuteScriptedOnTx(const json::Value& spec,
                                   : script::Value();
   auto result = interp.Call(handler, {script::Value(std::move(req_obj))});
   if (!result.ok()) {
-    resp.status = 500;
-    resp.body = ToBytes("{\"error\":\"" + result.status().message() + "\"}");
-    return resp;
+    return rpc::ErrorResponse(500, "InternalError",
+                              result.status().message());
   }
 
   // Handler returns {status, body} (object body is JSON-serialized).
@@ -512,6 +566,23 @@ http::Response Node::ExecuteScriptedOnTx(const json::Value& spec,
     }
   } else if (result->is_string()) {
     body = result->AsString();
+  }
+  // Normalize scripted error responses onto the standard envelope: CCL
+  // handlers return {status: 4xx, body: {error: "msg"}} with a flat
+  // string; rewrap it as {"error": {"code", "message"}} so native and
+  // scripted endpoints fail identically. Bodies already carrying an
+  // error object pass through untouched.
+  if (status >= 400) {
+    auto parsed = json::Parse(body);
+    const json::Value* err =
+        parsed.ok() && parsed->is_object() ? parsed->Get("error") : nullptr;
+    if (err != nullptr && err->is_string()) {
+      body = rpc::ErrorBody(rpc::DefaultErrorCode(status), err->AsString())
+                 .Dump();
+    } else if (err == nullptr || !err->is_object()) {
+      body = rpc::ErrorBody(rpc::DefaultErrorCode(status), body).Dump();
+    }
+    resp.headers["content-type"] = "application/json";
   }
   resp.status = status;
   resp.body = ToBytes(body);
@@ -588,10 +659,8 @@ http::Response Node::CommitBatchedItem(const ExecBatchItem& item, kv::Tx* tx,
     // No validation needed: the handler saw one immutable committed
     // snapshot and wrote nothing, so it serializes at its snapshot.
     if (!item.re.is_scripted && tx->has_writes()) {
-      http::Response error;
-      error.status = 500;
-      error.body = ToBytes("{\"error\":\"read-only endpoint wrote\"}");
-      return error;
+      return rpc::ErrorResponse(500, "InternalError",
+                                "read-only endpoint wrote");
     }
     stamp_uncommitted(&resp);
     return resp;
@@ -615,18 +684,14 @@ http::Response Node::CommitBatchedItem(const ExecBatchItem& item, kv::Tx* tx,
       break;
     }
     if (committed.status().code() != Status::Code::kAborted) {
-      resp = http::Response{};
-      resp.status = 503;
-      resp.body = ToBytes("{\"error\":\"" + committed.status().message() +
-                          "\"}");
+      resp = rpc::ErrorResponse(503, "ServiceUnavailable",
+                                committed.status().message());
       break;
     }
     if (reexecs == 0) exec_metrics_.conflicts->Inc();
     if (reexecs >= config_.exec_max_retries) {
       exec_metrics_.aborts->Inc();
-      resp = http::Response{};
-      resp.status = 409;
-      resp.body = ToBytes("{\"error\":\"transaction conflict\"}");
+      resp = rpc::ErrorResponse(409, "Conflict", "transaction conflict");
       break;
     }
     ++reexecs;
@@ -902,6 +967,23 @@ void Node::InstallFrameworkEndpoints() {
          json::Object out;
          out["endpoints"] = std::move(endpoints);
          ctx->SetJsonResponse(200, json::Value(std::move(out)));
+       },
+       AuthPolicy::kNoAuth, /*read_only=*/true});
+
+  // Generated OpenAPI 3.0 for every installed /app/ endpoint, schemas
+  // included (DESIGN.md §14). The registry is immutable after node
+  // construction and generation is pure, so the document is stable across
+  // requests and across nodes running the same application.
+  registry_.Install(
+      "GET", "/app/api",
+      {[this](EndpointContext* ctx) {
+         rpc::OpenApiInfo info;
+         info.title = "CCF application API";
+         info.description =
+             "Generated from this node's endpoint registry; scripted (CCL) "
+             "endpoints are installed via governance and listed by "
+             "GET /node/api instead.";
+         ctx->SetJsonResponse(200, rpc::BuildOpenApi(registry_, info));
        },
        AuthPolicy::kNoAuth, /*read_only=*/true});
 }

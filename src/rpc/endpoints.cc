@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "json/schema.h"
+
 namespace ccf::rpc {
 
 Result<json::Value> EndpointContext::Params() const {
@@ -26,9 +28,12 @@ void EndpointContext::SetJsonResponse(int status, const json::Value& body) {
 }
 
 void EndpointContext::SetError(int status, const std::string& message) {
-  json::Object err;
-  err["error"] = message;
-  SetJsonResponse(status, json::Value(std::move(err)));
+  SetError(status, DefaultErrorCode(status), message);
+}
+
+void EndpointContext::SetError(int status, const std::string& code,
+                               const std::string& message) {
+  SetJsonResponse(status, ErrorBody(code, message));
 }
 
 void EndpointRegistry::Install(const std::string& method,
@@ -47,6 +52,77 @@ std::vector<std::string> EndpointRegistry::List() const {
   out.reserve(endpoints_.size());
   for (const auto& [key, spec] : endpoints_) out.push_back(key);
   return out;
+}
+
+std::vector<std::string> EndpointRegistry::MethodsForPath(
+    const std::string& path) const {
+  std::vector<std::string> out;
+  for (const auto& [key, spec] : endpoints_) {
+    size_t space = key.find(' ');
+    if (space != std::string::npos && key.compare(space + 1, std::string::npos,
+                                                  path) == 0) {
+      out.push_back(key.substr(0, space));
+    }
+  }
+  return out;
+}
+
+void EndpointRegistry::ForEach(
+    const std::function<void(const std::string&, const std::string&,
+                             const EndpointSpec&)>& fn) const {
+  for (const auto& [key, spec] : endpoints_) {
+    size_t space = key.find(' ');
+    if (space == std::string::npos) continue;
+    fn(key.substr(0, space), key.substr(space + 1), spec);
+  }
+}
+
+std::string DefaultErrorCode(int status) {
+  switch (status) {
+    case 400: return "InvalidInput";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "ResourceNotFound";
+    case 405: return "MethodNotAllowed";
+    case 409: return "Conflict";
+    case 500: return "InternalError";
+    case 503: return "ServiceUnavailable";
+    default: return "Error";
+  }
+}
+
+json::Value ErrorBody(const std::string& code, const std::string& message) {
+  json::Object inner;
+  inner["code"] = code;
+  inner["message"] = message;
+  json::Object body;
+  body["error"] = json::Value(std::move(inner));
+  return json::Value(std::move(body));
+}
+
+http::Response ErrorResponse(int status, const std::string& code,
+                             const std::string& message) {
+  http::Response resp;
+  resp.status = status;
+  resp.headers["content-type"] = "application/json";
+  resp.body = ToBytes(ErrorBody(code, message).Dump());
+  return resp;
+}
+
+std::optional<http::Response> CheckRequestSchema(
+    const EndpointSpec& spec, const Result<json::Value>& body) {
+  if (spec.request_schema == nullptr) return std::nullopt;
+  if (!body.ok()) {
+    return ErrorResponse(400, "InvalidRequestBody",
+                         "request body is not valid JSON: " +
+                             body.status().message());
+  }
+  Status valid = json::SchemaValidate(*spec.request_schema, *body);
+  if (!valid.ok()) {
+    return ErrorResponse(400, "InvalidInput",
+                         "request body violates schema: " + valid.message());
+  }
+  return std::nullopt;
 }
 
 void RecordEndpointMetrics(observe::Registry* reg, const std::string& method,

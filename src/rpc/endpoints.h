@@ -14,8 +14,10 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crypto/cert.h"
 #include "http/http.h"
@@ -62,7 +64,12 @@ class EndpointContext {
 
   http::Response& response() { return response_; }
   void SetJsonResponse(int status, const json::Value& body);
+  // Emits the standard error envelope {"error": {"code", "message"}} with
+  // the code derived from the status (DefaultErrorCode below).
   void SetError(int status, const std::string& message);
+  // Same, with an explicit machine-readable code.
+  void SetError(int status, const std::string& code,
+                const std::string& message);
 
   // Attaches application claims, covered by the receipt (paper §3.5).
   void SetClaims(ByteSpan claims) { tx_->SetClaims({claims.begin(), claims.end()}); }
@@ -89,6 +96,16 @@ struct EndpointSpec {
   // that mutate node-level caches or registries (e.g. historical range
   // requests) must leave this unset and run serially.
   bool exec_parallel = false;
+  // One-line human summary, surfaced in the generated OpenAPI document.
+  std::string summary;
+  // Optional JSON schemas (json/schema.h subset). When request_schema is
+  // set, the node validates the parsed request body against it and rejects
+  // violations with a structured 400 *before* a KV transaction is opened.
+  // response_schema is documentation-only (embedded in OpenAPI); responses
+  // are not validated on the hot path. Shared pointers because specs are
+  // copied into per-request resolution state and schemas can be large.
+  std::shared_ptr<const json::Value> request_schema;
+  std::shared_ptr<const json::Value> response_schema;
 };
 
 class EndpointRegistry {
@@ -98,12 +115,44 @@ class EndpointRegistry {
   const EndpointSpec* Find(const std::string& method,
                            const std::string& path) const;
 
-  // Lists installed "METHOD path" keys (for the built-in /app/api listing).
+  // Lists installed "METHOD path" keys (for the built-in /node/api listing).
   std::vector<std::string> List() const;
+
+  // Methods installed for `path`, sorted (std::map order). Empty when the
+  // path is unknown -- lets dispatch distinguish 404 (no such path) from
+  // 405 (path exists, method doesn't; the list becomes the Allow: header).
+  std::vector<std::string> MethodsForPath(const std::string& path) const;
+
+  // Visits every endpoint in deterministic (sorted-key) order; the OpenAPI
+  // generator is built on this.
+  void ForEach(const std::function<void(const std::string& method,
+                                        const std::string& path,
+                                        const EndpointSpec& spec)>& fn) const;
 
  private:
   std::map<std::string, EndpointSpec> endpoints_;  // "METHOD path"
 };
+
+// Machine-readable code for the standard error envelope, derived from the
+// HTTP status: 400 InvalidInput, 401 Unauthorized, 403 Forbidden,
+// 404 ResourceNotFound, 405 MethodNotAllowed, 409 Conflict,
+// 500 InternalError, 503 ServiceUnavailable; otherwise "Error".
+std::string DefaultErrorCode(int status);
+
+// Builds the standard error body {"error": {"code", "message"}}.
+json::Value ErrorBody(const std::string& code, const std::string& message);
+
+// Builds a complete error http::Response carrying the standard envelope,
+// for dispatch-layer rejections that happen outside an EndpointContext.
+http::Response ErrorResponse(int status, const std::string& code,
+                             const std::string& message);
+
+// Validates `body` against spec.request_schema (no-op when unset).
+// `body` carries the parse result of the raw request body: a parse
+// failure yields 400/InvalidRequestBody, a schema violation
+// 400/InvalidInput. Returns the ready-to-send 400 response on rejection.
+std::optional<http::Response> CheckRequestSchema(
+    const EndpointSpec& spec, const Result<json::Value>& body);
 
 // Records one executed request into `reg`: a per-endpoint request counter
 // ("rpc.requests.<METHOD path>"), a status-class counter ("rpc.status.2xx"

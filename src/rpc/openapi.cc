@@ -1,0 +1,110 @@
+#include "rpc/openapi.h"
+
+#include <algorithm>
+
+namespace ccf::rpc {
+namespace {
+
+const char* AuthName(AuthPolicy auth) {
+  switch (auth) {
+    case AuthPolicy::kNoAuth: return "no_auth";
+    case AuthPolicy::kUserCert: return "user_cert";
+    case AuthPolicy::kMemberCert: return "member_cert";
+    case AuthPolicy::kAnyCert: return "any_cert";
+  }
+  return "unknown";
+}
+
+json::Value JsonContent(const json::Value& schema) {
+  json::Object media;
+  media["schema"] = schema;
+  json::Object content;
+  content["application/json"] = json::Value(std::move(media));
+  return json::Value(std::move(content));
+}
+
+json::Value ErrorEnvelopeSchema() {
+  json::Object detail_props;
+  detail_props["code"] = json::Object{{"type", json::Value("string")}};
+  detail_props["message"] = json::Object{{"type", json::Value("string")}};
+  json::Object detail;
+  detail["type"] = "object";
+  detail["properties"] = json::Value(std::move(detail_props));
+  detail["required"] =
+      json::Array{json::Value("code"), json::Value("message")};
+
+  json::Object props;
+  props["error"] = json::Value(std::move(detail));
+  json::Object schema;
+  schema["type"] = "object";
+  schema["properties"] = json::Value(std::move(props));
+  schema["required"] = json::Array{json::Value("error")};
+  return json::Value(std::move(schema));
+}
+
+}  // namespace
+
+json::Value BuildOpenApi(const EndpointRegistry& registry,
+                         const OpenApiInfo& info,
+                         const std::string& path_prefix) {
+  json::Object paths;
+  registry.ForEach([&](const std::string& method, const std::string& path,
+                       const EndpointSpec& spec) {
+    if (path.compare(0, path_prefix.size(), path_prefix) != 0) return;
+
+    json::Object op;
+    if (!spec.summary.empty()) op["summary"] = spec.summary;
+    op["x-ccf-auth"] = AuthName(spec.auth);
+    op["x-ccf-read-only"] = spec.read_only;
+
+    if (spec.request_schema != nullptr) {
+      json::Object body;
+      body["required"] = true;
+      body["content"] = JsonContent(*spec.request_schema);
+      op["requestBody"] = json::Value(std::move(body));
+    }
+
+    json::Object responses;
+    json::Object ok;
+    ok["description"] = "Success";
+    if (spec.response_schema != nullptr) {
+      ok["content"] = JsonContent(*spec.response_schema);
+    }
+    responses["200"] = json::Value(std::move(ok));
+    json::Object err;
+    err["description"] = "Error";
+    json::Object ref;
+    ref["$ref"] = "#/components/schemas/Error";
+    err["content"] = JsonContent(json::Value(std::move(ref)));
+    responses["default"] = json::Value(std::move(err));
+    op["responses"] = json::Value(std::move(responses));
+
+    std::string method_lower = method;
+    std::transform(method_lower.begin(), method_lower.end(),
+                   method_lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    // paths[path] may already exist when several methods share a path.
+    json::Value& item = paths[path];
+    if (!item.is_object()) item = json::Object{};
+    item[method_lower] = json::Value(std::move(op));
+  });
+
+  json::Object info_obj;
+  info_obj["title"] = info.title;
+  if (!info.description.empty()) info_obj["description"] = info.description;
+  info_obj["version"] = info.version;
+
+  json::Object schemas;
+  schemas["Error"] = ErrorEnvelopeSchema();
+  json::Object components;
+  components["schemas"] = json::Value(std::move(schemas));
+
+  json::Object doc;
+  doc["openapi"] = "3.0.3";
+  doc["info"] = json::Value(std::move(info_obj));
+  doc["paths"] = json::Value(std::move(paths));
+  doc["components"] = json::Value(std::move(components));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace ccf::rpc

@@ -1,0 +1,39 @@
+// OpenAPI 3.0 document generation from an EndpointRegistry.
+//
+// The node serves the generated document at GET /app/api (DESIGN.md §14)
+// so clients can discover every installed application endpoint together
+// with its request/response schemas and CCF-specific execution metadata
+// (x-ccf-auth, x-ccf-read-only). Output is deterministic: the registry
+// iterates in sorted key order and json::Object is std::map-backed, so two
+// generations over the same registry are byte-identical -- tests pin this.
+
+#ifndef CCF_RPC_OPENAPI_H_
+#define CCF_RPC_OPENAPI_H_
+
+#include <string>
+
+#include "json/json.h"
+#include "rpc/endpoints.h"
+
+namespace ccf::rpc {
+
+struct OpenApiInfo {
+  std::string title;
+  std::string description;
+  std::string version = "0.0.1";
+};
+
+// Builds an OpenAPI 3.0.3 document covering every registry endpoint whose
+// path starts with `path_prefix` (default: application endpoints only --
+// framework /node/* endpoints have their own listing). Request/response
+// schemas from the EndpointSpec are embedded verbatim; every operation
+// gets a `default` error response referencing the shared error envelope
+// under #/components/schemas/Error. Scripted (CCL) endpoints live in the
+// KV store, not the registry, and are outside this document.
+json::Value BuildOpenApi(const EndpointRegistry& registry,
+                         const OpenApiInfo& info,
+                         const std::string& path_prefix = "/app/");
+
+}  // namespace ccf::rpc
+
+#endif  // CCF_RPC_OPENAPI_H_

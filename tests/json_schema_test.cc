@@ -1,0 +1,145 @@
+// Unit tests for the JSON Schema subset (json/schema.h): keyword
+// coverage, error-path formatting, builder helpers, and the malformed-
+// schema-fails-loudly rule the endpoint gate depends on.
+
+#include "json/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace ccf::json {
+namespace {
+
+Value P(const std::string& text) {
+  auto v = Parse(text);
+  EXPECT_TRUE(v.ok()) << text;
+  return v.ok() ? *v : Value();
+}
+
+TEST(SchemaValidate, TypeKeywordCoversAllPrimitives) {
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"string"})"), Value("x")).ok());
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"integer"})"), Value(42)).ok());
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"number"})"), Value(1.5)).ok());
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"boolean"})"), Value(true)).ok());
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"null"})"), Value()).ok());
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"array"})"), P("[1,2]")).ok());
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"object"})"), P("{}")).ok());
+
+  EXPECT_FALSE(SchemaValidate(P(R"({"type":"string"})"), Value(1)).ok());
+  EXPECT_FALSE(SchemaValidate(P(R"({"type":"integer"})"), Value(1.5)).ok());
+  // JSON has one number type: an integral double is an acceptable integer.
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"integer"})"), Value(3.0)).ok());
+  // A number schema accepts integers.
+  EXPECT_TRUE(SchemaValidate(P(R"({"type":"number"})"), Value(3)).ok());
+  // Booleans are not numbers.
+  EXPECT_FALSE(SchemaValidate(P(R"({"type":"integer"})"), Value(true)).ok());
+}
+
+TEST(SchemaValidate, ObjectKeywords) {
+  Value schema = P(R"({
+    "type": "object",
+    "properties": {
+      "id": {"type": "integer"},
+      "msg": {"type": "string"}
+    },
+    "required": ["id", "msg"],
+    "additionalProperties": false
+  })");
+  EXPECT_TRUE(SchemaValidate(schema, P(R"({"id":1,"msg":"hi"})")).ok());
+
+  Status missing = SchemaValidate(schema, P(R"({"id":1})"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.message().find("msg"), std::string::npos);
+
+  Status wrong = SchemaValidate(schema, P(R"({"id":"x","msg":"hi"})"));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.message().find("$.id"), std::string::npos);
+
+  Status extra = SchemaValidate(schema, P(R"({"id":1,"msg":"h","z":0})"));
+  ASSERT_FALSE(extra.ok());
+  EXPECT_NE(extra.message().find("z"), std::string::npos);
+
+  // additionalProperties: true admits unknown fields.
+  Value open = P(R"({"type":"object","additionalProperties":true})");
+  EXPECT_TRUE(SchemaValidate(open, P(R"({"anything":1})")).ok());
+}
+
+TEST(SchemaValidate, ArrayItemsAndBoundsWithNestedErrorPath) {
+  Value schema = P(R"({
+    "type": "array",
+    "items": {"type": "object",
+              "properties": {"v": {"type": "integer"}},
+              "required": ["v"]},
+    "minItems": 1,
+    "maxItems": 3
+  })");
+  EXPECT_TRUE(SchemaValidate(schema, P(R"([{"v":1},{"v":2}])")).ok());
+  EXPECT_FALSE(SchemaValidate(schema, P("[]")).ok());
+  EXPECT_FALSE(
+      SchemaValidate(schema, P(R"([{"v":1},{"v":2},{"v":3},{"v":4}])")).ok());
+
+  Status nested = SchemaValidate(schema, P(R"([{"v":1},{"v":"two"}])"));
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.message().find("$[1].v"), std::string::npos)
+      << nested.message();
+}
+
+TEST(SchemaValidate, NumericAndStringBounds) {
+  Value bounded = P(R"({"type":"integer","minimum":0,"maximum":10})");
+  EXPECT_TRUE(SchemaValidate(bounded, Value(0)).ok());
+  EXPECT_TRUE(SchemaValidate(bounded, Value(10)).ok());
+  EXPECT_FALSE(SchemaValidate(bounded, Value(-1)).ok());
+  EXPECT_FALSE(SchemaValidate(bounded, Value(11)).ok());
+
+  Value sized = P(R"({"type":"string","minLength":2,"maxLength":4})");
+  EXPECT_TRUE(SchemaValidate(sized, Value("ab")).ok());
+  EXPECT_FALSE(SchemaValidate(sized, Value("a")).ok());
+  EXPECT_FALSE(SchemaValidate(sized, Value("abcde")).ok());
+}
+
+TEST(SchemaValidate, EnumMatchesLiterals) {
+  Value schema = P(R"({"enum": ["open", "closed", 3]})");
+  EXPECT_TRUE(SchemaValidate(schema, Value("open")).ok());
+  EXPECT_TRUE(SchemaValidate(schema, Value(3)).ok());
+  EXPECT_FALSE(SchemaValidate(schema, Value("ajar")).ok());
+}
+
+TEST(SchemaValidate, UnknownKeywordsIgnoredMalformedSchemaRejected) {
+  // OpenAPI annotations ride along without affecting validation.
+  Value annotated = P(R"({"type":"string","description":"d","example":"e"})");
+  EXPECT_TRUE(SchemaValidate(annotated, Value("x")).ok());
+
+  // A malformed schema fails validation instead of accepting everything.
+  EXPECT_FALSE(SchemaValidate(P(R"({"type": 12})"), Value("x")).ok());
+  EXPECT_FALSE(
+      SchemaValidate(P(R"({"type":"object","properties":[]})"), P("{}")).ok());
+}
+
+TEST(SchemaBuilders, ProduceValidatingSchemas) {
+  Value schema = ObjectSchema(
+      {{"account", Uint64Schema("id")},
+       {"amount", IntegerSchema()},
+       {"memo", StringSchema()},
+       {"tags", ArraySchema(StringSchema())},
+       {"flag", BoolSchema()},
+       {"rate", NumberSchema()}},
+      {"account", "amount"});
+
+  EXPECT_TRUE(SchemaValidate(
+      schema, P(R"({"account":1,"amount":-5,"memo":"m","tags":["a"],
+                    "flag":true,"rate":0.5})")).ok());
+  // Uint64Schema carries minimum 0.
+  EXPECT_FALSE(SchemaValidate(schema, P(R"({"account":-1,"amount":0})")).ok());
+  // Builders close the object.
+  EXPECT_FALSE(
+      SchemaValidate(schema, P(R"({"account":1,"amount":0,"zz":1})")).ok());
+  // Descriptions survive as annotations.
+  EXPECT_EQ(schema.Get("properties")
+                ->Get("account")
+                ->GetString("description"),
+            "id");
+}
+
+}  // namespace
+}  // namespace ccf::json

@@ -19,7 +19,7 @@
 
 #include "host/live_client.h"
 #include "host/live_node.h"
-#include "node/logging_app.h"
+#include "apps/logging.h"
 #include "tests/service_harness.h"
 
 namespace ccf::testing {
@@ -293,7 +293,7 @@ class LiveServiceHarness {
   Consortium consortium_;
   std::string gov_node_ = "n0";
   std::function<void(node::NodeConfig*)> config_tweak_;
-  node::LoggingApp logging_app_;
+  apps::LoggingApp logging_app_;
   crypto::PublicKeyBytes service_identity_{};
   std::map<std::string, std::unique_ptr<host::LiveNodeHost>> hosts_;
   std::map<std::string, std::unique_ptr<TestUser>> users_;

@@ -327,8 +327,8 @@ TEST(ScriptedApp, InstallAndInvokeViaGovernance) {
   h.StartGenesis();
 
   json::Object args;
-  args["module"] = node::LoggingAppModule();
-  auto endpoints = json::Parse(node::LoggingAppEndpointsJson());
+  args["module"] = apps::LoggingAppModule();
+  auto endpoints = json::Parse(apps::LoggingAppEndpointsJson());
   ASSERT_TRUE(endpoints.ok());
   args["endpoints"] = *endpoints;
   ASSERT_TRUE(h.RunProposal("set_js_app", json::Value(std::move(args))));

@@ -40,7 +40,7 @@ TEST(DisasterRecovery, FullRecoveryFlow) {
   auto recovery_node = node::Node::CreateRecovery(
       FastNodeConfig("r0", 7), std::move(surviving_ledger), nullptr,
       &h.env());
-  node::LoggingApp app;
+  apps::LoggingApp app;
   // (App endpoints come from the harness default in other tests; recovery
   // node needs its own app instance.)
   auto recovery_node2 = node::Node::CreateRecovery(

@@ -109,9 +109,9 @@ TEST(SnapshotBundle, PersistedBundleVerifiesAndForgeriesAreRejected) {
   ASSERT_TRUE(pub.ok()) << pub.status().ToString();
   kv::Store probe;
   probe.InstallState(*pub, bundle->seqno);
-  EXPECT_EQ(probe.GetStr(node::kPublicMessagesMap, "5"), "m5");
+  EXPECT_EQ(probe.GetStr(apps::kPublicMessagesMap, "5"), "m5");
   // ...but none of the private writes, which travel sealed.
-  EXPECT_FALSE(probe.GetStr(node::kPrivateMessagesMap, "1").has_value());
+  EXPECT_FALSE(probe.GetStr(apps::kPrivateMessagesMap, "1").has_value());
 
   {  // Forged state bytes: content digest no longer matches the evidence.
     node::SnapshotBundle forged = *bundle;
@@ -175,7 +175,7 @@ TEST(SnapshotJoin, JoinerBootstrapsFromVerifiedSnapshot) {
       },
       8000));
   // Private state crossed inside the sealed half of the bundle.
-  EXPECT_EQ(n1->store().GetStr(node::kPrivateMessagesMap, "7"), "m7");
+  EXPECT_EQ(n1->store().GetStr(apps::kPrivateMessagesMap, "7"), "m7");
 }
 
 // Satellite regression: a node that serves a join inside a reconfiguration
@@ -255,7 +255,10 @@ TEST(SnapshotCompaction, HistoricalQueryBelowHorizonIs404WithHorizon) {
   auto body = json::Parse(ToString(final->body));
   ASSERT_TRUE(body.ok());
   EXPECT_EQ(body->GetInt("horizon"), static_cast<int64_t>(horizon));
-  EXPECT_NE(body->GetString("error").find("compacted"), std::string::npos);
+  const json::Value* err = body->Get("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->GetString("code"), "Compacted");
+  EXPECT_NE(err->GetString("message").find("compacted"), std::string::npos);
   EXPECT_GT(n0->historical().stats().compacted, 0u);
 
   // The verdict is sticky: an immediate repeat answers 404 from the cache
@@ -356,7 +359,7 @@ TEST(SnapshotRecovery, RecoveryFromRetiredLedgerUsesVerifiedBundle) {
       8000));
   // Private state (both below and above the horizon) is still sealed.
   EXPECT_FALSE(
-      r0->store().GetStr(node::kPrivateMessagesMap, "3").has_value());
+      r0->store().GetStr(apps::kPrivateMessagesMap, "3").has_value());
 
   // Members submit shares; private state below the horizon comes from the
   // bundle's sealed half, above it from suffix replay.
@@ -383,12 +386,12 @@ TEST(SnapshotRecovery, RecoveryFromRetiredLedgerUsesVerifiedBundle) {
   ASSERT_TRUE(h.env().RunUntil(
       [&] {
         return r0->store()
-            .GetStr(node::kPrivateMessagesMap, "3")
+            .GetStr(apps::kPrivateMessagesMap, "3")
             .has_value();
       },
       5000));
-  EXPECT_EQ(r0->store().GetStr(node::kPrivateMessagesMap, "3"), "pre-3");
-  EXPECT_EQ(r0->store().GetStr(node::kPrivateMessagesMap, "777"),
+  EXPECT_EQ(r0->store().GetStr(apps::kPrivateMessagesMap, "3"), "pre-3");
+  EXPECT_EQ(r0->store().GetStr(apps::kPrivateMessagesMap, "777"),
             "suffix-write");
 }
 

@@ -12,7 +12,7 @@
 #include "gov/records.h"
 #include "kv/snapshot.h"
 #include "node/client.h"
-#include "node/logging_app.h"
+#include "apps/logging.h"
 #include "node/node.h"
 #include "sim/invariants.h"
 
@@ -324,7 +324,7 @@ class ServiceHarness {
   sim::Environment env_;
   Consortium consortium_;
   std::function<void(node::NodeConfig*)> config_tweak_;
-  node::LoggingApp logging_app_;
+  apps::LoggingApp logging_app_;
   std::map<std::string, std::unique_ptr<node::Node>> nodes_;
   std::map<std::string, std::unique_ptr<TestUser>> users_;
   std::map<std::string, std::unique_ptr<node::Client>> clients_;
